@@ -1,0 +1,128 @@
+//! Footprint facts: what a piece of code can ask of the kernel.
+//!
+//! A [`Footprint`] is the analyzer's output unit — the set of system APIs a
+//! binary (or function, or package) could invoke, together with the
+//! bookkeeping the paper reports (unresolved call sites, §2.4).
+
+use std::collections::BTreeSet;
+
+/// The API footprint of some unit of code.
+///
+/// System calls are x86-64 numbers; vectored opcodes are raw operand values
+/// (mapped to catalog entries downstream); `imports` are referenced dynamic
+/// symbols (the libc-API usage signal of paper §3.5); `paths` are
+/// hard-coded `/proc`, `/dev`, `/sys` strings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Directly or transitively reachable system call numbers.
+    pub syscalls: BTreeSet<u32>,
+    /// `ioctl` request codes observed at call sites.
+    pub ioctl_codes: BTreeSet<u64>,
+    /// `fcntl` command codes observed at call sites.
+    pub fcntl_codes: BTreeSet<u64>,
+    /// `prctl` option codes observed at call sites.
+    pub prctl_codes: BTreeSet<u64>,
+    /// Referenced imported symbols (e.g. libc functions).
+    pub imports: BTreeSet<String>,
+    /// Hard-coded pseudo-file path strings (literal or format patterns).
+    pub paths: BTreeSet<String>,
+    /// System call sites whose number could not be recovered (the paper's
+    /// 4% of sites, §2.4).
+    pub unresolved_syscall_sites: u32,
+    /// Vectored call sites whose opcode could not be recovered.
+    pub unresolved_vectored_sites: u32,
+}
+
+impl Footprint {
+    /// An empty footprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unions `other` into `self` (set union; site counters add).
+    pub fn merge(&mut self, other: &Footprint) {
+        self.syscalls.extend(other.syscalls.iter().copied());
+        self.ioctl_codes.extend(other.ioctl_codes.iter().copied());
+        self.fcntl_codes.extend(other.fcntl_codes.iter().copied());
+        self.prctl_codes.extend(other.prctl_codes.iter().copied());
+        self.imports.extend(other.imports.iter().cloned());
+        self.paths.extend(other.paths.iter().cloned());
+        self.unresolved_syscall_sites += other.unresolved_syscall_sites;
+        self.unresolved_vectored_sites += other.unresolved_vectored_sites;
+    }
+
+    /// True when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.syscalls.is_empty()
+            && self.ioctl_codes.is_empty()
+            && self.fcntl_codes.is_empty()
+            && self.prctl_codes.is_empty()
+            && self.imports.is_empty()
+            && self.paths.is_empty()
+            && self.unresolved_syscall_sites == 0
+            && self.unresolved_vectored_sites == 0
+    }
+
+    /// True when `self`'s API sets are all subsets of `other`'s (counters
+    /// ignored).
+    pub fn is_subset_of(&self, other: &Footprint) -> bool {
+        self.syscalls.is_subset(&other.syscalls)
+            && self.ioctl_codes.is_subset(&other.ioctl_codes)
+            && self.fcntl_codes.is_subset(&other.fcntl_codes)
+            && self.prctl_codes.is_subset(&other.prctl_codes)
+            && self.imports.is_subset(&other.imports)
+            && self.paths.is_subset(&other.paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(syscalls: &[u32], imports: &[&str]) -> Footprint {
+        Footprint {
+            syscalls: syscalls.iter().copied().collect(),
+            imports: imports.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_unions_sets_and_adds_counters() {
+        let mut a = fp(&[0, 1], &["printf"]);
+        a.unresolved_syscall_sites = 2;
+        let mut b = fp(&[1, 2], &["read"]);
+        b.unresolved_syscall_sites = 3;
+        a.merge(&b);
+        assert_eq!(a.syscalls.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(a.imports.len(), 2);
+        assert_eq!(a.unresolved_syscall_sites, 5);
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_sets() {
+        let mut a = fp(&[5], &["x"]);
+        let snapshot = a.clone();
+        a.merge(&snapshot.clone());
+        assert_eq!(a.syscalls, snapshot.syscalls);
+        assert_eq!(a.imports, snapshot.imports);
+    }
+
+    #[test]
+    fn subset_check() {
+        let small = fp(&[1], &[]);
+        let big = fp(&[1, 2], &["y"]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(Footprint::new().is_subset_of(&small));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Footprint::new().is_empty());
+        assert!(!fp(&[1], &[]).is_empty());
+        let mut f = Footprint::new();
+        f.unresolved_syscall_sites = 1;
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment benchmarks: the cost of regenerating each of the paper's
+//! tables and figures from a completed study (one bench per artifact id).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use apistudy_bench::{render, Ctx, ARTIFACT_IDS};
+use apistudy_core::Study;
+use apistudy_corpus::Scale;
+
+fn bench_artifacts(c: &mut Criterion) {
+    let study = Study::run(Scale { packages: 150, installations: 50_000 }, 2016);
+    let ctx = Ctx::new(&study);
+    let mut group = c.benchmark_group("artifacts");
+    for id in ARTIFACT_IDS {
+        group.bench_function(*id, |b| {
+            b.iter(|| render(&ctx, std::hint::black_box(id)).expect("known id"))
+        });
+    }
+    group.finish();
+
+    c.bench_function("ctx_derivation", |b| {
+        b.iter(|| Ctx::new(std::hint::black_box(&study)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_artifacts
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Pipeline benchmarks: the cost of each substrate stage, from parsing a
+//! single ELF to running the full repository-scale study.
+//!
+//! The paper's framework took ~3 days over 30,976 packages on Postgres
+//! (§7, Table 12); these benches record what the native reimplementation
+//! costs per stage.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use apistudy_analysis::{BinaryAnalysis, Linker};
+use apistudy_catalog::Catalog;
+use apistudy_core::{Metrics, StudyData};
+use apistudy_corpus::{
+    codegen::{generate_executable, ExecSpec, VectoredVia},
+    libc_gen, CalibrationSpec, Scale, SynthRepo,
+};
+use apistudy_elf::ElfFile;
+use apistudy_x86::Decoder;
+
+fn sample_exec_bytes() -> Vec<u8> {
+    let spec = ExecSpec {
+        needed: vec!["libc.so.6".into()],
+        libc_calls: (0..24).map(|i| format!("fn_{i}")).collect(),
+        direct_syscalls: (0..16).collect(),
+        ioctl_codes: vec![(0x5401, VectoredVia::Inline), (0x5413, VectoredVia::Wrapper)],
+        paths: vec!["/dev/null".into(), "/proc/%d/cmdline".into()],
+        helpers: 4,
+        seed: 99,
+        ..Default::default()
+    };
+    generate_executable(&spec)
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let exec_bytes = sample_exec_bytes();
+    c.bench_function("elf_parse_executable", |b| {
+        b.iter(|| ElfFile::parse(std::hint::black_box(&exec_bytes)).unwrap())
+    });
+
+    let elf = ElfFile::parse(&exec_bytes).unwrap();
+    let text = elf.section_by_name(".text").unwrap().clone();
+    let code = elf.section_data(&text).unwrap();
+    c.bench_function("x86_decode_text_section", |b| {
+        b.iter(|| {
+            Decoder::new(std::hint::black_box(code), text.addr)
+                .map(|d| d.len)
+                .sum::<usize>()
+        })
+    });
+
+    c.bench_function("analyze_executable", |b| {
+        b.iter(|| BinaryAnalysis::analyze(std::hint::black_box(&elf)).unwrap())
+    });
+
+    c.bench_function("codegen_executable", |b| {
+        b.iter(sample_exec_bytes)
+    });
+
+    let catalog = Catalog::linux_3_19();
+    c.bench_function("generate_libc_1274_exports", |b| {
+        b.iter(|| {
+            apistudy_corpus::codegen::generate_library(&libc_gen::libc_spec(
+                std::hint::black_box(&catalog),
+            ))
+        })
+    });
+
+    let libc_bytes =
+        apistudy_corpus::codegen::generate_library(&libc_gen::libc_spec(&catalog));
+    let libc_elf = ElfFile::parse(&libc_bytes).unwrap();
+    c.bench_function("analyze_libc", |b| {
+        b.iter(|| BinaryAnalysis::analyze(std::hint::black_box(&libc_elf)).unwrap())
+    });
+
+    let libc_ba = BinaryAnalysis::analyze(&libc_elf).unwrap();
+    c.bench_function("linker_seal_libc", |b| {
+        b.iter_batched(
+            || {
+                let mut linker = Linker::new();
+                linker.add_library("libc.so.6", libc_ba.clone());
+                linker
+            },
+            |mut linker| {
+                linker.seal();
+                linker
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_study(c: &mut Criterion) {
+    let scale = Scale { packages: 150, installations: 50_000 };
+    c.bench_function("corpus_plan_150_packages", |b| {
+        b.iter(|| {
+            apistudy_corpus::RepoPlan::plan(scale, CalibrationSpec::default(), 5)
+        })
+    });
+
+    let repo = SynthRepo::new(scale, CalibrationSpec::default(), 5);
+    c.bench_function("pipeline_150_packages", |b| {
+        b.iter(|| StudyData::from_synth(std::hint::black_box(&repo)))
+    });
+
+    let data = StudyData::from_synth(&repo);
+    c.bench_function("metrics_index", |b| {
+        b.iter(|| Metrics::new(std::hint::black_box(&data)))
+    });
+
+    let metrics = Metrics::new(&data);
+    let read = data.catalog.syscall("read").unwrap();
+    c.bench_function("importance_query", |b| {
+        b.iter(|| metrics.importance(std::hint::black_box(read)))
+    });
+
+    let supported: std::collections::HashSet<u32> = (0..250).collect();
+    c.bench_function("weighted_completeness_250_syscalls", |b| {
+        b.iter(|| metrics.syscall_completeness(std::hint::black_box(&supported)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_substrates, bench_study
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! `repro` — regenerate the paper's tables and figures from a fresh
+//! synthetic corpus.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale test|medium|paper] [--seed N] [all | <artifact ids...>]
+//! ```
+//!
+//! Artifact ids are the paper's: `fig1`–`fig8`, `tab1`–`tab11`,
+//! `libc-split`, `uniqueness`, `ablation`. Default: `all` at test scale.
+//! `--export-dataset PATH` additionally writes the measured dataset CSV.
+
+use apistudy_bench::{render, Ctx, ARTIFACT_IDS};
+use apistudy_core::Study;
+use apistudy_corpus::Scale;
+
+fn main() {
+    let mut scale = Scale::test();
+    let mut seed = 2016u64;
+    let mut export: Option<String> = None;
+    let mut figures_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "test" => Scale::test(),
+                    "medium" => Scale::medium(),
+                    "paper" => Scale::paper(),
+                    other => {
+                        eprintln!("unknown scale {other:?} (test|medium|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--export-figures" => {
+                figures_dir = args.next();
+                if figures_dir.is_none() {
+                    eprintln!("--export-figures needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--export-dataset" => {
+                export = args.next();
+                if export.is_none() {
+                    eprintln!("--export-dataset needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scale test|medium|paper] [--seed N] \
+                     [all | ids...]\nids: {}",
+                    ARTIFACT_IDS.join(" ")
+                );
+                return;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ARTIFACT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "generating corpus: {} packages, {} installations (seed {seed})...",
+        scale.packages, scale.installations
+    );
+    let start = std::time::Instant::now();
+    let study = Study::run(scale, seed);
+    eprintln!(
+        "pipeline done in {:.1}s; rendering {} artifact(s)",
+        start.elapsed().as_secs_f64(),
+        ids.len()
+    );
+    if let Some(path) = &export {
+        let ds = apistudy_core::dataset::Dataset::from_study(study.data());
+        let text = ds.to_csv();
+        match std::fs::write(path, &text) {
+            Ok(()) => eprintln!(
+                "dataset: {} rows, {} bytes -> {path}",
+                ds.rows.len(),
+                text.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let ctx = Ctx::new(&study);
+    if let Some(dir) = &figures_dir {
+        match apistudy_bench::artifacts::export_figures(
+            &ctx,
+            std::path::Path::new(dir),
+        ) {
+            Ok(files) => eprintln!("figures: {} -> {dir}", files.join(", ")),
+            Err(e) => {
+                eprintln!("cannot export figures to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut failed = false;
+    for id in &ids {
+        match render(&ctx, id) {
+            Some(text) => {
+                println!("{text}");
+            }
+            None => {
+                eprintln!("unknown artifact id {id:?}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,13 @@
+//! # apistudy-bench
+//!
+//! The reproduction harness: [`artifacts`] regenerates every table and
+//! figure of the paper from a completed study; the `repro` binary prints
+//! them; the Criterion benches measure the pipeline and per-artifact
+//! regeneration cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+
+pub use artifacts::{render, Ctx, ARTIFACT_IDS};

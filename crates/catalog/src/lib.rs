@@ -1,0 +1,36 @@
+//! # apistudy-catalog
+//!
+//! Inventories of Linux system APIs for the EuroSys'16 study reproduction
+//! ("A Study of Modern Linux API Usage and Compatibility"):
+//!
+//! - [`syscalls`] — the complete x86-64 Linux 3.19 system call table;
+//! - [`vectored`] — `ioctl`/`fcntl`/`prctl` operation-code tables;
+//! - [`pseudofiles`] — the `/proc`, `/dev`, `/sys` pseudo-file inventory
+//!   with format-pattern matching;
+//! - [`libc_symbols`] — the reconstructed glibc 2.21 exported-function
+//!   inventory (1,274 symbols);
+//! - [`wrappers`] — the reference libc-function → wrapped-syscalls map;
+//! - [`variants`] — the §5 variant-pair relations (Tables 8–11);
+//! - [`api`] — the unified [`Api`] identifier and the [`Catalog`] bundle.
+//!
+//! Everything here is *inventory*: descriptive data about which APIs exist.
+//! Usage measurement lives in `apistudy-analysis`/`apistudy-core`; the
+//! synthetic corpus that stands in for the Ubuntu archive lives in
+//! `apistudy-corpus`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod libc_symbols;
+pub mod pseudofiles;
+pub mod syscalls;
+pub mod variants;
+pub mod vectored;
+pub mod wrappers;
+
+pub use api::{Api, ApiKind, Catalog};
+pub use libc_symbols::{LibcInventory, LibcSymbol, GLIBC_2_21_SYMBOL_COUNT};
+pub use pseudofiles::{PseudoFileSet, PseudoFs};
+pub use syscalls::{SyscallDef, SyscallStatus, SyscallTable, SYSCALLS};
+pub use vectored::{IoctlGroup, VectoredOp, FCNTL_OPS, IOCTL_DEFINED, PRCTL_OPS};

@@ -1,0 +1,404 @@
+//! Pseudo-file and pseudo-device inventory: `/proc`, `/dev`, and `/sys`.
+//!
+//! Linux exports a substantial part of its API through pseudo-file systems.
+//! The study treats each pseudo-file (or parameterized file family, such as
+//! `/proc/<pid>/cmdline`) as an API. Binaries reference these paths as
+//! hard-coded strings, frequently through `sprintf`-style format patterns —
+//! the paper's example is `sprintf("/proc/%d/cmdline", pid)` — which the
+//! analyzer matches with [`PseudoFileSet::match_string`].
+
+/// Which pseudo-file system a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PseudoFs {
+    /// `/proc` — process and kernel state.
+    Proc,
+    /// `/dev` — device nodes and pseudo-devices.
+    Dev,
+    /// `/sys` — kobject/sysfs attributes.
+    Sys,
+}
+
+/// A pseudo-file definition.
+///
+/// `pattern` is either a literal absolute path or a path containing `printf`
+/// conversions (`%d`, `%s`, `%u`, `%lu`), in which case it names a *family*
+/// of files that the study counts as one API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PseudoFileDef {
+    /// Literal path or format pattern (e.g. `/proc/%d/cmdline`).
+    pub pattern: &'static str,
+    /// Owning pseudo-file system.
+    pub fs: PseudoFs,
+    /// True when the file mainly serves administrators / a single special
+    /// application rather than general programs (the paper's `/dev/kvm`,
+    /// `/proc/kallsyms` discussion).
+    pub special_purpose: bool,
+}
+
+macro_rules! pf {
+    ($pattern:expr, $fs:ident, $special:expr) => {
+        PseudoFileDef { pattern: $pattern, fs: PseudoFs::$fs, special_purpose: $special }
+    };
+}
+
+/// The named pseudo-file inventory used by the study.
+///
+/// Ordered roughly by the paper's Figure 6 prominence: widely used pseudo
+/// devices and `/proc` files first, special-purpose and administrative files
+/// later. The corpus generator appends an anonymous `/sys` attribute tail on
+/// top of this set.
+pub const PSEUDO_FILES: &[PseudoFileDef] = &[
+    // Essential pseudo-devices.
+    pf!("/dev/null", Dev, false),
+    pf!("/dev/zero", Dev, false),
+    pf!("/dev/tty", Dev, false),
+    pf!("/dev/urandom", Dev, false),
+    pf!("/dev/random", Dev, false),
+    pf!("/dev/console", Dev, false),
+    pf!("/dev/ptmx", Dev, false),
+    pf!("/dev/pts/%d", Dev, false),
+    pf!("/dev/stdin", Dev, false),
+    pf!("/dev/stdout", Dev, false),
+    pf!("/dev/stderr", Dev, false),
+    pf!("/dev/full", Dev, false),
+    pf!("/dev/shm", Dev, false),
+    pf!("/dev/fd/%d", Dev, false),
+    pf!("/dev/mem", Dev, true),
+    pf!("/dev/kmsg", Dev, true),
+    pf!("/dev/loop%d", Dev, true),
+    pf!("/dev/sda", Dev, true),
+    pf!("/dev/sd%s", Dev, true),
+    pf!("/dev/hda", Dev, true),
+    pf!("/dev/hd%s", Dev, true),
+    pf!("/dev/cdrom", Dev, true),
+    pf!("/dev/dsp", Dev, true),
+    pf!("/dev/snd/%s", Dev, true),
+    pf!("/dev/input/event%d", Dev, true),
+    pf!("/dev/input/mice", Dev, true),
+    pf!("/dev/fb0", Dev, true),
+    pf!("/dev/kvm", Dev, true),
+    pf!("/dev/net/tun", Dev, true),
+    pf!("/dev/rtc", Dev, true),
+    pf!("/dev/watchdog", Dev, true),
+    pf!("/dev/vcs%d", Dev, true),
+    pf!("/dev/mapper/control", Dev, true),
+    pf!("/dev/dri/card%d", Dev, true),
+    pf!("/dev/usb/%s", Dev, true),
+    // Widely used /proc files.
+    pf!("/proc/cpuinfo", Proc, false),
+    pf!("/proc/meminfo", Proc, false),
+    pf!("/proc/stat", Proc, false),
+    pf!("/proc/uptime", Proc, false),
+    pf!("/proc/loadavg", Proc, false),
+    pf!("/proc/mounts", Proc, false),
+    pf!("/proc/filesystems", Proc, false),
+    pf!("/proc/version", Proc, false),
+    pf!("/proc/self/exe", Proc, false),
+    pf!("/proc/self/maps", Proc, false),
+    pf!("/proc/self/stat", Proc, false),
+    pf!("/proc/self/status", Proc, false),
+    pf!("/proc/self/fd/%d", Proc, false),
+    pf!("/proc/self/cmdline", Proc, false),
+    pf!("/proc/self/mounts", Proc, false),
+    pf!("/proc/self/mountinfo", Proc, false),
+    pf!("/proc/self/cgroup", Proc, false),
+    pf!("/proc/self/environ", Proc, false),
+    pf!("/proc/self/oom_score_adj", Proc, false),
+    pf!("/proc/%d/cmdline", Proc, false),
+    pf!("/proc/%d/stat", Proc, false),
+    pf!("/proc/%d/status", Proc, false),
+    pf!("/proc/%d/exe", Proc, false),
+    pf!("/proc/%d/fd/%d", Proc, false),
+    pf!("/proc/%d/maps", Proc, false),
+    pf!("/proc/%d/environ", Proc, false),
+    pf!("/proc/%d/cwd", Proc, false),
+    pf!("/proc/%d/task", Proc, false),
+    pf!("/proc/net/dev", Proc, false),
+    pf!("/proc/net/route", Proc, false),
+    pf!("/proc/net/tcp", Proc, false),
+    pf!("/proc/net/udp", Proc, false),
+    pf!("/proc/net/unix", Proc, false),
+    pf!("/proc/sys/kernel/osrelease", Proc, false),
+    pf!("/proc/sys/kernel/hostname", Proc, false),
+    pf!("/proc/sys/kernel/random/uuid", Proc, false),
+    pf!("/proc/sys/kernel/pid_max", Proc, false),
+    pf!("/proc/sys/vm/overcommit_memory", Proc, false),
+    pf!("/proc/sys/fs/file-max", Proc, false),
+    pf!("/proc/sys/net/core/somaxconn", Proc, false),
+    pf!("/proc/devices", Proc, false),
+    pf!("/proc/partitions", Proc, false),
+    pf!("/proc/swaps", Proc, false),
+    pf!("/proc/diskstats", Proc, false),
+    pf!("/proc/interrupts", Proc, true),
+    pf!("/proc/vmstat", Proc, true),
+    pf!("/proc/zoneinfo", Proc, true),
+    pf!("/proc/buddyinfo", Proc, true),
+    pf!("/proc/slabinfo", Proc, true),
+    pf!("/proc/modules", Proc, true),
+    pf!("/proc/kallsyms", Proc, true),
+    pf!("/proc/kcore", Proc, true),
+    pf!("/proc/kmsg", Proc, true),
+    pf!("/proc/config.gz", Proc, true),
+    pf!("/proc/sysrq-trigger", Proc, true),
+    pf!("/proc/mdstat", Proc, true),
+    pf!("/proc/mtrr", Proc, true),
+    pf!("/proc/bus/usb", Proc, true),
+    pf!("/proc/acpi/%s", Proc, true),
+    pf!("/proc/ide/%s", Proc, true),
+    pf!("/proc/scsi/scsi", Proc, true),
+    pf!("/proc/tty/drivers", Proc, true),
+    // /sys attributes.
+    pf!("/sys/devices/system/cpu", Sys, false),
+    pf!("/sys/devices/system/cpu/online", Sys, false),
+    pf!("/sys/devices/system/cpu/cpu%d/cpufreq/scaling_governor", Sys, true),
+    pf!("/sys/devices/system/node", Sys, true),
+    pf!("/sys/class/net", Sys, false),
+    pf!("/sys/class/net/%s/address", Sys, false),
+    pf!("/sys/class/block", Sys, true),
+    pf!("/sys/class/power_supply", Sys, true),
+    pf!("/sys/class/backlight/%s/brightness", Sys, true),
+    pf!("/sys/class/thermal/thermal_zone%d/temp", Sys, true),
+    pf!("/sys/class/tty", Sys, true),
+    pf!("/sys/block/%s/queue/scheduler", Sys, true),
+    pf!("/sys/block/%s/size", Sys, true),
+    pf!("/sys/bus/pci/devices", Sys, true),
+    pf!("/sys/bus/usb/devices", Sys, true),
+    pf!("/sys/module", Sys, true),
+    pf!("/sys/module/%s/parameters/%s", Sys, true),
+    pf!("/sys/kernel/mm/transparent_hugepage/enabled", Sys, true),
+    pf!("/sys/kernel/debug", Sys, true),
+    pf!("/sys/fs/cgroup", Sys, false),
+    pf!("/sys/fs/selinux/enforce", Sys, true),
+    pf!("/sys/firmware/efi", Sys, true),
+    pf!("/sys/power/state", Sys, true),
+    pf!("/sys/hypervisor/uuid", Sys, true),
+];
+
+/// Matcher over the pseudo-file inventory.
+///
+/// Besides the named inventory, an optional synthetic `/sys` attribute tail
+/// (used by the corpus generator to model the anonymous long tail) can be
+/// appended with [`PseudoFileSet::with_synthetic_tail`].
+#[derive(Debug, Clone)]
+pub struct PseudoFileSet {
+    patterns: Vec<(String, PseudoFs, bool)>,
+}
+
+impl PseudoFileSet {
+    /// Builds the matcher over the named inventory.
+    pub fn new() -> Self {
+        let patterns = PSEUDO_FILES
+            .iter()
+            .map(|d| (d.pattern.to_owned(), d.fs, d.special_purpose))
+            .collect();
+        Self { patterns }
+    }
+
+    /// Appends `n` synthetic special-purpose `/sys` attribute families,
+    /// modelling the anonymous driver-attribute tail.
+    pub fn with_synthetic_tail(mut self, n: usize) -> Self {
+        for i in 0..n {
+            self.patterns.push((
+                format!("/sys/devices/synthetic/dev{i:03}/attr"),
+                PseudoFs::Sys,
+                true,
+            ));
+        }
+        self
+    }
+
+    /// Number of pseudo-file APIs tracked.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty (never true for the named inventory).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The pattern string for a pseudo-file id.
+    pub fn pattern(&self, id: u32) -> Option<&str> {
+        self.patterns.get(id as usize).map(|(p, _, _)| p.as_str())
+    }
+
+    /// The owning filesystem for a pseudo-file id.
+    pub fn fs_of(&self, id: u32) -> Option<PseudoFs> {
+        self.patterns.get(id as usize).map(|&(_, fs, _)| fs)
+    }
+
+    /// Whether a pseudo-file id is special-purpose.
+    pub fn special_purpose(&self, id: u32) -> Option<bool> {
+        self.patterns.get(id as usize).map(|&(_, _, sp)| sp)
+    }
+
+    /// Iterates `(id, pattern, fs, special_purpose)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str, PseudoFs, bool)> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(i, (p, fs, sp))| (i as u32, p.as_str(), *fs, *sp))
+    }
+
+    /// Matches a string found in a binary's read-only data against the
+    /// inventory, returning the pseudo-file id when it names (or formats
+    /// into) a tracked file.
+    ///
+    /// Matching rules, mirroring the paper's §3.4 methodology:
+    ///
+    /// - a literal pattern matches the exact string;
+    /// - a format pattern matches a string with identical literal segments
+    ///   and `%`-conversions at the same positions (the
+    ///   `sprintf("/proc/%d/cmdline", pid)` case), **or** a concrete string
+    ///   that instantiates the conversions (e.g. `/proc/1/cmdline`).
+    pub fn match_string(&self, s: &str) -> Option<u32> {
+        if !s.starts_with("/proc") && !s.starts_with("/dev") && !s.starts_with("/sys") {
+            return None;
+        }
+        // Exact or identical-format match first.
+        if let Some(i) = self.patterns.iter().position(|(p, _, _)| p == s) {
+            return Some(i as u32);
+        }
+        // Then concrete instantiation of a format pattern.
+        self.patterns
+            .iter()
+            .position(|(p, _, _)| p.contains('%') && pattern_matches(p, s))
+            .map(|i| i as u32)
+    }
+}
+
+impl Default for PseudoFileSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Returns true when concrete path `s` instantiates format `pattern`.
+///
+/// `%d`/`%u`/`%lu` match a non-empty digit run; `%s` matches a non-empty run
+/// without `/`. Conversions must be consumed in order; remaining text must
+/// match literally.
+fn pattern_matches(pattern: &str, s: &str) -> bool {
+    let mut pat = pattern;
+    let mut rest = s;
+    loop {
+        match pat.find('%') {
+            None => return pat == rest,
+            Some(at) => {
+                let (lit, after) = pat.split_at(at);
+                let Some(stripped) = rest.strip_prefix(lit) else {
+                    return false;
+                };
+                rest = stripped;
+                // Parse the conversion.
+                let conv = after.trim_start_matches('%');
+                let (kind, tail) = match conv.as_bytes() {
+                    [b'l', b'u', ..] => (b'd', &conv[2..]),
+                    [b'd', ..] | [b'u', ..] => (b'd', &conv[1..]),
+                    [b's', ..] => (b's', &conv[1..]),
+                    _ => return false,
+                };
+                let matcher: fn(char) -> bool = if kind == b'd' {
+                    |c| c.is_ascii_digit()
+                } else {
+                    |c| c != '/'
+                };
+                let taken = rest.chars().take_while(|&c| matcher(c)).count();
+                if taken == 0 {
+                    return false;
+                }
+                rest = &rest[taken..];
+                pat = tail;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_patterns_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for d in PSEUDO_FILES {
+            assert!(seen.insert(d.pattern), "duplicate pattern {}", d.pattern);
+        }
+    }
+
+    #[test]
+    fn exact_literal_match() {
+        let set = PseudoFileSet::new();
+        let id = set.match_string("/dev/null").expect("tracked");
+        assert_eq!(set.pattern(id), Some("/dev/null"));
+        assert_eq!(set.fs_of(id), Some(PseudoFs::Dev));
+    }
+
+    #[test]
+    fn format_pattern_matches_itself() {
+        let set = PseudoFileSet::new();
+        let id = set.match_string("/proc/%d/cmdline").expect("tracked");
+        assert_eq!(set.pattern(id), Some("/proc/%d/cmdline"));
+    }
+
+    #[test]
+    fn format_pattern_matches_instantiation() {
+        let set = PseudoFileSet::new();
+        let id = set.match_string("/proc/1234/cmdline").expect("tracked");
+        assert_eq!(set.pattern(id), Some("/proc/%d/cmdline"));
+        assert!(set.match_string("/proc/x/cmdline").is_none());
+    }
+
+    #[test]
+    fn string_s_conversion() {
+        let set = PseudoFileSet::new();
+        let id = set.match_string("/sys/class/net/eth0/address").expect("tracked");
+        assert_eq!(set.pattern(id), Some("/sys/class/net/%s/address"));
+        assert!(set.match_string("/sys/class/net//address").is_none());
+    }
+
+    #[test]
+    fn untracked_and_foreign_paths() {
+        let set = PseudoFileSet::new();
+        assert!(set.match_string("/etc/passwd").is_none());
+        assert!(set.match_string("/proc/not/a/real/file").is_none());
+        assert!(set.match_string("relative/proc").is_none());
+    }
+
+    #[test]
+    fn synthetic_tail_extends_inventory() {
+        let set = PseudoFileSet::new().with_synthetic_tail(10);
+        assert_eq!(set.len(), PSEUDO_FILES.len() + 10);
+        let id = set
+            .match_string("/sys/devices/synthetic/dev003/attr")
+            .expect("tail entry");
+        assert_eq!(set.special_purpose(id), Some(true));
+    }
+
+    #[test]
+    fn inventory_spans_all_three_filesystems() {
+        let dev = PSEUDO_FILES.iter().filter(|d| d.fs == PseudoFs::Dev).count();
+        let proc = PSEUDO_FILES.iter().filter(|d| d.fs == PseudoFs::Proc).count();
+        let sys = PSEUDO_FILES.iter().filter(|d| d.fs == PseudoFs::Sys).count();
+        assert!(dev >= 25, "dev {dev}");
+        assert!(proc >= 50, "proc {proc}");
+        assert!(sys >= 20, "sys {sys}");
+        assert_eq!(dev + proc + sys, PSEUDO_FILES.len());
+    }
+
+    #[test]
+    fn lu_conversion_matches_digits() {
+        // %lu patterns (long-unsigned) match digit runs too.
+        let mut set = PseudoFileSet::new().with_synthetic_tail(0);
+        let _ = &mut set;
+        assert!(pattern_matches("/proc/%lu/x", "/proc/123/x"));
+        assert!(!pattern_matches("/proc/%lu/x", "/proc/ab/x"));
+    }
+
+    #[test]
+    fn nested_format_conversions() {
+        let set = PseudoFileSet::new();
+        let id = set.match_string("/proc/42/fd/7").expect("tracked");
+        assert_eq!(set.pattern(id), Some("/proc/%d/fd/%d"));
+    }
+}

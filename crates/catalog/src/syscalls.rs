@@ -1,0 +1,655 @@
+//! The x86-64 Linux 3.19 system call table.
+//!
+//! This is the inventory the study ranges over: every slot in
+//! `arch/x86/syscalls/syscall_64.tbl` as of Linux 3.19 (numbers 0–322).
+//! The paper reports "320 system calls as listed in `unistd.h`"; the
+//! three-entry difference is a counting convention (three slots have no
+//! `unistd.h` prototype). See DESIGN.md §3.
+//!
+//! Each entry carries a [`SyscallStatus`] used by the study:
+//!
+//! - [`SyscallStatus::Active`] — a regular, implemented system call.
+//! - [`SyscallStatus::Retired`] — officially retired (returns `-ENOSYS`) but
+//!   still *attempted* by legacy software, so it can have non-zero API
+//!   importance (the paper's `uselib`/`nfsservctl` example).
+//! - [`SyscallStatus::NoEntryPoint`] — a slot with no kernel entry point at
+//!   all; the paper found exactly ten of these among its 18 unused calls.
+
+use std::collections::HashMap;
+
+/// Lifecycle status of a system call slot in Linux 3.19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallStatus {
+    /// Implemented and supported.
+    Active,
+    /// Officially retired; the kernel returns `-ENOSYS`, but legacy binaries
+    /// may still attempt the call for backward compatibility.
+    Retired,
+    /// The slot is defined in headers but has no kernel entry point.
+    NoEntryPoint,
+}
+
+/// Coarse functional category of a system call.
+///
+/// Categories are used for reporting (e.g. the stage table groups calls by
+/// theme) and for the corpus generator's archetype construction; they do not
+/// affect metric computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallCategory {
+    /// Reads, writes, file descriptors, file metadata.
+    FileIo,
+    /// Directory and path manipulation.
+    Path,
+    /// Process lifecycle and credentials.
+    Process,
+    /// Scheduling control.
+    Sched,
+    /// Virtual memory management.
+    Memory,
+    /// Signals.
+    Signal,
+    /// Sockets and networking.
+    Network,
+    /// System V and POSIX IPC.
+    Ipc,
+    /// Clocks and timers.
+    Time,
+    /// Security, capabilities, keys.
+    Security,
+    /// Kernel modules.
+    Module,
+    /// Event notification (epoll, inotify, eventfd, ...).
+    Event,
+    /// Asynchronous I/O.
+    Aio,
+    /// Extended attributes.
+    Xattr,
+    /// NUMA placement.
+    Numa,
+    /// System administration (mount, reboot, quota, ...).
+    Admin,
+    /// Everything else.
+    Misc,
+}
+
+/// A single system call definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallDef {
+    /// The x86-64 system call number.
+    pub number: u32,
+    /// The canonical kernel name (without the `sys_` prefix).
+    pub name: &'static str,
+    /// Lifecycle status in Linux 3.19.
+    pub status: SyscallStatus,
+    /// Coarse functional category.
+    pub category: SyscallCategory,
+}
+
+macro_rules! syscall_table {
+    ($(($num:expr, $name:expr, $status:ident, $cat:ident)),+ $(,)?) => {
+        &[
+            $(SyscallDef {
+                number: $num,
+                name: $name,
+                status: SyscallStatus::$status,
+                category: SyscallCategory::$cat,
+            }),+
+        ]
+    };
+}
+
+/// The complete x86-64 Linux 3.19 system call table, ordered by number.
+pub const SYSCALLS: &[SyscallDef] = syscall_table![
+    (0, "read", Active, FileIo),
+    (1, "write", Active, FileIo),
+    (2, "open", Active, FileIo),
+    (3, "close", Active, FileIo),
+    (4, "stat", Active, FileIo),
+    (5, "fstat", Active, FileIo),
+    (6, "lstat", Active, FileIo),
+    (7, "poll", Active, Event),
+    (8, "lseek", Active, FileIo),
+    (9, "mmap", Active, Memory),
+    (10, "mprotect", Active, Memory),
+    (11, "munmap", Active, Memory),
+    (12, "brk", Active, Memory),
+    (13, "rt_sigaction", Active, Signal),
+    (14, "rt_sigprocmask", Active, Signal),
+    (15, "rt_sigreturn", Active, Signal),
+    (16, "ioctl", Active, FileIo),
+    (17, "pread64", Active, FileIo),
+    (18, "pwrite64", Active, FileIo),
+    (19, "readv", Active, FileIo),
+    (20, "writev", Active, FileIo),
+    (21, "access", Active, Path),
+    (22, "pipe", Active, FileIo),
+    (23, "select", Active, Event),
+    (24, "sched_yield", Active, Sched),
+    (25, "mremap", Active, Memory),
+    (26, "msync", Active, Memory),
+    (27, "mincore", Active, Memory),
+    (28, "madvise", Active, Memory),
+    (29, "shmget", Active, Ipc),
+    (30, "shmat", Active, Ipc),
+    (31, "shmctl", Active, Ipc),
+    (32, "dup", Active, FileIo),
+    (33, "dup2", Active, FileIo),
+    (34, "pause", Active, Signal),
+    (35, "nanosleep", Active, Time),
+    (36, "getitimer", Active, Time),
+    (37, "alarm", Active, Time),
+    (38, "setitimer", Active, Time),
+    (39, "getpid", Active, Process),
+    (40, "sendfile", Active, FileIo),
+    (41, "socket", Active, Network),
+    (42, "connect", Active, Network),
+    (43, "accept", Active, Network),
+    (44, "sendto", Active, Network),
+    (45, "recvfrom", Active, Network),
+    (46, "sendmsg", Active, Network),
+    (47, "recvmsg", Active, Network),
+    (48, "shutdown", Active, Network),
+    (49, "bind", Active, Network),
+    (50, "listen", Active, Network),
+    (51, "getsockname", Active, Network),
+    (52, "getpeername", Active, Network),
+    (53, "socketpair", Active, Network),
+    (54, "setsockopt", Active, Network),
+    (55, "getsockopt", Active, Network),
+    (56, "clone", Active, Process),
+    (57, "fork", Active, Process),
+    (58, "vfork", Active, Process),
+    (59, "execve", Active, Process),
+    (60, "exit", Active, Process),
+    (61, "wait4", Active, Process),
+    (62, "kill", Active, Signal),
+    (63, "uname", Active, Misc),
+    (64, "semget", Active, Ipc),
+    (65, "semop", Active, Ipc),
+    (66, "semctl", Active, Ipc),
+    (67, "shmdt", Active, Ipc),
+    (68, "msgget", Active, Ipc),
+    (69, "msgsnd", Active, Ipc),
+    (70, "msgrcv", Active, Ipc),
+    (71, "msgctl", Active, Ipc),
+    (72, "fcntl", Active, FileIo),
+    (73, "flock", Active, FileIo),
+    (74, "fsync", Active, FileIo),
+    (75, "fdatasync", Active, FileIo),
+    (76, "truncate", Active, FileIo),
+    (77, "ftruncate", Active, FileIo),
+    (78, "getdents", Active, Path),
+    (79, "getcwd", Active, Path),
+    (80, "chdir", Active, Path),
+    (81, "fchdir", Active, Path),
+    (82, "rename", Active, Path),
+    (83, "mkdir", Active, Path),
+    (84, "rmdir", Active, Path),
+    (85, "creat", Active, FileIo),
+    (86, "link", Active, Path),
+    (87, "unlink", Active, Path),
+    (88, "symlink", Active, Path),
+    (89, "readlink", Active, Path),
+    (90, "chmod", Active, Path),
+    (91, "fchmod", Active, FileIo),
+    (92, "chown", Active, Path),
+    (93, "fchown", Active, FileIo),
+    (94, "lchown", Active, Path),
+    (95, "umask", Active, Process),
+    (96, "gettimeofday", Active, Time),
+    (97, "getrlimit", Active, Process),
+    (98, "getrusage", Active, Process),
+    (99, "sysinfo", Active, Misc),
+    (100, "times", Active, Time),
+    (101, "ptrace", Active, Process),
+    (102, "getuid", Active, Process),
+    (103, "syslog", Active, Admin),
+    (104, "getgid", Active, Process),
+    (105, "setuid", Active, Process),
+    (106, "setgid", Active, Process),
+    (107, "geteuid", Active, Process),
+    (108, "getegid", Active, Process),
+    (109, "setpgid", Active, Process),
+    (110, "getppid", Active, Process),
+    (111, "getpgrp", Active, Process),
+    (112, "setsid", Active, Process),
+    (113, "setreuid", Active, Process),
+    (114, "setregid", Active, Process),
+    (115, "getgroups", Active, Process),
+    (116, "setgroups", Active, Process),
+    (117, "setresuid", Active, Process),
+    (118, "getresuid", Active, Process),
+    (119, "setresgid", Active, Process),
+    (120, "getresgid", Active, Process),
+    (121, "getpgid", Active, Process),
+    (122, "setfsuid", Active, Process),
+    (123, "setfsgid", Active, Process),
+    (124, "getsid", Active, Process),
+    (125, "capget", Active, Security),
+    (126, "capset", Active, Security),
+    (127, "rt_sigpending", Active, Signal),
+    (128, "rt_sigtimedwait", Active, Signal),
+    (129, "rt_sigqueueinfo", Active, Signal),
+    (130, "rt_sigsuspend", Active, Signal),
+    (131, "sigaltstack", Active, Signal),
+    (132, "utime", Active, Path),
+    (133, "mknod", Active, Path),
+    (134, "uselib", Retired, Misc),
+    (135, "personality", Active, Process),
+    (136, "ustat", Active, Admin),
+    (137, "statfs", Active, FileIo),
+    (138, "fstatfs", Active, FileIo),
+    (139, "sysfs", Active, Admin),
+    (140, "getpriority", Active, Sched),
+    (141, "setpriority", Active, Sched),
+    (142, "sched_setparam", Active, Sched),
+    (143, "sched_getparam", Active, Sched),
+    (144, "sched_setscheduler", Active, Sched),
+    (145, "sched_getscheduler", Active, Sched),
+    (146, "sched_get_priority_max", Active, Sched),
+    (147, "sched_get_priority_min", Active, Sched),
+    (148, "sched_rr_get_interval", Active, Sched),
+    (149, "mlock", Active, Memory),
+    (150, "munlock", Active, Memory),
+    (151, "mlockall", Active, Memory),
+    (152, "munlockall", Active, Memory),
+    (153, "vhangup", Active, Admin),
+    (154, "modify_ldt", Active, Misc),
+    (155, "pivot_root", Active, Admin),
+    (156, "_sysctl", Active, Admin),
+    (157, "prctl", Active, Process),
+    (158, "arch_prctl", Active, Process),
+    (159, "adjtimex", Active, Time),
+    (160, "setrlimit", Active, Process),
+    (161, "chroot", Active, Path),
+    (162, "sync", Active, FileIo),
+    (163, "acct", Active, Admin),
+    (164, "settimeofday", Active, Time),
+    (165, "mount", Active, Admin),
+    (166, "umount2", Active, Admin),
+    (167, "swapon", Active, Admin),
+    (168, "swapoff", Active, Admin),
+    (169, "reboot", Active, Admin),
+    (170, "sethostname", Active, Admin),
+    (171, "setdomainname", Active, Admin),
+    (172, "iopl", Active, Admin),
+    (173, "ioperm", Active, Admin),
+    (174, "create_module", NoEntryPoint, Module),
+    (175, "init_module", Active, Module),
+    (176, "delete_module", Active, Module),
+    (177, "get_kernel_syms", NoEntryPoint, Module),
+    (178, "query_module", NoEntryPoint, Module),
+    (179, "quotactl", Active, Admin),
+    (180, "nfsservctl", Retired, Admin),
+    (181, "getpmsg", NoEntryPoint, Misc),
+    (182, "putpmsg", NoEntryPoint, Misc),
+    (183, "afs_syscall", Retired, Misc),
+    (184, "tuxcall", NoEntryPoint, Misc),
+    (185, "security", Retired, Security),
+    (186, "gettid", Active, Process),
+    (187, "readahead", Active, FileIo),
+    (188, "setxattr", Active, Xattr),
+    (189, "lsetxattr", Active, Xattr),
+    (190, "fsetxattr", Active, Xattr),
+    (191, "getxattr", Active, Xattr),
+    (192, "lgetxattr", Active, Xattr),
+    (193, "fgetxattr", Active, Xattr),
+    (194, "listxattr", Active, Xattr),
+    (195, "llistxattr", Active, Xattr),
+    (196, "flistxattr", Active, Xattr),
+    (197, "removexattr", Active, Xattr),
+    (198, "lremovexattr", Active, Xattr),
+    (199, "fremovexattr", Active, Xattr),
+    (200, "tkill", Active, Signal),
+    (201, "time", Active, Time),
+    (202, "futex", Active, Process),
+    (203, "sched_setaffinity", Active, Sched),
+    (204, "sched_getaffinity", Active, Sched),
+    (205, "set_thread_area", NoEntryPoint, Misc),
+    (206, "io_setup", Active, Aio),
+    (207, "io_destroy", Active, Aio),
+    (208, "io_getevents", Active, Aio),
+    (209, "io_submit", Active, Aio),
+    (210, "io_cancel", Active, Aio),
+    (211, "get_thread_area", NoEntryPoint, Misc),
+    (212, "lookup_dcookie", Active, Misc),
+    (213, "epoll_create", Active, Event),
+    (214, "epoll_ctl_old", NoEntryPoint, Event),
+    (215, "epoll_wait_old", NoEntryPoint, Event),
+    (216, "remap_file_pages", Active, Memory),
+    (217, "getdents64", Active, Path),
+    (218, "set_tid_address", Active, Process),
+    (219, "restart_syscall", Active, Signal),
+    (220, "semtimedop", Active, Ipc),
+    (221, "fadvise64", Active, FileIo),
+    (222, "timer_create", Active, Time),
+    (223, "timer_settime", Active, Time),
+    (224, "timer_gettime", Active, Time),
+    (225, "timer_getoverrun", Active, Time),
+    (226, "timer_delete", Active, Time),
+    (227, "clock_settime", Active, Time),
+    (228, "clock_gettime", Active, Time),
+    (229, "clock_getres", Active, Time),
+    (230, "clock_nanosleep", Active, Time),
+    (231, "exit_group", Active, Process),
+    (232, "epoll_wait", Active, Event),
+    (233, "epoll_ctl", Active, Event),
+    (234, "tgkill", Active, Signal),
+    (235, "utimes", Active, Path),
+    (236, "vserver", Retired, Misc),
+    (237, "mbind", Active, Numa),
+    (238, "set_mempolicy", Active, Numa),
+    (239, "get_mempolicy", Active, Numa),
+    (240, "mq_open", Active, Ipc),
+    (241, "mq_unlink", Active, Ipc),
+    (242, "mq_timedsend", Active, Ipc),
+    (243, "mq_timedreceive", Active, Ipc),
+    (244, "mq_notify", Active, Ipc),
+    (245, "mq_getsetattr", Active, Ipc),
+    (246, "kexec_load", Active, Admin),
+    (247, "waitid", Active, Process),
+    (248, "add_key", Active, Security),
+    (249, "request_key", Active, Security),
+    (250, "keyctl", Active, Security),
+    (251, "ioprio_set", Active, Sched),
+    (252, "ioprio_get", Active, Sched),
+    (253, "inotify_init", Active, Event),
+    (254, "inotify_add_watch", Active, Event),
+    (255, "inotify_rm_watch", Active, Event),
+    (256, "migrate_pages", Active, Numa),
+    (257, "openat", Active, FileIo),
+    (258, "mkdirat", Active, Path),
+    (259, "mknodat", Active, Path),
+    (260, "fchownat", Active, Path),
+    (261, "futimesat", Active, Path),
+    (262, "newfstatat", Active, FileIo),
+    (263, "unlinkat", Active, Path),
+    (264, "renameat", Active, Path),
+    (265, "linkat", Active, Path),
+    (266, "symlinkat", Active, Path),
+    (267, "readlinkat", Active, Path),
+    (268, "fchmodat", Active, Path),
+    (269, "faccessat", Active, Path),
+    (270, "pselect6", Active, Event),
+    (271, "ppoll", Active, Event),
+    (272, "unshare", Active, Process),
+    (273, "set_robust_list", Active, Process),
+    (274, "get_robust_list", Active, Process),
+    (275, "splice", Active, FileIo),
+    (276, "tee", Active, FileIo),
+    (277, "sync_file_range", Active, FileIo),
+    (278, "vmsplice", Active, FileIo),
+    (279, "move_pages", Active, Numa),
+    (280, "utimensat", Active, Path),
+    (281, "epoll_pwait", Active, Event),
+    (282, "signalfd", Active, Event),
+    (283, "timerfd_create", Active, Time),
+    (284, "eventfd", Active, Event),
+    (285, "fallocate", Active, FileIo),
+    (286, "timerfd_settime", Active, Time),
+    (287, "timerfd_gettime", Active, Time),
+    (288, "accept4", Active, Network),
+    (289, "signalfd4", Active, Event),
+    (290, "eventfd2", Active, Event),
+    (291, "epoll_create1", Active, Event),
+    (292, "dup3", Active, FileIo),
+    (293, "pipe2", Active, FileIo),
+    (294, "inotify_init1", Active, Event),
+    (295, "preadv", Active, FileIo),
+    (296, "pwritev", Active, FileIo),
+    (297, "rt_tgsigqueueinfo", Active, Signal),
+    (298, "perf_event_open", Active, Misc),
+    (299, "recvmmsg", Active, Network),
+    (300, "fanotify_init", Active, Event),
+    (301, "fanotify_mark", Active, Event),
+    (302, "prlimit64", Active, Process),
+    (303, "name_to_handle_at", Active, FileIo),
+    (304, "open_by_handle_at", Active, FileIo),
+    (305, "clock_adjtime", Active, Time),
+    (306, "syncfs", Active, FileIo),
+    (307, "sendmmsg", Active, Network),
+    (308, "setns", Active, Process),
+    (309, "getcpu", Active, Sched),
+    (310, "process_vm_readv", Active, Process),
+    (311, "process_vm_writev", Active, Process),
+    (312, "kcmp", Active, Process),
+    (313, "finit_module", Active, Module),
+    (314, "sched_setattr", Active, Sched),
+    (315, "sched_getattr", Active, Sched),
+    (316, "renameat2", Active, Path),
+    (317, "seccomp", Active, Security),
+    (318, "getrandom", Active, Security),
+    (319, "memfd_create", Active, Memory),
+    (320, "kexec_file_load", Active, Admin),
+    (321, "bpf", Active, Security),
+    (322, "execveat", Active, Process),
+];
+
+
+/// Mainline kernel versions in which the *newer* x86-64 system calls were
+/// introduced (calls not listed predate 2.6.16 on x86-64). Powers the
+/// adoption-lag analysis: Table 9's "adoption of newer variants is slow"
+/// observation, quantified against API age.
+pub const SYSCALL_INTRODUCED: &[(&str, &str)] = &[
+    ("openat", "2.6.16"),
+    ("mkdirat", "2.6.16"),
+    ("mknodat", "2.6.16"),
+    ("fchownat", "2.6.16"),
+    ("futimesat", "2.6.16"),
+    ("newfstatat", "2.6.16"),
+    ("unlinkat", "2.6.16"),
+    ("renameat", "2.6.16"),
+    ("linkat", "2.6.16"),
+    ("symlinkat", "2.6.16"),
+    ("readlinkat", "2.6.16"),
+    ("fchmodat", "2.6.16"),
+    ("faccessat", "2.6.16"),
+    ("pselect6", "2.6.16"),
+    ("ppoll", "2.6.16"),
+    ("unshare", "2.6.16"),
+    ("set_robust_list", "2.6.17"),
+    ("get_robust_list", "2.6.17"),
+    ("splice", "2.6.17"),
+    ("tee", "2.6.17"),
+    ("sync_file_range", "2.6.17"),
+    ("vmsplice", "2.6.17"),
+    ("move_pages", "2.6.18"),
+    ("utimensat", "2.6.22"),
+    ("epoll_pwait", "2.6.19"),
+    ("signalfd", "2.6.22"),
+    ("timerfd_create", "2.6.25"),
+    ("eventfd", "2.6.22"),
+    ("fallocate", "2.6.23"),
+    ("timerfd_settime", "2.6.25"),
+    ("timerfd_gettime", "2.6.25"),
+    ("accept4", "2.6.28"),
+    ("signalfd4", "2.6.27"),
+    ("eventfd2", "2.6.27"),
+    ("epoll_create1", "2.6.27"),
+    ("dup3", "2.6.27"),
+    ("pipe2", "2.6.27"),
+    ("inotify_init1", "2.6.27"),
+    ("preadv", "2.6.30"),
+    ("pwritev", "2.6.30"),
+    ("rt_tgsigqueueinfo", "2.6.31"),
+    ("perf_event_open", "2.6.31"),
+    ("recvmmsg", "2.6.33"),
+    ("fanotify_init", "2.6.36"),
+    ("fanotify_mark", "2.6.36"),
+    ("prlimit64", "2.6.36"),
+    ("name_to_handle_at", "2.6.39"),
+    ("open_by_handle_at", "2.6.39"),
+    ("clock_adjtime", "2.6.39"),
+    ("syncfs", "3.0"),
+    ("sendmmsg", "3.0"),
+    ("setns", "3.0"),
+    ("getcpu", "2.6.19"),
+    ("process_vm_readv", "3.2"),
+    ("process_vm_writev", "3.2"),
+    ("kcmp", "3.5"),
+    ("finit_module", "3.8"),
+    ("sched_setattr", "3.14"),
+    ("sched_getattr", "3.14"),
+    ("renameat2", "3.15"),
+    ("seccomp", "3.17"),
+    ("getrandom", "3.17"),
+    ("memfd_create", "3.17"),
+    ("kexec_file_load", "3.17"),
+    ("bpf", "3.18"),
+    ("execveat", "3.19"),
+];
+
+/// The kernel version a syscall was introduced in, when it postdates the
+/// 2.6.16 baseline.
+pub fn introduced_in(name: &str) -> Option<&'static str> {
+    SYSCALL_INTRODUCED
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, v)| v)
+}
+
+/// Indexed access to the system call table.
+///
+/// Construction builds name and number indices once; lookups are O(1).
+#[derive(Debug, Clone)]
+pub struct SyscallTable {
+    by_name: HashMap<&'static str, u32>,
+}
+
+impl SyscallTable {
+    /// Builds the lookup indices over [`SYSCALLS`].
+    pub fn new() -> Self {
+        let by_name = SYSCALLS.iter().map(|s| (s.name, s.number)).collect();
+        Self { by_name }
+    }
+
+    /// Total number of table slots (323 for x86-64 Linux 3.19).
+    pub fn len(&self) -> usize {
+        SYSCALLS.len()
+    }
+
+    /// The table is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a system call definition by number.
+    pub fn by_number(&self, number: u32) -> Option<&'static SyscallDef> {
+        SYSCALLS.get(number as usize).filter(|s| s.number == number)
+    }
+
+    /// Looks up a system call definition by kernel name.
+    pub fn by_name(&self, name: &str) -> Option<&'static SyscallDef> {
+        self.by_name.get(name).and_then(|&n| self.by_number(n))
+    }
+
+    /// Returns the system call number for a kernel name, if defined.
+    pub fn number_of(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all definitions in number order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static SyscallDef> {
+        SYSCALLS.iter()
+    }
+
+    /// All system calls with the given status.
+    pub fn with_status(
+        &self,
+        status: SyscallStatus,
+    ) -> impl Iterator<Item = &'static SyscallDef> {
+        SYSCALLS.iter().filter(move |s| s.status == status)
+    }
+}
+
+impl Default for SyscallTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_dense_and_ordered() {
+        for (i, def) in SYSCALLS.iter().enumerate() {
+            assert_eq!(def.number as usize, i, "hole at slot {i}");
+        }
+    }
+
+    #[test]
+    fn table_covers_linux_3_19() {
+        assert_eq!(SYSCALLS.len(), 323);
+        assert_eq!(SYSCALLS.last().map(|s| s.name), Some("execveat"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let table = SyscallTable::new();
+        assert_eq!(table.by_name.len(), SYSCALLS.len());
+    }
+
+    #[test]
+    fn well_known_numbers() {
+        let t = SyscallTable::new();
+        assert_eq!(t.number_of("read"), Some(0));
+        assert_eq!(t.number_of("write"), Some(1));
+        assert_eq!(t.number_of("ioctl"), Some(16));
+        assert_eq!(t.number_of("fcntl"), Some(72));
+        assert_eq!(t.number_of("prctl"), Some(157));
+        assert_eq!(t.number_of("futex"), Some(202));
+        assert_eq!(t.number_of("openat"), Some(257));
+        assert_eq!(t.number_of("seccomp"), Some(317));
+        assert_eq!(t.number_of("not_a_syscall"), None);
+    }
+
+    #[test]
+    fn ten_slots_have_no_entry_point() {
+        let t = SyscallTable::new();
+        let no_entry: Vec<_> = t
+            .with_status(SyscallStatus::NoEntryPoint)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(no_entry.len(), 10);
+        assert!(no_entry.contains(&"tuxcall"));
+        assert!(no_entry.contains(&"create_module"));
+        assert!(no_entry.contains(&"set_thread_area"));
+    }
+
+    #[test]
+    fn five_calls_are_retired_but_attempted() {
+        let t = SyscallTable::new();
+        let retired: Vec<_> =
+            t.with_status(SyscallStatus::Retired).map(|s| s.name).collect();
+        assert_eq!(
+            retired,
+            vec!["uselib", "nfsservctl", "afs_syscall", "security", "vserver"]
+        );
+    }
+
+    #[test]
+    fn introduction_versions_reference_real_syscalls() {
+        let t = SyscallTable::new();
+        for &(name, version) in SYSCALL_INTRODUCED {
+            assert!(t.by_name(name).is_some(), "unknown syscall {name}");
+            assert!(
+                version.starts_with("2.6") || version.starts_with('3'),
+                "implausible version {version} for {name}"
+            );
+        }
+        assert_eq!(introduced_in("execveat"), Some("3.19"));
+        assert_eq!(introduced_in("read"), None, "ancient calls are unlisted");
+    }
+
+    #[test]
+    fn lookup_by_number_roundtrips() {
+        let t = SyscallTable::new();
+        for def in SYSCALLS {
+            assert_eq!(t.by_number(def.number), Some(def));
+            assert_eq!(t.by_name(def.name), Some(def));
+        }
+        assert!(t.by_number(5000).is_none());
+    }
+}

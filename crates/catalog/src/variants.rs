@@ -1,0 +1,137 @@
+//! API variant relations studied in paper §5 (Tables 8–11).
+//!
+//! Many system calls come in families of variants: an insecure original and
+//! a hardened replacement, an obsolete call and its successor, a
+//! Linux-specific extension and a portable baseline, or a simple form and a
+//! more powerful one. The unweighted-importance analysis compares adoption
+//! within each pair.
+
+/// The relationship between the two members of a variant pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantRelation {
+    /// Table 8: `left` is the insecure/unclear API, `right` the secure or
+    /// well-defined replacement.
+    InsecureVsSecure,
+    /// Table 9: `left` is the old (generally deprecated) API, `right` the
+    /// preferred successor.
+    OldVsNew,
+    /// Table 10: `left` is Linux-specific, `right` portable/generic.
+    LinuxVsPortable,
+    /// Table 11: `left` is the simpler API, `right` the more powerful one.
+    SimpleVsPowerful,
+}
+
+/// A pair of related system call variants (both are kernel syscall names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantPair {
+    /// Semantic grouping shown in the paper's table rows (e.g. "Unclear vs.
+    /// Well-defined ID Management Semantics").
+    pub group: &'static str,
+    /// The left-column syscall (insecure / old / Linux-specific / simple).
+    pub left: &'static str,
+    /// The right-column syscall (secure / new / portable / powerful).
+    pub right: &'static str,
+    /// Relation kind (which table the pair belongs to).
+    pub relation: VariantRelation,
+}
+
+macro_rules! pairs {
+    ($rel:ident : $(($group:expr, $l:expr, $r:expr)),+ $(,)?) => {
+        &[$(VariantPair {
+            group: $group,
+            left: $l,
+            right: $r,
+            relation: VariantRelation::$rel,
+        }),+]
+    };
+}
+
+/// Table 8: insecure vs secure variant pairs.
+pub const SECURITY_PAIRS: &[VariantPair] = pairs![InsecureVsSecure:
+    ("id-management", "setuid", "setresuid"),
+    ("id-management", "setreuid", "setresuid"),
+    ("id-management", "setgid", "setresgid"),
+    ("id-management", "setregid", "setresgid"),
+    ("id-management", "getuid", "getresuid"),
+    ("id-management", "geteuid", "getresuid"),
+    ("id-management", "getgid", "getresgid"),
+    ("id-management", "getegid", "getresgid"),
+    ("atomic-dir-ops", "access", "faccessat"),
+    ("atomic-dir-ops", "mkdir", "mkdirat"),
+    ("atomic-dir-ops", "rename", "renameat"),
+    ("atomic-dir-ops", "readlink", "readlinkat"),
+    ("atomic-dir-ops", "chown", "fchownat"),
+    ("atomic-dir-ops", "chmod", "fchmodat"),
+];
+
+/// Table 9: old (deprecated) vs new (preferred) variant pairs.
+pub const GENERATION_PAIRS: &[VariantPair] = pairs![OldVsNew:
+    ("dirents", "getdents", "getdents64"),
+    ("utime", "utime", "utimes"),
+    ("process-creation", "fork", "clone"),
+    ("process-creation", "fork", "vfork"),
+    ("thread-kill", "tkill", "tgkill"),
+    ("wait", "wait4", "waitid"),
+];
+
+/// Table 10: Linux-specific vs portable/generic variant pairs.
+pub const PORTABILITY_PAIRS: &[VariantPair] = pairs![LinuxVsPortable:
+    ("vectored-io", "preadv", "readv"),
+    ("vectored-io", "pwritev", "writev"),
+    ("accept", "accept4", "accept"),
+    ("poll", "ppoll", "poll"),
+    ("multi-message", "recvmmsg", "recvmsg"),
+    ("multi-message", "sendmmsg", "sendmsg"),
+    ("pipe", "pipe2", "pipe"),
+];
+
+/// Table 11: simple vs powerful variant pairs (paper finds the *simple* side
+/// wins; `left` is the simple member).
+pub const POWER_PAIRS: &[VariantPair] = pairs![SimpleVsPowerful:
+    ("read", "read", "pread64"),
+    ("dup", "dup2", "dup3"),
+    ("dup", "dup", "dup3"),
+    ("socket-recv", "recvfrom", "recvmsg"),
+    ("socket-send", "sendto", "sendmsg"),
+    ("select", "select", "pselect6"),
+    ("chdir", "chdir", "fchdir"),
+];
+
+/// All variant pairs across Tables 8–11.
+pub fn all_pairs() -> impl Iterator<Item = &'static VariantPair> {
+    SECURITY_PAIRS
+        .iter()
+        .chain(GENERATION_PAIRS)
+        .chain(PORTABILITY_PAIRS)
+        .chain(POWER_PAIRS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscalls::SyscallTable;
+
+    #[test]
+    fn every_pair_member_is_a_real_syscall() {
+        let t = SyscallTable::new();
+        for p in all_pairs() {
+            assert!(t.by_name(p.left).is_some(), "unknown syscall {}", p.left);
+            assert!(t.by_name(p.right).is_some(), "unknown syscall {}", p.right);
+        }
+    }
+
+    #[test]
+    fn pair_members_differ() {
+        for p in all_pairs() {
+            assert_ne!(p.left, p.right);
+        }
+    }
+
+    #[test]
+    fn table_sizes() {
+        assert_eq!(SECURITY_PAIRS.len(), 14);
+        assert_eq!(GENERATION_PAIRS.len(), 6);
+        assert_eq!(PORTABILITY_PAIRS.len(), 7);
+        assert_eq!(POWER_PAIRS.len(), 7);
+    }
+}

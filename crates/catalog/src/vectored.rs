@@ -1,0 +1,351 @@
+//! Vectored system call opcode tables: `ioctl`, `fcntl`, and `prctl`.
+//!
+//! Some system calls export a secondary system call table through their first
+//! (or second) argument. The study treats each opcode of these *vectored*
+//! system calls as an API in its own right, because "partial support for
+//! `ioctl`" says nothing about which applications actually run.
+//!
+//! Linux 3.19 defines:
+//!
+//! - **635** `ioctl` operation codes across kernel subsystems and in-tree
+//!   drivers (the table is extensible by modules, which is exactly why its
+//!   tail is so long);
+//! - **18** `fcntl` commands;
+//! - **44** `prctl` options.
+//!
+//! We name every opcode the study's figures single out (the 47 TTY/generic
+//! I/O operations with ~100% importance, the networking `SIOC*` family,
+//! `/dev/kvm`'s `KVM_*` codes, ...) and fill the remainder of the 635-entry
+//! ioctl space with deterministic synthetic driver codes, mirroring the
+//! anonymous long tail of in-tree driver ioctls (DESIGN.md §3).
+
+/// Subsystem grouping for an `ioctl` operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoctlGroup {
+    /// TTY and line-discipline operations (`TC*`, `TIOC*`).
+    Tty,
+    /// Generic file/IO operations (`FIO*`, `FIGETBSZ`, ...).
+    GenericIo,
+    /// Socket and network-interface configuration (`SIOC*`).
+    Net,
+    /// Block-device operations (`BLK*`).
+    Block,
+    /// Virtual terminal and console (`VT_*`, `KD*`).
+    Console,
+    /// KVM hypervisor control (`KVM_*`), used essentially only by qemu.
+    Kvm,
+    /// Framebuffer (`FBIO*`).
+    Framebuffer,
+    /// Input devices (`EVIOC*`).
+    Input,
+    /// CD-ROM and removable storage.
+    Cdrom,
+    /// Sound subsystem.
+    Sound,
+    /// DRM/graphics.
+    Drm,
+    /// The anonymous long tail of driver-defined operations.
+    Driver,
+}
+
+/// A single vectored-system-call operation code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectoredOp {
+    /// The operation code value (as passed in the argument register).
+    pub code: u64,
+    /// Symbolic name (kernel macro name, or a synthetic `DRV*` name for the
+    /// anonymous driver tail).
+    pub name: String,
+    /// Subsystem group (only meaningful for ioctl; fcntl/prctl use
+    /// [`IoctlGroup::GenericIo`]).
+    pub group: IoctlGroup,
+}
+
+/// Named ioctl operations singled out by the study.
+///
+/// The first 47 entries are the TTY/generic-I/O operations the paper reports
+/// at ~100% API importance (Figure 4).
+const NAMED_IOCTLS: &[(u64, &str, IoctlGroup)] = &[
+    // TTY operations (Figure 4's "frequently used operations for TTY console").
+    (0x5401, "TCGETS", IoctlGroup::Tty),
+    (0x5402, "TCSETS", IoctlGroup::Tty),
+    (0x5403, "TCSETSW", IoctlGroup::Tty),
+    (0x5404, "TCSETSF", IoctlGroup::Tty),
+    (0x5405, "TCGETA", IoctlGroup::Tty),
+    (0x5406, "TCSETA", IoctlGroup::Tty),
+    (0x5407, "TCSETAW", IoctlGroup::Tty),
+    (0x5408, "TCSETAF", IoctlGroup::Tty),
+    (0x5409, "TCSBRK", IoctlGroup::Tty),
+    (0x540A, "TCXONC", IoctlGroup::Tty),
+    (0x540B, "TCFLSH", IoctlGroup::Tty),
+    (0x540C, "TIOCEXCL", IoctlGroup::Tty),
+    (0x540D, "TIOCNXCL", IoctlGroup::Tty),
+    (0x540E, "TIOCSCTTY", IoctlGroup::Tty),
+    (0x540F, "TIOCGPGRP", IoctlGroup::Tty),
+    (0x5410, "TIOCSPGRP", IoctlGroup::Tty),
+    (0x5411, "TIOCOUTQ", IoctlGroup::Tty),
+    (0x5412, "TIOCSTI", IoctlGroup::Tty),
+    (0x5413, "TIOCGWINSZ", IoctlGroup::Tty),
+    (0x5414, "TIOCSWINSZ", IoctlGroup::Tty),
+    (0x5415, "TIOCMGET", IoctlGroup::Tty),
+    (0x5416, "TIOCMBIS", IoctlGroup::Tty),
+    (0x5417, "TIOCMBIC", IoctlGroup::Tty),
+    (0x5418, "TIOCMSET", IoctlGroup::Tty),
+    (0x5419, "TIOCGSOFTCAR", IoctlGroup::Tty),
+    (0x541A, "TIOCSSOFTCAR", IoctlGroup::Tty),
+    (0x541B, "FIONREAD", IoctlGroup::GenericIo),
+    (0x541C, "TIOCLINUX", IoctlGroup::Tty),
+    (0x541D, "TIOCCONS", IoctlGroup::Tty),
+    (0x541E, "TIOCGSERIAL", IoctlGroup::Tty),
+    (0x541F, "TIOCSSERIAL", IoctlGroup::Tty),
+    (0x5420, "TIOCPKT", IoctlGroup::Tty),
+    (0x5421, "FIONBIO", IoctlGroup::GenericIo),
+    (0x5422, "TIOCNOTTY", IoctlGroup::Tty),
+    (0x5423, "TIOCSETD", IoctlGroup::Tty),
+    (0x5424, "TIOCGETD", IoctlGroup::Tty),
+    (0x5425, "TCSBRKP", IoctlGroup::Tty),
+    (0x5427, "TIOCSBRK", IoctlGroup::Tty),
+    (0x5428, "TIOCCBRK", IoctlGroup::Tty),
+    (0x5429, "TIOCGSID", IoctlGroup::Tty),
+    (0x8004_5430, "TIOCGPTN", IoctlGroup::Tty),
+    (0x4004_5431, "TIOCSPTLCK", IoctlGroup::Tty),
+    (0x5450, "FIONCLEX", IoctlGroup::GenericIo),
+    (0x5451, "FIOCLEX", IoctlGroup::GenericIo),
+    (0x5452, "FIOASYNC", IoctlGroup::GenericIo),
+    (0x5460, "FIOQSIZE", IoctlGroup::GenericIo),
+    (0x0000_0002, "FIGETBSZ", IoctlGroup::GenericIo),
+    // Socket/network configuration.
+    (0x8901, "FIOSETOWN", IoctlGroup::Net),
+    (0x8902, "SIOCSPGRP", IoctlGroup::Net),
+    (0x8903, "FIOGETOWN", IoctlGroup::Net),
+    (0x8904, "SIOCGPGRP", IoctlGroup::Net),
+    (0x8905, "SIOCATMARK", IoctlGroup::Net),
+    (0x8906, "SIOCGSTAMP", IoctlGroup::Net),
+    (0x8912, "SIOCGIFCONF", IoctlGroup::Net),
+    (0x8913, "SIOCGIFFLAGS", IoctlGroup::Net),
+    (0x8914, "SIOCSIFFLAGS", IoctlGroup::Net),
+    (0x8915, "SIOCGIFADDR", IoctlGroup::Net),
+    (0x891B, "SIOCGIFNETMASK", IoctlGroup::Net),
+    (0x8921, "SIOCGIFMTU", IoctlGroup::Net),
+    (0x8927, "SIOCGIFHWADDR", IoctlGroup::Net),
+    (0x8933, "SIOCGIFINDEX", IoctlGroup::Net),
+    (0x8942, "SIOCGIFBRDADDR", IoctlGroup::Net),
+    (0x8946, "SIOCETHTOOL", IoctlGroup::Net),
+    // Block devices.
+    (0x1260, "BLKGETSIZE", IoctlGroup::Block),
+    (0x1261, "BLKFLSBUF", IoctlGroup::Block),
+    (0x1268, "BLKSSZGET", IoctlGroup::Block),
+    (0x8008_1272, "BLKGETSIZE64", IoctlGroup::Block),
+    (0x126C, "BLKDISCARD", IoctlGroup::Block),
+    // Console / virtual terminal.
+    (0x4B3A, "KDSETMODE", IoctlGroup::Console),
+    (0x4B3B, "KDGETMODE", IoctlGroup::Console),
+    (0x4B44, "KDGKBMODE", IoctlGroup::Console),
+    (0x4B45, "KDSKBMODE", IoctlGroup::Console),
+    (0x5600, "VT_OPENQRY", IoctlGroup::Console),
+    (0x5603, "VT_GETSTATE", IoctlGroup::Console),
+    (0x5606, "VT_ACTIVATE", IoctlGroup::Console),
+    (0x5607, "VT_WAITACTIVE", IoctlGroup::Console),
+    // KVM (used essentially only by qemu; the paper's /dev/kvm example).
+    (0xAE00, "KVM_GET_API_VERSION", IoctlGroup::Kvm),
+    (0xAE01, "KVM_CREATE_VM", IoctlGroup::Kvm),
+    (0xAE03, "KVM_CHECK_EXTENSION", IoctlGroup::Kvm),
+    (0xAE41, "KVM_CREATE_VCPU", IoctlGroup::Kvm),
+    (0xAE80, "KVM_RUN", IoctlGroup::Kvm),
+    // Framebuffer.
+    (0x4600, "FBIOGET_VSCREENINFO", IoctlGroup::Framebuffer),
+    (0x4601, "FBIOPUT_VSCREENINFO", IoctlGroup::Framebuffer),
+    (0x4602, "FBIOGET_FSCREENINFO", IoctlGroup::Framebuffer),
+    // Input devices.
+    (0x8004_4501, "EVIOCGVERSION", IoctlGroup::Input),
+    (0x8008_4502, "EVIOCGID", IoctlGroup::Input),
+    (0x8100_4506, "EVIOCGNAME", IoctlGroup::Input),
+    // CD-ROM.
+    (0x5309, "CDROMEJECT", IoctlGroup::Cdrom),
+    (0x5325, "CDROM_GET_CAPABILITY", IoctlGroup::Cdrom),
+    // Sound.
+    (0xC1D0_4111, "SNDRV_PCM_IOCTL_HW_PARAMS", IoctlGroup::Sound),
+    (0x4142, "SNDRV_PCM_IOCTL_PREPARE", IoctlGroup::Sound),
+    // DRM.
+    (0xC010_6400, "DRM_IOCTL_VERSION", IoctlGroup::Drm),
+    (0x8010_6401, "DRM_IOCTL_GET_UNIQUE", IoctlGroup::Drm),
+];
+
+/// Number of ioctl operation codes defined in Linux 3.19 (kernel + in-tree
+/// drivers), as reported by the paper.
+pub const IOCTL_DEFINED: usize = 635;
+
+/// The number of leading named-ioctl entries that form the paper's
+/// "47 frequently used operations for TTY console or generic IO devices".
+pub const IOCTL_TTY_GENERIC_COUNT: usize = 47;
+
+/// Builds the full 635-entry ioctl table: every named operation plus a
+/// deterministic synthetic driver tail.
+///
+/// Synthetic entries model the anonymous long tail of in-tree driver ioctls;
+/// their codes live in the conventional `_IO(magic, nr)` space with magic
+/// bytes unused by the named set, so codes never collide.
+pub fn ioctl_table() -> Vec<VectoredOp> {
+    let mut ops: Vec<VectoredOp> = NAMED_IOCTLS
+        .iter()
+        .map(|&(code, name, group)| VectoredOp { code, name: name.to_owned(), group })
+        .collect();
+    let named = ops.len();
+    // Fill the driver tail: magic bytes 0xD0.. with sequential numbers.
+    let mut magic: u64 = 0xD0;
+    let mut nr: u64 = 0;
+    while ops.len() < IOCTL_DEFINED {
+        let idx = ops.len() - named;
+        ops.push(VectoredOp {
+            code: (magic << 8) | nr,
+            name: format!("DRV{:02}_IOC{:02}", magic - 0xD0, nr),
+            group: IoctlGroup::Driver,
+        });
+        nr += 1;
+        if nr == 64 {
+            nr = 0;
+            magic += 1;
+        }
+        debug_assert!(idx < IOCTL_DEFINED);
+    }
+    ops
+}
+
+/// The 18 `fcntl` commands of Linux 3.19 considered by the study.
+pub const FCNTL_OPS: &[(u64, &str)] = &[
+    (0, "F_DUPFD"),
+    (1, "F_GETFD"),
+    (2, "F_SETFD"),
+    (3, "F_GETFL"),
+    (4, "F_SETFL"),
+    (5, "F_GETLK"),
+    (6, "F_SETLK"),
+    (7, "F_SETLKW"),
+    (8, "F_SETOWN"),
+    (9, "F_GETOWN"),
+    (10, "F_SETSIG"),
+    (11, "F_GETSIG"),
+    (15, "F_SETOWN_EX"),
+    (16, "F_GETOWN_EX"),
+    (1024, "F_SETLEASE"),
+    (1025, "F_GETLEASE"),
+    (1026, "F_NOTIFY"),
+    (1030, "F_DUPFD_CLOEXEC"),
+];
+
+/// The 44 `prctl` options of Linux 3.19 considered by the study.
+pub const PRCTL_OPS: &[(u64, &str)] = &[
+    (1, "PR_SET_PDEATHSIG"),
+    (2, "PR_GET_PDEATHSIG"),
+    (3, "PR_GET_DUMPABLE"),
+    (4, "PR_SET_DUMPABLE"),
+    (5, "PR_GET_UNALIGN"),
+    (6, "PR_SET_UNALIGN"),
+    (7, "PR_GET_KEEPCAPS"),
+    (8, "PR_SET_KEEPCAPS"),
+    (9, "PR_GET_FPEMU"),
+    (10, "PR_SET_FPEMU"),
+    (11, "PR_GET_FPEXC"),
+    (12, "PR_SET_FPEXC"),
+    (13, "PR_GET_TIMING"),
+    (14, "PR_SET_TIMING"),
+    (15, "PR_SET_NAME"),
+    (16, "PR_GET_NAME"),
+    (19, "PR_GET_ENDIAN"),
+    (20, "PR_SET_ENDIAN"),
+    (21, "PR_GET_SECCOMP"),
+    (22, "PR_SET_SECCOMP"),
+    (23, "PR_CAPBSET_READ"),
+    (24, "PR_CAPBSET_DROP"),
+    (25, "PR_GET_TSC"),
+    (26, "PR_SET_TSC"),
+    (27, "PR_GET_SECUREBITS"),
+    (28, "PR_SET_SECUREBITS"),
+    (29, "PR_SET_TIMERSLACK"),
+    (30, "PR_GET_TIMERSLACK"),
+    (31, "PR_TASK_PERF_EVENTS_DISABLE"),
+    (32, "PR_TASK_PERF_EVENTS_ENABLE"),
+    (33, "PR_MCE_KILL"),
+    (34, "PR_MCE_KILL_GET"),
+    (35, "PR_SET_MM"),
+    (36, "PR_SET_CHILD_SUBREAPER"),
+    (37, "PR_GET_CHILD_SUBREAPER"),
+    (38, "PR_SET_NO_NEW_PRIVS"),
+    (39, "PR_GET_NO_NEW_PRIVS"),
+    (40, "PR_GET_TID_ADDRESS"),
+    (41, "PR_SET_THP_DISABLE"),
+    (42, "PR_GET_THP_DISABLE"),
+    (43, "PR_MPX_ENABLE_MANAGEMENT"),
+    (44, "PR_MPX_DISABLE_MANAGEMENT"),
+    (0x5961_6D61, "PR_SET_PTRACER"),
+    (45, "PR_GET_MPX_STATUS"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ioctl_table_has_635_entries() {
+        assert_eq!(ioctl_table().len(), IOCTL_DEFINED);
+    }
+
+    #[test]
+    fn ioctl_codes_and_names_are_unique() {
+        let ops = ioctl_table();
+        let codes: HashSet<u64> = ops.iter().map(|o| o.code).collect();
+        assert_eq!(codes.len(), ops.len(), "duplicate ioctl code");
+        let names: HashSet<&str> = ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names.len(), ops.len(), "duplicate ioctl name");
+    }
+
+    #[test]
+    fn tty_generic_prefix_is_47_ops() {
+        let ops = ioctl_table();
+        let head = &ops[..IOCTL_TTY_GENERIC_COUNT];
+        assert!(head.iter().all(|o| matches!(
+            o.group,
+            IoctlGroup::Tty | IoctlGroup::GenericIo
+        )));
+        assert_eq!(head.last().map(|o| o.name.as_str()), Some("FIGETBSZ"));
+    }
+
+    #[test]
+    fn fcntl_has_18_commands() {
+        assert_eq!(FCNTL_OPS.len(), 18);
+        let codes: HashSet<u64> = FCNTL_OPS.iter().map(|&(c, _)| c).collect();
+        assert_eq!(codes.len(), 18);
+    }
+
+    #[test]
+    fn prctl_has_44_options() {
+        assert_eq!(PRCTL_OPS.len(), 44);
+        let codes: HashSet<u64> = PRCTL_OPS.iter().map(|&(c, _)| c).collect();
+        assert_eq!(codes.len(), 44);
+    }
+
+    #[test]
+    fn driver_tail_fills_exactly_to_the_defined_count() {
+        let ops = ioctl_table();
+        let named = ops.iter().filter(|o| o.group != IoctlGroup::Driver).count();
+        let tail = ops.iter().filter(|o| o.group == IoctlGroup::Driver).count();
+        assert_eq!(named + tail, IOCTL_DEFINED);
+        assert!(tail > 400, "the anonymous driver tail dominates: {tail}");
+        // Every subsystem group that the figures discuss is represented.
+        for g in [IoctlGroup::Tty, IoctlGroup::Net, IoctlGroup::Block,
+                  IoctlGroup::Kvm, IoctlGroup::Console] {
+            assert!(ops.iter().any(|o| o.group == g), "{g:?} missing");
+        }
+    }
+
+    #[test]
+    fn well_known_ioctls_present() {
+        let ops = ioctl_table();
+        let find = |n: &str| ops.iter().find(|o| o.name == n).map(|o| o.code);
+        assert_eq!(find("TCGETS"), Some(0x5401));
+        assert_eq!(find("TIOCGWINSZ"), Some(0x5413));
+        assert_eq!(find("FIONREAD"), Some(0x541B));
+        assert_eq!(find("KVM_RUN"), Some(0xAE80));
+    }
+}

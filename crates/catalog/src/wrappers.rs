@@ -1,0 +1,579 @@
+//! Reference mapping from libc exported functions to the system calls they
+//! wrap.
+//!
+//! The paper observes that most binaries do not issue system calls directly;
+//! they call libc, and libc's wrappers contribute the syscalls to the
+//! application's footprint (§2.3, §7). The corpus generator uses this table
+//! when emitting the synthetic `libc.so`: each exported function's machine
+//! code contains `mov eax, <nr>; syscall` sequences for exactly the calls
+//! listed here, so the analyzer recovers footprints from real instruction
+//! bytes.
+//!
+//! Functions not listed wrap no system call (pure userspace computation,
+//! e.g. `strlen`).
+
+/// Returns the kernel syscall names wrapped by a libc function, or an empty
+/// slice when the function performs no system call.
+pub fn wrapped_syscalls(libc_fn: &str) -> &'static [&'static str] {
+    // Fortified variants wrap the same syscalls as their plain form.
+    let name = crate::libc_symbols::normalize_fortified(libc_fn);
+    let name = name.as_deref().unwrap_or(libc_fn);
+    // LFS variants wrap the same syscalls as the plain form.
+    let name = name.strip_suffix("64").unwrap_or(name);
+    // `__`-prefixed internal aliases wrap the same syscalls; `__libc_*`
+    // aliases additionally drop the `libc_` prefix, except for the startup
+    // entry point itself, which has its own footprint (Table 5).
+    let name = name.strip_prefix("__").unwrap_or(name);
+    let name = if name != "libc_start_main" {
+        name.strip_prefix("libc_").unwrap_or(name)
+    } else {
+        name
+    };
+    match name {
+        // Stdio: buffered I/O bottoms out in open/read/write/close plus
+        // stat-based buffer sizing and mmap'd buffers.
+        "printf" | "vprintf" | "puts" | "putchar" | "putchar_unlocked" => {
+            &["write"]
+        }
+        "fprintf" | "vfprintf" | "dprintf" | "vdprintf" | "fputs" | "fputc"
+        | "putc" | "putc_unlocked" | "fputc_unlocked" | "fputs_unlocked"
+        | "fwrite" | "fwrite_unlocked" | "_IO_putc" | "_IO_puts"
+        | "_IO_fputs" | "_IO_fwrite" | "_IO_vfprintf" | "_IO_file_xsputn"
+        | "_IO_file_overflow" | "overflow" | "woverflow" => &["write"],
+        "scanf" | "vscanf" | "getchar" | "getchar_unlocked" | "gets" => {
+            &["read"]
+        }
+        "fscanf" | "vfscanf" | "fgets" | "fgetc" | "getc" | "getc_unlocked"
+        | "fgetc_unlocked" | "fgets_unlocked" | "fread" | "fread_unlocked"
+        | "getline" | "getdelim" | "_IO_getc" | "_IO_fgets" | "_IO_fread"
+        | "_IO_vfscanf" | "_IO_file_xsgetn" | "_IO_file_underflow"
+        | "uflow" | "underflow" | "wuflow" | "wunderflow"
+        | "isoc99_scanf" | "isoc99_fscanf" | "isoc99_vscanf"
+        | "isoc99_vfscanf" => &["read"],
+        "fopen" | "freopen" | "fdopen" | "_IO_fopen" | "_IO_file_open"
+        | "_IO_file_attach" => &["open", "fstat"],
+        "fclose" | "pclose" | "_IO_fclose" | "_IO_file_close" => {
+            &["close", "write"]
+        }
+        "fflush" | "fflush_unlocked" | "fcloseall" | "_IO_fflush"
+        | "_IO_file_sync" => &["write"],
+        "fseek" | "fseeko" | "ftell" | "ftello" | "rewind" | "fgetpos"
+        | "fsetpos" | "_IO_seekoff" | "_IO_seekpos" | "_IO_file_seekoff" => {
+            &["lseek"]
+        }
+        "tmpfile" | "mkstemp" | "mkstemps" | "mkostemp" | "mkostemps" => {
+            &["open", "unlink"]
+        }
+        "mkdtemp" => &["mkdir"],
+        "remove" => &["unlink", "rmdir"],
+        "perror" => &["write"],
+        "popen" => &["pipe2", "clone", "execve", "close", "fcntl"],
+        "setvbuf" | "setbuf" | "setbuffer" | "setlinebuf" => &[],
+        "fmemopen" | "open_memstream" | "open_wmemstream" | "fopencookie" => {
+            &["mmap"]
+        }
+        "fileno" | "fileno_unlocked" | "feof" | "ferror" | "clearerr" => &[],
+
+        // Allocation.
+        "malloc" | "calloc" | "realloc" | "memalign" | "posix_memalign"
+        | "valloc" | "pvalloc" | "aligned_alloc" | "malloc_trim" => {
+            &["brk", "mmap", "munmap"]
+        }
+        "free" | "cfree" => &["munmap"],
+
+        // Process control.
+        "fork" => &["clone"],
+        "vfork" => &["vfork"],
+        "exit" => &["exit_group"],
+        "_exit" | "_Exit" => &["exit_group", "exit"],
+        "abort" => &["rt_sigprocmask", "tgkill", "getpid", "gettid"],
+        "raise" | "gsignal" => &["getpid", "gettid", "tgkill"],
+        "system" => &["clone", "execve", "wait4", "rt_sigaction",
+                      "rt_sigprocmask"],
+        "execl" | "execlp" | "execle" | "execv" | "execvp" | "execve"
+        | "execvpe" | "fexecve" => &["execve"],
+        "posix_spawn" | "posix_spawnp" => &["clone", "execve", "dup2",
+                                            "close"],
+        "wait" | "waitpid" | "wait3" | "wait4" => &["wait4"],
+        "waitid" => &["waitid"],
+        "atexit" | "on_exit" | "cxa_atexit" | "register_atfork" => &[],
+        "daemon" => &["clone", "setsid", "open", "dup2", "close", "chdir"],
+
+        // Signals.
+        "signal" | "bsd_signal" | "sysv_signal" | "ssignal" | "sigaction"
+        | "sigvec" | "sighold" | "sigrelse" | "sigignore" | "sigset" => {
+            &["rt_sigaction"]
+        }
+        "sigprocmask" | "sigsetmask" | "siggetmask" | "sigblock"
+        | "pthread_sigmask" => &["rt_sigprocmask"],
+        "sigpending" => &["rt_sigpending"],
+        "sigsuspend" | "sigpause" => &["rt_sigsuspend"],
+        "sigwait" | "sigwaitinfo" | "sigtimedwait" => &["rt_sigtimedwait"],
+        "sigqueue" => &["rt_sigqueueinfo"],
+        "sigaltstack" | "sigstack" => &["sigaltstack"],
+        "kill" | "killpg" => &["kill"],
+        "tgkill" | "pthread_kill" => &["tgkill"],
+        "sigreturn" => &["rt_sigreturn"],
+        "siglongjmp" | "longjmp_chk" => &["rt_sigprocmask"],
+
+        // Direct POSIX wrappers (one syscall, same name or near-same).
+        "open" | "open_by_handle_at" => &["open", "openat"],
+        "openat" => &["openat"],
+        "creat" => &["open"],
+        "close" => &["close"],
+        "read" => &["read"],
+        "write" => &["write"],
+        "pread" => &["pread64"],
+        "pwrite" => &["pwrite64"],
+        "readv" => &["readv"],
+        "writev" => &["writev"],
+        "preadv" => &["preadv"],
+        "pwritev" => &["pwritev"],
+        "lseek" => &["lseek"],
+        "access" | "euidaccess" | "eaccess" => &["access"],
+        "faccessat" => &["faccessat"],
+        "alarm" => &["alarm"],
+        "brk" | "sbrk" => &["brk"],
+        "chdir" => &["chdir"],
+        "fchdir" => &["fchdir"],
+        "chown" => &["chown"],
+        "fchown" => &["fchown"],
+        "lchown" => &["lchown"],
+        "fchownat" => &["fchownat"],
+        "chmod" => &["chmod"],
+        "fchmod" => &["fchmod"],
+        "fchmodat" => &["fchmodat"],
+        "umask" => &["umask"],
+        "dup" => &["dup"],
+        "dup2" => &["dup2"],
+        "dup3" => &["dup3"],
+        "fcntl" => &["fcntl"],
+        "flock" => &["flock"],
+        "lockf" => &["fcntl"],
+        "fsync" => &["fsync"],
+        "fdatasync" => &["fdatasync"],
+        "syncfs" => &["syncfs"],
+        "sync" => &["sync"],
+        "sync_file_range" => &["sync_file_range"],
+        "ftruncate" => &["ftruncate"],
+        "truncate" => &["truncate"],
+        "fallocate" | "posix_fallocate" => &["fallocate"],
+        "posix_fadvise" => &["fadvise64"],
+        "getcwd" | "getwd" | "get_current_dir_name" => &["getcwd"],
+        "isatty" => &["ioctl"],
+        "ttyname" | "ttyname_r" => &["readlink", "fstat"],
+        "tcgetattr" => &["ioctl"],
+        "tcsetattr" | "tcsendbreak" | "tcdrain" | "tcflush" | "tcflow"
+        | "tcgetpgrp" | "tcsetpgrp" | "tcgetsid" => &["ioctl"],
+        "ptsname" | "ptsname_r" | "grantpt" | "unlockpt" => &["ioctl"],
+        "posix_openpt" => &["open"],
+        "link" => &["link"],
+        "linkat" => &["linkat"],
+        "symlink" => &["symlink"],
+        "symlinkat" => &["symlinkat"],
+        "readlink" => &["readlink"],
+        "readlinkat" => &["readlinkat"],
+        "unlink" => &["unlink"],
+        "unlinkat" => &["unlinkat"],
+        "rmdir" => &["rmdir"],
+        "rename" => &["rename"],
+        "renameat" => &["renameat"],
+        "mkdir" => &["mkdir"],
+        "mkdirat" => &["mkdirat"],
+        "mknod" | "xmknod" => &["mknod"],
+        "mknodat" | "xmknodat" => &["mknodat"],
+        "mkfifo" => &["mknod"],
+        "mkfifoat" => &["mknodat"],
+        "stat" | "xstat" => &["stat"],
+        "fstat" | "fxstat" => &["fstat"],
+        "lstat" | "lxstat" => &["lstat"],
+        "fstatat" | "fxstatat" => &["newfstatat"],
+        "statfs" => &["statfs"],
+        "fstatfs" => &["fstatfs"],
+        "statvfs" => &["statfs"],
+        "fstatvfs" => &["fstatfs"],
+        "utime" => &["utime"],
+        "utimes" => &["utimes"],
+        "futimes" | "lutimes" | "futimens" | "utimensat" => &["utimensat"],
+        "futimesat" => &["futimesat"],
+        "nice" => &["setpriority", "getpriority"],
+        "pause" => &["pause"],
+        "pipe" => &["pipe"],
+        "pipe2" => &["pipe2"],
+        "sleep" | "usleep" | "nanosleep" => &["nanosleep"],
+        "ualarm" => &["setitimer"],
+        "chroot" => &["chroot"],
+        "sysconf" => &["getrlimit"],
+        "fpathconf" | "pathconf" | "confstr" => &[],
+        "ioctl" => &["ioctl"],
+        "uname" => &["uname"],
+        "gethostname" | "getdomainname" => &["uname"],
+        "sethostname" => &["sethostname"],
+        "setdomainname" => &["setdomainname"],
+        "gethostid" | "sethostid" => &["open", "read", "write", "close"],
+        "getdtablesize" => &["getrlimit"],
+        "getpagesize" | "getauxval" => &[],
+        "getrlimit" => &["getrlimit", "prlimit64"],
+        "setrlimit" => &["setrlimit", "prlimit64"],
+        "prlimit" => &["prlimit64"],
+        "getrusage" => &["getrusage"],
+        "getpriority" => &["getpriority"],
+        "setpriority" => &["setpriority"],
+        "clone" => &["clone"],
+        "unshare" => &["unshare"],
+        "setns" => &["setns"],
+        "personality" => &["personality"],
+        "capget" => &["capget"],
+        "capset" => &["capset"],
+        "prctl" => &["prctl"],
+        "ptrace" => &["ptrace"],
+        "reboot" => &["reboot"],
+        "swapon" => &["swapon"],
+        "swapoff" => &["swapoff"],
+        "mount" => &["mount"],
+        "umount" | "umount2" => &["umount2"],
+        "pivot_root" => &["pivot_root"],
+        "syslog" | "klogctl" => &["syslog"],
+        "vsyslog" | "openlog" | "closelog" | "setlogmask" | "syslog_chk"
+        | "vsyslog_chk" => &["socket", "connect", "sendto", "close"],
+        "sysinfo" => &["sysinfo"],
+        "getloadavg" => &["open", "read", "close"],
+        "acct" => &["acct"],
+        "iopl" => &["iopl"],
+        "ioperm" => &["ioperm"],
+        "sendfile" => &["sendfile"],
+        "splice" => &["splice"],
+        "tee" => &["tee"],
+        "vmsplice" => &["vmsplice"],
+        "readahead" => &["readahead"],
+        "name_to_handle_at" => &["name_to_handle_at"],
+        "process_vm_readv" => &["process_vm_readv"],
+        "process_vm_writev" => &["process_vm_writev"],
+        "kcmp" => &["kcmp"],
+        "getentropy" => &["getrandom"],
+        "syscall" => &[],
+
+        // Identity.
+        "getpid" => &["getpid"],
+        "getppid" => &["getppid"],
+        "gettid" => &["gettid"],
+        "getuid" => &["getuid"],
+        "geteuid" => &["geteuid"],
+        "getgid" => &["getgid"],
+        "getegid" => &["getegid"],
+        "getgroups" | "getgroups_chk" => &["getgroups"],
+        "setgroups" => &["setgroups"],
+        "getlogin" | "getlogin_r" | "cuserid" => &["geteuid", "open",
+                                                   "read", "close"],
+        "getpgid" => &["getpgid"],
+        "getpgrp" => &["getpgrp"],
+        "getsid" => &["getsid"],
+        "setsid" => &["setsid"],
+        "setpgid" | "setpgrp" => &["setpgid"],
+        "setuid" => &["setuid"],
+        "seteuid" => &["setresuid"],
+        "setreuid" => &["setreuid"],
+        "setresuid" => &["setresuid"],
+        "getresuid" => &["getresuid"],
+        "setgid" => &["setgid"],
+        "setegid" => &["setresgid"],
+        "setregid" => &["setregid"],
+        "setresgid" => &["setresgid"],
+        "getresgid" => &["getresgid"],
+        "setfsuid" => &["setfsuid"],
+        "setfsgid" => &["setfsgid"],
+
+        // Time.
+        "time" => &["time"],
+        "clock" => &["times"],
+        "times" => &["times"],
+        "gettimeofday" => &["gettimeofday"],
+        "settimeofday" => &["settimeofday"],
+        "clock_gettime" => &["clock_gettime"],
+        "clock_settime" => &["clock_settime"],
+        "clock_getres" => &["clock_getres"],
+        "clock_nanosleep" => &["clock_nanosleep"],
+        "clock_adjtime" => &["clock_adjtime"],
+        "adjtime" | "adjtimex" | "ntp_adjtime" | "ntp_gettime"
+        | "ntp_gettimex" => &["adjtimex"],
+        "stime" => &["settimeofday"],
+        "getitimer" => &["getitimer"],
+        "setitimer" => &["setitimer"],
+        "timer_create" => &["timer_create"],
+        "timer_delete" => &["timer_delete"],
+        "timer_settime" => &["timer_settime"],
+        "timer_gettime" => &["timer_gettime"],
+        "timer_getoverrun" => &["timer_getoverrun"],
+        "timerfd_create" => &["timerfd_create"],
+        "timerfd_settime" => &["timerfd_settime"],
+        "timerfd_gettime" => &["timerfd_gettime"],
+        "ftime" => &["gettimeofday"],
+        "tzset" | "localtime" | "localtime_r" | "mktime" | "timelocal" => {
+            &["open", "read", "fstat", "close"]
+        }
+
+        // Sockets.
+        "socket" => &["socket"],
+        "socketpair" => &["socketpair"],
+        "bind" => &["bind"],
+        "listen" => &["listen"],
+        "accept" => &["accept"],
+        "accept4" => &["accept4"],
+        "connect" => &["connect"],
+        "getsockname" => &["getsockname"],
+        "getpeername" => &["getpeername"],
+        "send" => &["sendto"],
+        "recv" | "recv_chk" => &["recvfrom"],
+        "sendto" => &["sendto"],
+        "recvfrom" | "recvfrom_chk" => &["recvfrom"],
+        "sendmsg" => &["sendmsg"],
+        "recvmsg" => &["recvmsg"],
+        "sendmmsg" => &["sendmmsg"],
+        "recvmmsg" => &["recvmmsg"],
+        "getsockopt" => &["getsockopt"],
+        "setsockopt" => &["setsockopt"],
+        "shutdown" => &["shutdown"],
+        "sockatmark" => &["ioctl"],
+        "getaddrinfo" | "gethostbyname" | "gethostbyname_r"
+        | "gethostbyname2" | "gethostbyname2_r" | "gethostbyaddr"
+        | "gethostbyaddr_r" | "getnameinfo" | "res_init" | "res_query"
+        | "res_search" | "res_send" => {
+            &["socket", "connect", "sendto", "recvfrom", "poll", "close",
+              "open", "read", "fstat"]
+        }
+        "getifaddrs" | "if_nametoindex" | "if_indextoname" | "if_nameindex" => {
+            &["socket", "ioctl", "sendto", "recvmsg", "close"]
+        }
+
+        // Event APIs.
+        "poll" => &["poll"],
+        "ppoll" | "ppoll_chk" | "poll_chk" => &["ppoll"],
+        "select" => &["select"],
+        "pselect" => &["pselect6"],
+        "epoll_create" => &["epoll_create"],
+        "epoll_create1" => &["epoll_create1"],
+        "epoll_ctl" => &["epoll_ctl"],
+        "epoll_wait" => &["epoll_wait"],
+        "epoll_pwait" => &["epoll_pwait"],
+        "inotify_init" => &["inotify_init"],
+        "inotify_init1" => &["inotify_init1"],
+        "inotify_add_watch" => &["inotify_add_watch"],
+        "inotify_rm_watch" => &["inotify_rm_watch"],
+        "eventfd" | "eventfd_read" | "eventfd_write" => &["eventfd2"],
+        "signalfd" => &["signalfd4"],
+        "fanotify_init" => &["fanotify_init"],
+        "fanotify_mark" => &["fanotify_mark"],
+
+        // Memory mapping.
+        "mmap" => &["mmap"],
+        "munmap" => &["munmap"],
+        "mprotect" => &["mprotect"],
+        "msync" => &["msync"],
+        "madvise" | "posix_madvise" => &["madvise"],
+        "mincore" => &["mincore"],
+        "mlock" => &["mlock"],
+        "munlock" => &["munlock"],
+        "mlockall" => &["mlockall"],
+        "munlockall" => &["munlockall"],
+        "mremap" => &["mremap"],
+        "remap_file_pages" => &["remap_file_pages"],
+        "shm_open" => &["open"],
+        "shm_unlink" => &["unlink"],
+
+        // Xattr.
+        "setxattr" => &["setxattr"],
+        "lsetxattr" => &["lsetxattr"],
+        "fsetxattr" => &["fsetxattr"],
+        "getxattr" => &["getxattr"],
+        "lgetxattr" => &["lgetxattr"],
+        "fgetxattr" => &["fgetxattr"],
+        "listxattr" => &["listxattr"],
+        "llistxattr" => &["llistxattr"],
+        "flistxattr" => &["flistxattr"],
+        "removexattr" => &["removexattr"],
+        "lremovexattr" => &["lremovexattr"],
+        "fremovexattr" => &["fremovexattr"],
+
+        // IPC.
+        "ftok" => &["stat"],
+        "semget" => &["semget"],
+        "semop" => &["semop"],
+        "semctl" => &["semctl"],
+        "semtimedop" => &["semtimedop"],
+        "msgget" => &["msgget"],
+        "msgsnd" => &["msgsnd"],
+        "msgrcv" => &["msgrcv"],
+        "msgctl" => &["msgctl"],
+        "shmget" => &["shmget"],
+        "shmat" => &["shmat"],
+        "shmdt" => &["shmdt"],
+        "shmctl" => &["shmctl"],
+        "mq_open" => &["mq_open"],
+        "mq_close" => &["close"],
+        "mq_unlink" => &["mq_unlink"],
+        "mq_send" | "mq_timedsend" => &["mq_timedsend"],
+        "mq_receive" | "mq_timedreceive" => &["mq_timedreceive"],
+        "mq_notify" => &["mq_notify"],
+        "mq_getattr" | "mq_setattr" => &["mq_getsetattr"],
+        "sem_open" => &["open", "mmap"],
+        "sem_close" | "sem_unlink" => &["munmap", "unlink"],
+        "sem_wait" | "sem_trywait" | "sem_timedwait" | "sem_post" => {
+            &["futex"]
+        }
+        "sem_init" | "sem_destroy" | "sem_getvalue" => &[],
+        "aio_read" | "aio_write" | "lio_listio" => &["io_submit", "io_setup",
+                                                     "pread64", "pwrite64"],
+        "aio_error" | "aio_return" | "aio_suspend" | "aio_cancel"
+        | "aio_fsync" => &["io_getevents", "io_cancel", "fsync"],
+
+        // Scheduling.
+        "sched_yield" => &["sched_yield"],
+        "sched_setscheduler" => &["sched_setscheduler"],
+        "sched_getscheduler" => &["sched_getscheduler"],
+        "sched_setparam" => &["sched_setparam"],
+        "sched_getparam" => &["sched_getparam"],
+        "sched_get_priority_max" => &["sched_get_priority_max"],
+        "sched_get_priority_min" => &["sched_get_priority_min"],
+        "sched_rr_get_interval" => &["sched_rr_get_interval"],
+        "sched_setaffinity" => &["sched_setaffinity"],
+        "sched_getaffinity" => &["sched_getaffinity"],
+        "sched_getcpu" | "getcpu" => &["getcpu"],
+
+        // Directory traversal.
+        "opendir" | "fdopendir" => &["open", "openat", "fstat"],
+        "closedir" => &["close"],
+        "readdir" | "readdir_r" | "getdirentries" => &["getdents"],
+        "rewinddir" | "seekdir" | "telldir" => &["lseek"],
+        "dirfd" => &[],
+        "scandir" | "scandirat" => &["openat", "getdents", "close"],
+        "ftw" | "nftw" | "fts_open" | "fts_read" | "fts_children" => {
+            &["open", "openat", "getdents", "stat", "lstat", "fstat",
+              "fchdir", "close"]
+        }
+        "fts_set" | "fts_close" => &["close", "fchdir"],
+        "glob" => &["openat", "getdents", "stat", "lstat", "close"],
+        "globfree" | "fnmatch" | "wordexp" | "wordfree" => &[],
+
+        // Users and groups.
+        "getpwnam" | "getpwuid" | "getpwnam_r" | "getpwuid_r" | "getpwent"
+        | "getpwent_r" | "setpwent" | "endpwent" | "fgetpwent"
+        | "getgrnam" | "getgrgid" | "getgrnam_r" | "getgrgid_r" | "getgrent"
+        | "getgrent_r" | "setgrent" | "endgrent" | "fgetgrent"
+        | "getgrouplist" | "getspnam" | "getspnam_r" | "getspent"
+        | "setspent" | "endspent" => {
+            &["open", "read", "fstat", "close", "socket", "connect"]
+        }
+        "initgroups" => &["setgroups", "open", "read", "close"],
+        "getpass" => &["open", "read", "write", "ioctl", "close"],
+
+        // Keys / entropy-ish helpers reach the pseudo-file layer instead.
+        "getrandom" => &["getrandom"],
+
+        // Pseudo-terminal helpers.
+        "openpty" | "forkpty" | "login_tty" => &["open", "ioctl", "dup2",
+                                                 "setsid", "close", "clone"],
+        "login" | "logout" | "logwtmp" | "updwtmp" | "utmpname" | "getutent"
+        | "getutent_r" | "getutid" | "getutid_r" | "getutline"
+        | "getutline_r" | "pututline" | "setutent" | "endutent" => {
+            &["open", "read", "write", "lseek", "flock", "close"]
+        }
+        "getmntent" | "getmntent_r" | "setmntent" | "addmntent"
+        | "endmntent" => &["open", "read", "write", "fstat", "close"],
+
+        // Threading stubs in libc.
+        "pthread_mutex_lock" | "pthread_mutex_trylock"
+        | "pthread_mutex_unlock" | "pthread_cond_wait"
+        | "pthread_cond_signal" | "pthread_cond_broadcast"
+        | "pthread_cond_timedwait" | "pthread_once" => &["futex"],
+        "pthread_self" | "pthread_equal" | "pthread_atfork" => &[],
+        "pthread_exit" => &["exit"],
+
+        // Runtime startup/teardown (Table 5's ubiquitous libc footprint;
+        // `access`/`arch_prctl` come from ld.so, not from here, so their
+        // per-package adoption stays a free variable — see Table 8).
+        // This list fits inside the study's Stage I (the 40 most important
+        // system calls, Table 4): it is what makes "hello world" need ~40
+        // calls before anything runs (Figure 3's left edge).
+        "libc_start_main" => &[
+            "mprotect", "mmap", "munmap", "read", "write", "writev",
+            "close", "fstat", "openat", "brk", "exit_group",
+            "getuid", "getgid",
+            "getrlimit", "set_tid_address", "set_robust_list",
+            "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "futex",
+            "execve", "getpid", "getppid", "gettid", "kill", "tgkill",
+            "clone", "vfork", "dup2", "fcntl",
+            "sched_setscheduler", "sched_setparam",
+            "setresuid", "setresgid", "sched_yield", "lseek",
+            "getcwd", "getdents",
+        ],
+        "cxa_finalize" => &["exit_group"],
+        "backtrace" | "backtrace_symbols" | "backtrace_symbols_fd" => {
+            &["write", "open", "read", "close", "mmap"]
+        }
+        "assert_fail" | "assert_perror_fail" | "fortify_fail" | "chk_fail"
+        | "stack_chk_fail" => &["write", "rt_sigprocmask", "gettid",
+                                "getpid", "tgkill"],
+
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscalls::SyscallTable;
+
+    #[test]
+    fn every_wrapped_syscall_name_is_valid() {
+        // Run every curated libc symbol through the mapping and validate the
+        // produced syscall names against the real table.
+        let inv = crate::libc_symbols::LibcInventory::glibc_2_21();
+        let t = SyscallTable::new();
+        for (_, sym) in inv.iter() {
+            for sc in wrapped_syscalls(&sym.name) {
+                assert!(
+                    t.by_name(sc).is_some(),
+                    "{} maps to unknown syscall {sc}",
+                    sym.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fortified_variants_inherit_wrapping() {
+        assert_eq!(wrapped_syscalls("__printf_chk"), wrapped_syscalls("printf"));
+        assert_eq!(wrapped_syscalls("__read_chk"), wrapped_syscalls("read"));
+    }
+
+    #[test]
+    fn lfs_variants_inherit_wrapping() {
+        assert_eq!(wrapped_syscalls("open64"), wrapped_syscalls("open"));
+        assert_eq!(wrapped_syscalls("mmap64"), wrapped_syscalls("mmap"));
+    }
+
+    #[test]
+    fn pure_functions_wrap_nothing() {
+        assert!(wrapped_syscalls("strlen").is_empty());
+        assert!(wrapped_syscalls("memcpy").is_empty());
+        assert!(wrapped_syscalls("qsort").is_empty());
+    }
+
+    #[test]
+    fn startup_footprint_covers_table_5_libc_rows() {
+        let fp = wrapped_syscalls("__libc_start_main");
+        for required in ["mprotect", "clone", "set_tid_address",
+                         "set_robust_list", "rt_sigprocmask", "futex",
+                         "getuid", "gettid", "kill", "getrlimit",
+                         "setresuid"] {
+            assert!(fp.contains(&required), "missing {required}");
+        }
+        // Table 8/9 adoption targets must stay free variables: these must
+        // NOT be ubiquitous through startup.
+        for excluded in ["access", "arch_prctl", "wait4", "select", "poll",
+                         "geteuid", "getegid", "dup", "pipe", "chdir"] {
+            assert!(!fp.contains(&excluded), "{excluded} must not be ubiquitous");
+        }
+        assert_eq!(wrapped_syscalls("fork"), &["clone"]);
+    }
+}

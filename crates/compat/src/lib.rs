@@ -1,0 +1,23 @@
+//! # apistudy-compat
+//!
+//! Compatibility evaluation of real systems against the measured corpus —
+//! the paper's §4:
+//!
+//! - [`systems`] — Table 6: syscall profiles of User-Mode Linux, L4Linux,
+//!   FreeBSD's Linux emulation layer, and the Graphene library OS, their
+//!   weighted completeness, and suggested next APIs;
+//! - [`libc`] — Table 7: exported-symbol profiles of eglibc, uClibc, musl,
+//!   and dietlibc, raw and after normalizing glibc's compile-time API
+//!   replacement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod libc;
+pub mod systems;
+
+pub use libc::{all_variants, dietlibc, eglibc, musl, uclibc, LibcVariant};
+pub use systems::{
+    all_profiles, freebsd_emulation, graphene, l4linux, user_mode_linux,
+    SystemProfile,
+};

@@ -1,0 +1,280 @@
+//! libc variant profiles: the Table 7 evaluation.
+//!
+//! The paper measures how compatible eglibc, uClibc, musl, and dietlibc
+//! are with binaries linked against GNU libc, by matching exported symbol
+//! sets — first raw, then after normalizing glibc's compile-time API
+//! replacement (`printf` → `__printf_chk`, `scanf` → `__isoc99_scanf`).
+
+use std::collections::HashSet;
+
+use apistudy_catalog::{
+    libc_symbols::{normalize_compile_time_alias, SymbolFamily},
+    Api, ApiKind,
+};
+use apistudy_core::Metrics;
+
+/// A libc variant's exported-symbol profile.
+#[derive(Debug, Clone)]
+pub struct LibcVariant {
+    /// Variant name as reported in Table 7.
+    pub name: &'static str,
+    /// Exported symbol names.
+    pub exported: HashSet<String>,
+}
+
+impl LibcVariant {
+    /// Number of exported symbols.
+    pub fn len(&self) -> usize {
+        self.exported.len()
+    }
+
+    /// Whether the profile exports nothing.
+    pub fn is_empty(&self) -> bool {
+        self.exported.is_empty()
+    }
+
+    /// Sample glibc symbols this variant does not export (for the table's
+    /// "Unsupported" column).
+    pub fn unsupported_samples(&self, metrics: &Metrics<'_>, n: usize) -> Vec<String> {
+        let catalog = &metrics.data().catalog;
+        metrics
+            .importance_ranking(ApiKind::LibcSymbol)
+            .into_iter()
+            .filter_map(|(api, imp)| match api {
+                Api::LibcSymbol(id) if imp > 0.0 => {
+                    let name = &catalog.libc.get(id)?.name;
+                    if self.exported.contains(name) {
+                        None
+                    } else {
+                        Some(name.clone())
+                    }
+                }
+                _ => None,
+            })
+            .take(n)
+            .collect()
+    }
+
+    /// Weighted completeness against glibc-linked binaries.
+    ///
+    /// With `normalized`, a used symbol also counts as supported when it is
+    /// a compile-time alias (`__*_chk`, `__isoc99_*`) whose plain form the
+    /// variant exports — or a pure fortify-runtime hook with no plain form.
+    pub fn completeness(&self, metrics: &Metrics<'_>, normalized: bool) -> f64 {
+        let catalog = &metrics.data().catalog;
+        let mut supported: HashSet<Api> = HashSet::new();
+        for (id, sym) in catalog.libc.iter() {
+            let name = &sym.name;
+            let ok = if self.exported.contains(name) {
+                true
+            } else if normalized {
+                // Fortify runtime hooks have no plain-form equivalent; a
+                // non-fortified rebuild simply has no reference to them.
+                let runtime_hook = matches!(
+                    name.as_str(),
+                    "__stack_chk_fail" | "__chk_fail" | "__fortify_fail"
+                );
+                runtime_hook
+                    || match normalize_compile_time_alias(name) {
+                        Some(base) => {
+                            self.exported.contains(&base)
+                                || catalog.libc.id_of(&base).is_none()
+                        }
+                        None => false,
+                    }
+            } else {
+                false
+            };
+            if ok {
+                supported.insert(Api::LibcSymbol(id));
+            }
+        }
+        metrics.weighted_completeness(&supported, |a| {
+            a.kind() == ApiKind::LibcSymbol
+        })
+    }
+}
+
+/// Which glibc symbols a variant exports, expressed as exclusions from the
+/// full inventory.
+fn variant_from_exclusions<F>(
+    metrics: &Metrics<'_>,
+    name: &'static str,
+    exclude: F,
+) -> LibcVariant
+where
+    F: Fn(&str, SymbolFamily) -> bool,
+{
+    let catalog = &metrics.data().catalog;
+    let exported = catalog
+        .libc
+        .iter()
+        .filter(|(_, s)| !exclude(&s.name, s.family))
+        .map(|(_, s)| s.name.clone())
+        .collect();
+    LibcVariant { name, exported }
+}
+
+fn is_stdio_internal(name: &str) -> bool {
+    name.starts_with("_IO_")
+        || matches!(name, "__overflow" | "__uflow" | "__underflow")
+}
+
+/// eglibc 2.19: a build of glibc — exports the full inventory.
+pub fn eglibc(metrics: &Metrics<'_>) -> LibcVariant {
+    variant_from_exclusions(metrics, "eglibc 2.19", |_, _| false)
+}
+
+/// uClibc 0.9.33: no fortify symbols, no ISO-C99 shims, no glibc stdio
+/// internals, no glibc-internal exports.
+pub fn uclibc(metrics: &Metrics<'_>) -> LibcVariant {
+    variant_from_exclusions(metrics, "uClibc 0.9.33", |name, family| {
+        family == SymbolFamily::Fortify
+            || family == SymbolFamily::Generated
+            || name.starts_with("__isoc99_")
+            || is_stdio_internal(name)
+            || name.starts_with("__glibc_internal")
+            || name.starts_with("__nss_")
+    })
+}
+
+/// musl 1.1.14: like uClibc, additionally without the GNU reentrant-random
+/// family and `secure_getenv` (the paper's samples).
+pub fn musl(metrics: &Metrics<'_>) -> LibcVariant {
+    variant_from_exclusions(metrics, "musl 1.1.14", |name, family| {
+        family == SymbolFamily::Fortify
+            || family == SymbolFamily::Generated
+            || name.starts_with("__isoc99_")
+            || is_stdio_internal(name)
+            || name.starts_with("__nss_")
+            || matches!(
+                name,
+                "secure_getenv"
+                    | "random_r"
+                    | "srandom_r"
+                    | "initstate_r"
+                    | "setstate_r"
+                    | "drand48_r"
+                    | "lrand48_r"
+                    | "mrand48_r"
+            )
+    })
+}
+
+/// dietlibc 0.33: a minimal libc — only the basic POSIX/C families, and
+/// even there missing ubiquitous glibc APIs (`memalign`, `stpcpy`,
+/// `__cxa_finalize`, `__libc_start_main`), which is why its completeness
+/// is zero.
+pub fn dietlibc(metrics: &Metrics<'_>) -> LibcVariant {
+    variant_from_exclusions(metrics, "dietlibc 0.33", |name, family| {
+        !matches!(
+            family,
+            SymbolFamily::Stdio
+                | SymbolFamily::Str
+                | SymbolFamily::Stdlib
+                | SymbolFamily::Posix
+                | SymbolFamily::Socket
+                | SymbolFamily::Time
+                | SymbolFamily::Signal
+                | SymbolFamily::Ctype
+                | SymbolFamily::Dirent
+                | SymbolFamily::Mman
+                | SymbolFamily::Pwd
+                | SymbolFamily::Ipc
+                | SymbolFamily::Sched
+                | SymbolFamily::Event
+                | SymbolFamily::Xattr
+        ) || matches!(
+            name,
+            "memalign" | "stpcpy" | "stpncpy" | "canonicalize_file_name"
+                | "secure_getenv" | "qsort_r" | "fcloseall" | "fmemopen"
+                | "open_memstream" | "fopencookie" | "getauxval"
+        )
+    })
+}
+
+/// All four Table 7 variants.
+pub fn all_variants(metrics: &Metrics<'_>) -> Vec<LibcVariant> {
+    vec![eglibc(metrics), uclibc(metrics), musl(metrics), dietlibc(metrics)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apistudy_core::StudyData;
+    use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+
+    fn data() -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 300, installations: 100_000 },
+            CalibrationSpec::default(),
+            21,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn eglibc_is_fully_compatible() {
+        let data = data();
+        let m = Metrics::new(&data);
+        let v = eglibc(&m);
+        assert_eq!(v.len(), 1274);
+        assert!((v.completeness(&m, false) - 1.0).abs() < 1e-9);
+        assert!((v.completeness(&m, true) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uclibc_and_musl_jump_after_normalization() {
+        let data = data();
+        let m = Metrics::new(&data);
+        for v in [uclibc(&m), musl(&m)] {
+            let raw = v.completeness(&m, false);
+            let norm = v.completeness(&m, true);
+            assert!(raw < 0.10, "{} raw {raw}", v.name);
+            assert!(
+                norm > raw + 0.20,
+                "{} must jump after normalization: {raw} → {norm}",
+                v.name
+            );
+            assert!(
+                (0.20..0.80).contains(&norm),
+                "{} normalized {norm}",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn dietlibc_is_incompatible_either_way() {
+        let data = data();
+        let m = Metrics::new(&data);
+        let v = dietlibc(&m);
+        assert!(v.len() < 1100, "dietlibc exports {}", v.len());
+        assert!(v.completeness(&m, false) < 0.02);
+        assert!(v.completeness(&m, true) < 0.02);
+    }
+
+    #[test]
+    fn unsupported_samples_name_real_gaps() {
+        let data = data();
+        let m = Metrics::new(&data);
+        let v = uclibc(&m);
+        let samples = v.unsupported_samples(&m, 8);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(!v.exported.contains(s));
+        }
+    }
+
+    #[test]
+    fn variant_ordering_matches_table_7() {
+        let data = data();
+        let m = Metrics::new(&data);
+        let e = eglibc(&m).completeness(&m, true);
+        let u = uclibc(&m).completeness(&m, true);
+        let mu = musl(&m).completeness(&m, true);
+        let d = dietlibc(&m).completeness(&m, true);
+        assert!(e > u && e > mu, "eglibc wins");
+        assert!(u > d && mu > d, "dietlibc loses");
+    }
+}

@@ -1,0 +1,338 @@
+//! Dataset export/import.
+//!
+//! The paper publishes its measurement data ("our data set, tools, and
+//! other information are available at ..."). This module serializes a
+//! completed study to a line-oriented CSV dataset — one row per package
+//! with its installation statistics and complete API footprint — and
+//! parses it back, so downstream analyses can run without re-measuring.
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! # apistudy-dataset v1
+//! # installations: <N>
+//! name,install_count,probability,depends,syscalls,ioctls,fcntls,prctls,pseudo_files,libc_symbols
+//! coreutils,498221,0.996442,libc6,read;write;...,TCGETS;...,F_GETFL;...,PR_SET_NAME,...
+//! ```
+//!
+//! Cells holding lists are `;`-separated; list elements never contain
+//! commas or semicolons (API names are identifiers or absolute paths).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use apistudy_catalog::{Api, ApiKind, Catalog};
+
+use crate::pipeline::StudyData;
+
+/// One exported package row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// Package name.
+    pub name: String,
+    /// Popcon installation count.
+    pub install_count: u64,
+    /// Installation probability.
+    pub probability: f64,
+    /// Dependencies.
+    pub depends: Vec<String>,
+    /// Footprint, by API kind, as catalog names.
+    pub apis: HashMap<ApiKind, Vec<String>>,
+}
+
+/// A serializable snapshot of a study's per-package measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Survey size.
+    pub installations: u64,
+    /// Per-package rows, in pipeline order.
+    pub rows: Vec<DatasetRow>,
+}
+
+/// Errors from parsing a dataset document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The header line is missing or not a known version.
+    BadHeader,
+    /// A row has the wrong number of cells.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric cell failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::BadHeader => write!(f, "missing or unknown dataset header"),
+            DatasetError::BadArity { line } => {
+                write!(f, "wrong number of cells on line {line}")
+            }
+            DatasetError::BadNumber { line } => {
+                write!(f, "unparsable number on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+const HEADER: &str = "# apistudy-dataset v1";
+const COLUMNS: &str = "name,install_count,probability,depends,syscalls,\
+                       ioctls,fcntls,prctls,pseudo_files,libc_symbols";
+
+const KINDS: [ApiKind; 6] = [
+    ApiKind::Syscall,
+    ApiKind::Ioctl,
+    ApiKind::Fcntl,
+    ApiKind::Prctl,
+    ApiKind::PseudoFile,
+    ApiKind::LibcSymbol,
+];
+
+fn short_name(catalog: &Catalog, api: Api) -> String {
+    // Strip the kind prefixes the catalog's display names carry.
+    let name = catalog.name(api);
+    name.split_once(':').map(|(_, n)| n.to_owned()).unwrap_or(name)
+}
+
+impl Dataset {
+    /// Snapshots a study.
+    pub fn from_study(data: &StudyData) -> Self {
+        let rows = data
+            .packages
+            .iter()
+            .map(|p| {
+                let mut apis: HashMap<ApiKind, Vec<String>> = HashMap::new();
+                for kind in KINDS {
+                    let names: Vec<String> = p
+                        .footprint
+                        .of_kind(kind)
+                        .map(|api| short_name(&data.catalog, api))
+                        .collect();
+                    apis.insert(kind, names);
+                }
+                DatasetRow {
+                    name: p.name.clone(),
+                    install_count: p.install_count,
+                    probability: p.prob,
+                    depends: p.depends.clone(),
+                    apis,
+                }
+            })
+            .collect();
+        Self { installations: data.total_installations, rows }
+    }
+
+    /// Serializes to the CSV document format.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "# installations: {}", self.installations);
+        let _ = writeln!(out, "{COLUMNS}");
+        for row in &self.rows {
+            let lists: Vec<String> = KINDS
+                .iter()
+                .map(|k| row.apis.get(k).map(|v| v.join(";")).unwrap_or_default())
+                .collect();
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                row.name,
+                row.install_count,
+                row.probability,
+                row.depends.join(";"),
+                lists.join(","),
+            );
+        }
+        out
+    }
+
+    /// Parses the CSV document format back into a dataset.
+    pub fn parse_csv(text: &str) -> Result<Self, DatasetError> {
+        let mut lines = text.lines().enumerate();
+        let Some((_, first)) = lines.next() else {
+            return Err(DatasetError::BadHeader);
+        };
+        if first.trim() != HEADER {
+            return Err(DatasetError::BadHeader);
+        }
+        let mut installations = 0u64;
+        let mut rows = Vec::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# installations:") {
+                installations = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| DatasetError::BadNumber { line: lineno })?;
+                continue;
+            }
+            if line.starts_with('#') || line.starts_with("name,") {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != 10 {
+                return Err(DatasetError::BadArity { line: lineno });
+            }
+            let parse_list = |s: &str| -> Vec<String> {
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    s.split(';').map(str::to_owned).collect()
+                }
+            };
+            let mut apis = HashMap::new();
+            for (kind, cell) in KINDS.iter().zip(&cells[4..10]) {
+                apis.insert(*kind, parse_list(cell));
+            }
+            rows.push(DatasetRow {
+                name: cells[0].to_owned(),
+                install_count: cells[1]
+                    .parse()
+                    .map_err(|_| DatasetError::BadNumber { line: lineno })?,
+                probability: cells[2]
+                    .parse()
+                    .map_err(|_| DatasetError::BadNumber { line: lineno })?,
+                depends: parse_list(cells[3]),
+                apis,
+            });
+        }
+        Ok(Self { installations, rows })
+    }
+
+    /// A row by package name.
+    pub fn row(&self, name: &str) -> Option<&DatasetRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+
+    fn data() -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 120, installations: 20_000 },
+            CalibrationSpec::default(),
+            3,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let data = data();
+        let ds = Dataset::from_study(&data);
+        let text = ds.to_csv();
+        let back = Dataset::parse_csv(&text).expect("parse");
+        assert_eq!(ds, back);
+        assert_eq!(back.installations, 20_000);
+        assert_eq!(back.rows.len(), 120);
+    }
+
+    #[test]
+    fn rows_carry_real_footprints() {
+        let data = data();
+        let ds = Dataset::from_study(&data);
+        let row = ds.row("coreutils").expect("coreutils");
+        let syscalls = &row.apis[&ApiKind::Syscall];
+        assert!(syscalls.iter().any(|s| s == "exit_group"));
+        assert!(row.install_count > 15_000, "core package nearly universal");
+        assert!(!row.depends.is_empty());
+    }
+
+    #[test]
+    fn importance_recomputable_from_export() {
+        // The published dataset must be sufficient to recompute the
+        // paper's headline metric.
+        let data = data();
+        let ds = Dataset::from_study(&data);
+        let miss: f64 = ds
+            .rows
+            .iter()
+            .filter(|r| r.apis[&ApiKind::Syscall].iter().any(|s| s == "mbind"))
+            .map(|r| 1.0 - r.probability)
+            .product();
+        let importance = 1.0 - miss;
+        let metrics = crate::metrics::Metrics::new(&data);
+        let api = data.catalog.syscall("mbind").unwrap();
+        assert!((importance - metrics.importance(api)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_from_reimported_dataset_match_the_original() {
+        // Export → parse → rebuild StudyData → every metric agrees.
+        let data = data();
+        let ds = Dataset::from_study(&data);
+        let text = ds.to_csv();
+        let back = Dataset::parse_csv(&text).unwrap();
+        let rebuilt = StudyData::from_dataset(&back);
+        let m0 = crate::metrics::Metrics::new(&data);
+        let m1 = crate::metrics::Metrics::new(&rebuilt);
+        for name in ["read", "mbind", "access", "kexec_load", "mq_notify"] {
+            let api = data.catalog.syscall(name).unwrap();
+            assert!(
+                (m0.importance(api) - m1.importance(api)).abs() < 1e-9,
+                "{name} importance"
+            );
+            assert!(
+                (m0.unweighted_importance(api) - m1.unweighted_importance(api))
+                    .abs()
+                    < 1e-9,
+                "{name} unweighted"
+            );
+        }
+        // Weighted completeness (with dependency closure) agrees too.
+        let supported: std::collections::HashSet<u32> = (0..150).collect();
+        assert!(
+            (m0.syscall_completeness(&supported)
+                - m1.syscall_completeness(&supported))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Dataset::parse_csv(""), Err(DatasetError::BadHeader));
+        assert_eq!(
+            Dataset::parse_csv("not a dataset"),
+            Err(DatasetError::BadHeader)
+        );
+        let bad_arity = format!("{HEADER}\nx,y,z\n");
+        assert!(matches!(
+            Dataset::parse_csv(&bad_arity),
+            Err(DatasetError::BadArity { .. })
+        ));
+        let bad_number = format!("{HEADER}\nfoo,NaNcount,0.5,,,,,,,\n");
+        assert!(matches!(
+            Dataset::parse_csv(&bad_number),
+            Err(DatasetError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_lists_roundtrip() {
+        let text = format!(
+            "{HEADER}\n# installations: 5\nempty-pkg,1,0.2,,,,,,,\n"
+        );
+        let ds = Dataset::parse_csv(&text).expect("parse");
+        let row = ds.row("empty-pkg").unwrap();
+        assert!(row.depends.is_empty());
+        assert!(row.apis[&ApiKind::Syscall].is_empty());
+        let again = Dataset::parse_csv(&ds.to_csv()).unwrap();
+        assert_eq!(ds, again);
+    }
+}

@@ -1,0 +1,178 @@
+//! Study-to-study comparison.
+//!
+//! The paper notes its dataset "does not include sufficient historical
+//! data to compare changes to API usage over time" (§2.4) and that the
+//! methodology "can be easily applied to future releases" (§9). This
+//! module supplies the comparison half: given two completed studies —
+//! two releases, or a baseline and a what-if calibration
+//! ([`apistudy_corpus::CalibrationSpec::adoption_overrides`]) — it reports
+//! how API importance and adoption shifted.
+
+use apistudy_catalog::{Api, ApiKind};
+
+use crate::metrics::Metrics;
+
+/// One API's movement between two studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiShift {
+    /// Display name of the API.
+    pub name: String,
+    /// Weighted importance before / after.
+    pub importance: (f64, f64),
+    /// Unweighted importance before / after.
+    pub unweighted: (f64, f64),
+}
+
+impl ApiShift {
+    /// Signed change in weighted importance.
+    pub fn importance_delta(&self) -> f64 {
+        self.importance.1 - self.importance.0
+    }
+
+    /// Signed change in unweighted importance.
+    pub fn unweighted_delta(&self) -> f64 {
+        self.unweighted.1 - self.unweighted.0
+    }
+}
+
+/// The comparison of one API kind across two studies.
+#[derive(Debug, Clone, Default)]
+pub struct StudyDiff {
+    /// Every API of the kind, with before/after values.
+    pub shifts: Vec<ApiShift>,
+}
+
+impl StudyDiff {
+    /// Compares two studies over one API kind. Both studies must use the
+    /// same catalog generation (they always do in this crate).
+    pub fn compare(before: &Metrics<'_>, after: &Metrics<'_>, kind: ApiKind) -> Self {
+        let catalog = &before.data().catalog;
+        let apis: Vec<Api> = before
+            .importance_ranking(kind)
+            .into_iter()
+            .map(|(api, _)| api)
+            .collect();
+        let shifts = apis
+            .into_iter()
+            .map(|api| ApiShift {
+                name: catalog.name(api),
+                importance: (before.importance(api), after.importance(api)),
+                unweighted: (
+                    before.unweighted_importance(api),
+                    after.unweighted_importance(api),
+                ),
+            })
+            .collect();
+        Self { shifts }
+    }
+
+    /// The `n` largest movers by absolute unweighted change (adoption
+    /// shifts — the §5 lens).
+    pub fn top_adoption_movers(&self, n: usize) -> Vec<&ApiShift> {
+        let mut v: Vec<&ApiShift> = self.shifts.iter().collect();
+        v.sort_by(|a, b| {
+            b.unweighted_delta()
+                .abs()
+                .total_cmp(&a.unweighted_delta().abs())
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// The `n` largest movers by absolute weighted-importance change.
+    pub fn top_importance_movers(&self, n: usize) -> Vec<&ApiShift> {
+        let mut v: Vec<&ApiShift> = self.shifts.iter().collect();
+        v.sort_by(|a, b| {
+            b.importance_delta()
+                .abs()
+                .total_cmp(&a.importance_delta().abs())
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// A shift by API display name.
+    pub fn shift(&self, name: &str) -> Option<&ApiShift> {
+        self.shifts.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyData;
+    use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+
+    fn study(spec: CalibrationSpec) -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 250, installations: 50_000 },
+            spec,
+            12,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn what_if_adoption_override_moves_the_target_api() {
+        let baseline = study(CalibrationSpec::default());
+        let grown = study(CalibrationSpec {
+            adoption_overrides: vec![("faccessat".into(), 0.50)],
+            ..CalibrationSpec::default()
+        });
+        let mb = Metrics::new(&baseline);
+        let mg = Metrics::new(&grown);
+        let diff = StudyDiff::compare(&mb, &mg, ApiKind::Syscall);
+        let shift = diff.shift("faccessat").expect("tracked");
+        assert!(
+            shift.unweighted.0 < 0.05,
+            "baseline faccessat adoption is tiny: {}",
+            shift.unweighted.0
+        );
+        assert!(
+            shift.unweighted.1 > 0.25,
+            "grown faccessat adoption: {}",
+            shift.unweighted.1
+        );
+        // And the mover ranking surfaces it near the top.
+        let movers = diff.top_adoption_movers(5);
+        assert!(
+            movers.iter().any(|s| s.name == "faccessat"),
+            "faccessat must be a top mover: {:?}",
+            movers.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn identical_studies_diff_to_zero() {
+        let a = study(CalibrationSpec::default());
+        let b = study(CalibrationSpec::default());
+        let ma = Metrics::new(&a);
+        let mb = Metrics::new(&b);
+        let diff = StudyDiff::compare(&ma, &mb, ApiKind::Syscall);
+        for s in &diff.shifts {
+            assert_eq!(s.importance_delta(), 0.0, "{}", s.name);
+            assert_eq!(s.unweighted_delta(), 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn movers_are_sorted_by_magnitude() {
+        let baseline = study(CalibrationSpec::default());
+        let grown = study(CalibrationSpec {
+            adoption_overrides: vec![
+                ("faccessat".into(), 0.40),
+                ("waitid".into(), 0.30),
+            ],
+            ..CalibrationSpec::default()
+        });
+        let mb = Metrics::new(&baseline);
+        let mg = Metrics::new(&grown);
+        let diff = StudyDiff::compare(&mb, &mg, ApiKind::Syscall);
+        let movers = diff.top_adoption_movers(10);
+        for w in movers.windows(2) {
+            assert!(
+                w[0].unweighted_delta().abs() >= w[1].unweighted_delta().abs()
+            );
+        }
+    }
+}

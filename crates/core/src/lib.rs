@@ -1,0 +1,48 @@
+//! # apistudy-core
+//!
+//! The primary contribution of the EuroSys'16 study, as a library:
+//!
+//! - [`pipeline::StudyData`] — the repository-scale measurement pipeline
+//!   (parse → analyze → link → aggregate), replacing the paper's Postgres
+//!   database;
+//! - [`metrics::Metrics`] — **API importance**, **unweighted API
+//!   importance**, and **weighted completeness** with APT dependency
+//!   closure (paper §2, Appendix A);
+//! - [`planner`] — the Figure 3 completeness curve and Table 4
+//!   implementation stages ("from Hello World to qemu");
+//! - [`libc_restructure`] — the §3.5 libc stripping/reordering analysis;
+//! - [`footprints`] — §6 footprint uniqueness and seccomp profile
+//!   generation;
+//! - [`seccomp_bpf`] — classic-BPF seccomp filter assembly (with an
+//!   in-process interpreter for verification);
+//! - [`dataset`] — CSV export/import of the measured dataset;
+//! - [`diff`] — study-to-study comparison (releases / what-if scenarios);
+//! - [`workloads`] — evaluation-workload matching for modified APIs;
+//! - [`study::Study`] — the one-call facade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod diff;
+pub mod footprint;
+pub mod footprints;
+pub mod libc_restructure;
+pub mod metrics;
+pub mod pipeline;
+pub mod planner;
+pub mod seccomp_bpf;
+pub mod study;
+pub mod workloads;
+
+pub use dataset::{Dataset, DatasetRow};
+pub use diff::{ApiShift, StudyDiff};
+pub use footprint::ApiFootprint;
+pub use footprints::{seccomp_profile, uniqueness, UniquenessStats};
+pub use libc_restructure::{restructure, RestructureReport};
+pub use metrics::Metrics;
+pub use pipeline::{Attribution, PackageRecord, StudyData};
+pub use planner::{stages, CompletenessCurve, Stage};
+pub use seccomp_bpf::{run_filter, seccomp_filter, BpfProgram, SeccompData};
+pub use study::Study;
+pub use workloads::{exercised_mass, workloads_for, Match};

@@ -1,0 +1,142 @@
+//! The libc restructuring experiment (paper §3.5).
+//!
+//! glibc exports 1,274 function symbols, but ~40% are used by less than
+//! one percent of applications. The paper proposes stripping or splitting
+//! libc by importance and reports: keeping only symbols with ≥90%
+//! importance retains 889 APIs, shrinks libc to 63% of its size, and still
+//! gives 90.7% weighted completeness. It also quantifies the relocation
+//! table (1,274 entries × 24 bytes = 30,576 bytes) that importance-sorting
+//! would let lazy-load.
+
+use std::collections::HashSet;
+
+use apistudy_catalog::{Api, ApiKind};
+
+use crate::metrics::Metrics;
+
+/// Size of one ELF64 relocation entry, for the §3.5 accounting.
+const RELA_ENTRY_SIZE: u64 = 24;
+
+/// Outcome of stripping libc at an importance threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestructureReport {
+    /// Importance threshold used.
+    pub threshold: f64,
+    /// Symbols retained.
+    pub retained: usize,
+    /// Total symbols.
+    pub total: usize,
+    /// Retained code size / total code size.
+    pub size_fraction: f64,
+    /// Weighted completeness of the stripped libc (over libc-symbol APIs).
+    pub completeness: f64,
+    /// Bytes of relocation table for the full inventory.
+    pub relocation_bytes: u64,
+    /// Bytes of relocation table needed eagerly if sorted by importance
+    /// (entries for retained symbols only; the rest lazy-load).
+    pub eager_relocation_bytes: u64,
+    /// Symbols with zero observed users (candidates for removal).
+    pub unused: usize,
+}
+
+/// Runs the restructuring analysis at `threshold` (the paper uses 0.90).
+pub fn restructure(metrics: &Metrics<'_>, threshold: f64) -> RestructureReport {
+    let catalog = &metrics.data().catalog;
+    let total = catalog.libc.len();
+    let mut retained_ids: Vec<u32> = Vec::new();
+    let mut unused = 0usize;
+    for (id, _) in catalog.libc.iter() {
+        let imp = metrics.importance(Api::LibcSymbol(id));
+        if imp >= threshold {
+            retained_ids.push(id);
+        }
+        if imp == 0.0 {
+            unused += 1;
+        }
+    }
+    let total_size = catalog.libc.total_size((0..total as u32).collect::<Vec<_>>());
+    let retained_size = catalog.libc.total_size(retained_ids.iter().copied());
+    let supported: HashSet<Api> = retained_ids
+        .iter()
+        .map(|&id| Api::LibcSymbol(id))
+        .collect();
+    let completeness = metrics
+        .weighted_completeness(&supported, |a| a.kind() == ApiKind::LibcSymbol);
+    RestructureReport {
+        threshold,
+        retained: retained_ids.len(),
+        total,
+        size_fraction: if total_size > 0 {
+            retained_size as f64 / total_size as f64
+        } else {
+            0.0
+        },
+        completeness,
+        relocation_bytes: total as u64 * RELA_ENTRY_SIZE,
+        eager_relocation_bytes: retained_ids.len() as u64 * RELA_ENTRY_SIZE,
+        unused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyData;
+    use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+
+    fn data() -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 250, installations: 50_000 },
+            CalibrationSpec::default(),
+            5,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn stripping_at_90pct_keeps_a_majority_but_not_all() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let report = restructure(&metrics, 0.90);
+        assert_eq!(report.total, 1274);
+        assert!(
+            report.retained > 400 && report.retained < 1100,
+            "retained {}",
+            report.retained
+        );
+        assert!(
+            report.size_fraction > 0.3 && report.size_fraction < 0.95,
+            "size fraction {}",
+            report.size_fraction
+        );
+        assert!(
+            report.completeness > 0.5,
+            "completeness {}",
+            report.completeness
+        );
+        assert_eq!(report.relocation_bytes, 1274 * 24);
+        assert!(report.eager_relocation_bytes < report.relocation_bytes);
+    }
+
+    #[test]
+    fn hundreds_of_symbols_are_unused() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let report = restructure(&metrics, 0.90);
+        assert!(
+            report.unused > 100,
+            "unused {} should be in the hundreds",
+            report.unused
+        );
+    }
+
+    #[test]
+    fn lower_threshold_retains_more() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let strict = restructure(&metrics, 0.99);
+        let loose = restructure(&metrics, 0.10);
+        assert!(loose.retained >= strict.retained);
+        assert!(loose.completeness >= strict.completeness);
+    }
+}

@@ -1,0 +1,387 @@
+//! The study's metrics: API importance, unweighted API importance, and
+//! weighted completeness (paper §2 and Appendix A).
+//!
+//! - **API importance** — the probability that a random installation
+//!   includes at least one package whose footprint requires the API:
+//!   `1 − ∏ (1 − p_pkg)` over the API's dependent packages (A.1).
+//! - **Unweighted API importance** — the fraction of *packages* using the
+//!   API, ignoring installation frequency (§5).
+//! - **Weighted completeness** — for a system supporting a set of APIs,
+//!   the expected fraction of an installation's packages that work:
+//!   `Σ_supported p / Σ_all p`, with APT dependency closure (a package
+//!   whose dependency is unsupported is unsupported too) (A.2).
+
+use std::collections::{HashMap, HashSet};
+
+use apistudy_catalog::{Api, ApiKind};
+
+use crate::pipeline::{PackageRecord, StudyData};
+
+/// Metric engine over a [`StudyData`] set.
+///
+/// Construction indexes dependent packages per API once; queries are then
+/// cheap enough to sweep every API in the catalog.
+pub struct Metrics<'a> {
+    data: &'a StudyData,
+    dependents: HashMap<Api, Vec<usize>>,
+    /// How many packages *transitively* need each API: a package needs its
+    /// dependencies' APIs too (you cannot run anything without libc6's and
+    /// the dynamic linker's calls). Used to order ties among the many APIs
+    /// whose importance is exactly 1 (the paper's Figure 3 greedy order).
+    closure_users: HashMap<Api, usize>,
+    total_mass: f64,
+}
+
+impl<'a> Metrics<'a> {
+    /// Builds the per-API dependent index.
+    pub fn new(data: &'a StudyData) -> Self {
+        let mut dependents: HashMap<Api, Vec<usize>> = HashMap::new();
+        for (i, p) in data.packages.iter().enumerate() {
+            for &api in &p.footprint.apis {
+                dependents.entry(api).or_default().push(i);
+            }
+        }
+        // Dependency-closed footprints, by fixed point over the dep graph.
+        let n = data.packages.len();
+        let mut closed: Vec<std::collections::BTreeSet<Api>> = data
+            .packages
+            .iter()
+            .map(|p| p.footprint.apis.iter().copied().collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let mut additions: Vec<Api> = Vec::new();
+                for dep in &data.packages[i].depends {
+                    if let Some(&d) = data.by_name.get(dep) {
+                        if d == i {
+                            continue;
+                        }
+                        for &api in &closed[d] {
+                            if !closed[i].contains(&api) {
+                                additions.push(api);
+                            }
+                        }
+                    }
+                }
+                if !additions.is_empty() {
+                    closed[i].extend(additions);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut closure_users: HashMap<Api, usize> = HashMap::new();
+        for set in &closed {
+            for &api in set {
+                *closure_users.entry(api).or_insert(0) += 1;
+            }
+        }
+        let total_mass = data.total_mass();
+        Self { data, dependents, closure_users, total_mass }
+    }
+
+    /// Fraction of packages that transitively need an API (their own
+    /// footprint or any dependency's).
+    pub fn closure_unweighted_importance(&self, api: Api) -> f64 {
+        let users = self.closure_users.get(&api).copied().unwrap_or(0);
+        if self.data.packages.is_empty() {
+            return 0.0;
+        }
+        users as f64 / self.data.packages.len() as f64
+    }
+
+    /// The underlying data set.
+    pub fn data(&self) -> &StudyData {
+        self.data
+    }
+
+    /// API importance (Appendix A.1).
+    pub fn importance(&self, api: Api) -> f64 {
+        match self.dependents.get(&api) {
+            None => 0.0,
+            Some(pkgs) => {
+                let miss: f64 = pkgs
+                    .iter()
+                    .map(|&i| 1.0 - self.data.packages[i].prob)
+                    .product();
+                1.0 - miss
+            }
+        }
+    }
+
+    /// Unweighted API importance (§5): fraction of packages using the API.
+    pub fn unweighted_importance(&self, api: Api) -> f64 {
+        let users = self.dependents.get(&api).map_or(0, Vec::len);
+        if self.data.packages.is_empty() {
+            return 0.0;
+        }
+        users as f64 / self.data.packages.len() as f64
+    }
+
+    /// The packages whose footprint requires an API, most-installed first.
+    pub fn dependents(&self, api: Api) -> Vec<&PackageRecord> {
+        let mut out: Vec<&PackageRecord> = self
+            .dependents
+            .get(&api)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.data.packages[i])
+            .collect();
+        out.sort_by(|a, b| b.prob.total_cmp(&a.prob).then(a.name.cmp(&b.name)));
+        out
+    }
+
+    /// Importance of every catalog API of one kind, descending.
+    pub fn importance_ranking(&self, kind: ApiKind) -> Vec<(Api, f64)> {
+        let apis: Vec<Api> = match kind {
+            ApiKind::Syscall => self
+                .data
+                .catalog
+                .syscalls
+                .iter()
+                .map(|d| Api::Syscall(d.number))
+                .collect(),
+            ApiKind::Ioctl => (0..self.data.catalog.ioctl_ops.len() as u32)
+                .map(Api::Ioctl)
+                .collect(),
+            ApiKind::Fcntl => (0..apistudy_catalog::FCNTL_OPS.len() as u32)
+                .map(Api::Fcntl)
+                .collect(),
+            ApiKind::Prctl => (0..apistudy_catalog::PRCTL_OPS.len() as u32)
+                .map(Api::Prctl)
+                .collect(),
+            ApiKind::PseudoFile => (0..self.data.catalog.pseudo_files.len() as u32)
+                .map(Api::PseudoFile)
+                .collect(),
+            ApiKind::LibcSymbol => (0..self.data.catalog.libc.len() as u32)
+                .map(Api::LibcSymbol)
+                .collect(),
+        };
+        let mut out: Vec<(Api, f64)> = apis
+            .into_iter()
+            .map(|a| (a, self.importance(a)))
+            .collect();
+        out.sort_by(|x, y| {
+            y.1.total_cmp(&x.1)
+                .then_with(|| {
+                    // Greedy tie-break among equally important APIs: first
+                    // by how many packages transitively need them, then by
+                    // direct usage (paper §3.2's ordering).
+                    self.closure_unweighted_importance(y.0)
+                        .total_cmp(&self.closure_unweighted_importance(x.0))
+                })
+                .then_with(|| {
+                    self.unweighted_importance(y.0)
+                        .total_cmp(&self.unweighted_importance(x.0))
+                })
+                .then_with(|| x.0.cmp(&y.0))
+        });
+        out
+    }
+
+    /// Weighted completeness of a system supporting `supported`, measured
+    /// over the APIs selected by `scope` (Appendix A.2).
+    ///
+    /// A package is supported when every in-scope API of its footprint is
+    /// in `supported` and all of its dependencies are supported.
+    pub fn weighted_completeness<F>(&self, supported: &HashSet<Api>, scope: F) -> f64
+    where
+        F: Fn(Api) -> bool,
+    {
+        if self.total_mass == 0.0 {
+            return 0.0;
+        }
+        let n = self.data.packages.len();
+        let mut ok = vec![true; n];
+        for (i, p) in self.data.packages.iter().enumerate() {
+            for &api in &p.footprint.apis {
+                if scope(api) && !supported.contains(&api) {
+                    ok[i] = false;
+                    break;
+                }
+            }
+        }
+        // Dependency closure: failure propagates to dependents until
+        // fixed point.
+        loop {
+            let mut changed = false;
+            for (i, p) in self.data.packages.iter().enumerate() {
+                if !ok[i] {
+                    continue;
+                }
+                for dep in &p.depends {
+                    if let Some(&d) = self.data.by_name.get(dep) {
+                        if !ok[d] {
+                            ok[i] = false;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let supported_mass: f64 = self
+            .data
+            .packages
+            .iter()
+            .zip(&ok)
+            .filter(|&(_, &s)| s)
+            .map(|(p, _)| p.prob)
+            .sum();
+        supported_mass / self.total_mass
+    }
+
+    /// Weighted completeness over system calls only, given supported
+    /// syscall numbers — the Table 6 evaluation.
+    pub fn syscall_completeness(&self, supported_numbers: &HashSet<u32>) -> f64 {
+        let supported: HashSet<Api> = supported_numbers
+            .iter()
+            .map(|&n| Api::Syscall(n))
+            .collect();
+        self.weighted_completeness(&supported, |a| a.kind() == ApiKind::Syscall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::ApiFootprint;
+    use apistudy_catalog::Catalog;
+    use apistudy_corpus::MixCensus;
+    use crate::pipeline::Attribution;
+
+    /// Hand-built StudyData with known packages.
+    fn fixture() -> StudyData {
+        let catalog = Catalog::linux_3_19();
+        let mk = |name: &str, prob: f64, apis: &[Api], deps: &[&str]| {
+            let mut fp = ApiFootprint::default();
+            fp.apis.extend(apis.iter().copied());
+            PackageRecord {
+                name: name.into(),
+                prob,
+                install_count: (prob * 1000.0) as u64,
+                depends: deps.iter().map(|s| s.to_string()).collect(),
+                footprint: fp,
+                script_interpreters: vec![],
+                file_counts: (1, 0, 0),
+                unresolved_syscall_sites: 0,
+            }
+        };
+        let packages = vec![
+            mk("base", 1.0, &[Api::Syscall(0), Api::Syscall(1)], &[]),
+            mk("half", 0.5, &[Api::Syscall(0), Api::Syscall(2)], &["base"]),
+            mk("rare", 0.01, &[Api::Syscall(3)], &["half"]),
+            mk("scripted", 0.2, &[Api::Syscall(0)], &["base"]),
+        ];
+        let by_name = packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+        StudyData {
+            catalog,
+            packages,
+            by_name,
+            total_installations: 1000,
+            census: MixCensus::default(),
+            attribution: Attribution::default(),
+            unresolved_syscall_sites: 0,
+            resolved_syscall_sites: 100,
+        }
+    }
+
+    #[test]
+    fn importance_formula() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        // syscall 0: used by base (1.0) → importance 1.
+        assert_eq!(m.importance(Api::Syscall(0)), 1.0);
+        // syscall 2: only `half` (0.5).
+        assert_eq!(m.importance(Api::Syscall(2)), 0.5);
+        // syscall 3: only `rare` (0.01).
+        assert!((m.importance(Api::Syscall(3)) - 0.01).abs() < 1e-12);
+        // unused syscall.
+        assert_eq!(m.importance(Api::Syscall(100)), 0.0);
+    }
+
+    #[test]
+    fn unweighted_importance_is_package_fraction() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        assert_eq!(m.unweighted_importance(Api::Syscall(0)), 0.75);
+        assert_eq!(m.unweighted_importance(Api::Syscall(3)), 0.25);
+        assert_eq!(m.unweighted_importance(Api::Syscall(100)), 0.0);
+    }
+
+    #[test]
+    fn dependents_sorted_by_popularity() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        let deps = m.dependents(Api::Syscall(0));
+        let names: Vec<&str> = deps.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["base", "half", "scripted"]);
+    }
+
+    #[test]
+    fn completeness_counts_supported_mass() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        // Support syscalls {0,1}: base ✓, scripted ✓, half ✗ (needs 2),
+        // rare ✗ (needs 3 and its dep `half` fails anyway).
+        let supported: HashSet<u32> = [0u32, 1].into_iter().collect();
+        let c = m.syscall_completeness(&supported);
+        let expect = (1.0 + 0.2) / (1.0 + 0.5 + 0.01 + 0.2);
+        assert!((c - expect).abs() < 1e-12, "{c} vs {expect}");
+    }
+
+    #[test]
+    fn dependency_failure_propagates() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        // Support {0,2,3} but not 1: base fails → everything fails through
+        // the dependency chain.
+        let supported: HashSet<u32> = [0u32, 2, 3].into_iter().collect();
+        let c = m.syscall_completeness(&supported);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn full_support_is_total() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        let supported: HashSet<u32> = (0..10).collect();
+        assert!((m.syscall_completeness(&supported) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_an_api_never_lowers_completeness() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        let mut supported: HashSet<u32> = HashSet::new();
+        let mut last = m.syscall_completeness(&supported);
+        for nr in 0..5 {
+            supported.insert(nr);
+            let now = m.syscall_completeness(&supported);
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let data = fixture();
+        let m = Metrics::new(&data);
+        let ranking = m.importance_ranking(ApiKind::Syscall);
+        assert_eq!(ranking.len(), data.catalog.syscalls.len());
+        for w in ranking.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ranking[0].0, Api::Syscall(0));
+    }
+}

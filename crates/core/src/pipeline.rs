@@ -1,0 +1,509 @@
+//! The end-to-end measurement pipeline.
+//!
+//! Mirrors the paper's §7 framework at repository scale: every binary of
+//! every package is parsed and statically analyzed; shared libraries are
+//! registered with the cross-binary linker; executables are resolved to
+//! closed footprints; packages aggregate their executables (plus the
+//! dynamic linker for dynamically linked programs, and the interpreter
+//! package's footprint for scripts, §2.3); the popularity survey attaches
+//! installation counts.
+//!
+//! The result, [`StudyData`], is the in-memory replacement for the paper's
+//! 428-million-row Postgres database.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use apistudy_analysis::{AnalysisOptions, BinaryAnalysis, Linker};
+use apistudy_catalog::Catalog;
+use apistudy_corpus::{
+    Interpreter, MixCensus, Package, PackageFile, SynthRepo,
+};
+use apistudy_elf::{BinaryClass, ElfFile};
+use parking_lot::Mutex;
+
+use crate::footprint::ApiFootprint;
+
+/// Everything the study knows about one package.
+#[derive(Debug, Clone)]
+pub struct PackageRecord {
+    /// Package name.
+    pub name: String,
+    /// Installation probability (from popcon).
+    pub prob: f64,
+    /// Raw popcon installation count.
+    pub install_count: u64,
+    /// Dependencies (package names).
+    pub depends: Vec<String>,
+    /// The package's catalog-resolved API footprint.
+    pub footprint: ApiFootprint,
+    /// Interpreter-providing packages for the package's scripts.
+    pub script_interpreters: Vec<String>,
+    /// Numbers of shipped executables / libraries / scripts.
+    pub file_counts: (usize, usize, usize),
+    /// Unresolved syscall sites observed while analyzing this package.
+    pub unresolved_syscall_sites: u32,
+}
+
+/// Which binaries contain *direct* call sites for each system call — the
+/// paper's library-attribution signal (Tables 1, 2, 5).
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Syscall number → binary file names with direct call sites.
+    pub direct_users: HashMap<u32, BTreeSet<String>>,
+    /// Binary file name → owning package.
+    pub binary_package: HashMap<String, String>,
+}
+
+impl Attribution {
+    /// Binaries with direct call sites for a syscall.
+    pub fn users_of(&self, nr: u32) -> impl Iterator<Item = &str> {
+        self.direct_users
+            .get(&nr)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+}
+
+/// The aggregated study dataset.
+pub struct StudyData {
+    /// The API catalog measured against.
+    pub catalog: Catalog,
+    /// One record per package.
+    pub packages: Vec<PackageRecord>,
+    /// Package name → index.
+    pub by_name: HashMap<String, usize>,
+    /// Survey size.
+    pub total_installations: u64,
+    /// Figure 1 census.
+    pub census: MixCensus,
+    /// Direct-call-site attribution.
+    pub attribution: Attribution,
+    /// Total unresolved syscall sites across the corpus (paper: ~4% of
+    /// sites).
+    pub unresolved_syscall_sites: u64,
+    /// Total syscall sites resolved (for the unresolved ratio).
+    pub resolved_syscall_sites: u64,
+}
+
+struct PkgIntermediate {
+    /// Index into the repository plan (kept for deterministic ordering).
+    #[allow(dead_code)]
+    index: usize,
+    package: Package,
+    libs: Vec<(String, BinaryAnalysis)>,
+    execs: Vec<BinaryAnalysis>,
+    unresolved: u32,
+    resolved: u64,
+}
+
+fn analyze_package(
+    index: usize,
+    package: Package,
+    options: AnalysisOptions,
+) -> PkgIntermediate {
+    let mut libs = Vec::new();
+    let mut execs = Vec::new();
+    let mut unresolved = 0u32;
+    let mut resolved = 0u64;
+    for file in &package.files {
+        let PackageFile::Elf { name, bytes } = file else { continue };
+        let Ok(elf) = ElfFile::parse(bytes) else { continue };
+        let Ok(ba) = BinaryAnalysis::analyze_with(&elf, options) else {
+            continue;
+        };
+        for f in &ba.funcs {
+            unresolved += f.facts.unresolved_syscall_sites;
+            resolved += f.facts.syscalls.len() as u64;
+        }
+        match ba.class {
+            BinaryClass::SharedLib => libs.push((name.clone(), ba)),
+            _ => execs.push(ba),
+        }
+    }
+    PkgIntermediate { index, package, libs, execs, unresolved, resolved }
+}
+
+impl StudyData {
+    /// Runs the full pipeline over a synthetic repository with the
+    /// paper's default analysis choices.
+    pub fn from_synth(repo: &SynthRepo) -> Self {
+        Self::from_synth_with(repo, AnalysisOptions::default())
+    }
+
+    /// Runs the full pipeline with explicit [`AnalysisOptions`] — the
+    /// corpus-wide ablation entry point: every metric downstream reflects
+    /// the chosen analyzer behaviour.
+    pub fn from_synth_with(repo: &SynthRepo, options: AnalysisOptions) -> Self {
+        let n = repo.package_count();
+        let slots: Mutex<Vec<Option<PkgIntermediate>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let cursor = AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(16);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let pkg = repo.package(i);
+                    let inter = analyze_package(i, pkg, options);
+                    slots.lock()[i] = Some(inter);
+                });
+            }
+        })
+        .expect("analysis workers");
+        let inters: Vec<PkgIntermediate> = slots
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every package analyzed"))
+            .collect();
+        Self::assemble(repo, inters)
+    }
+
+    fn assemble(repo: &SynthRepo, inters: Vec<PkgIntermediate>) -> Self {
+        let catalog = Catalog::linux_3_19();
+        let census = MixCensus::scan(inters.iter().map(|i| &i.package));
+
+        // Register every shared library; build attribution as we go.
+        let mut linker = Linker::new();
+        let mut attribution = Attribution::default();
+        let mut unresolved_total = 0u64;
+        let mut resolved_total = 0u64;
+        for inter in &inters {
+            unresolved_total += u64::from(inter.unresolved);
+            resolved_total += inter.resolved;
+            for (name, ba) in &inter.libs {
+                for nr in ba.direct_syscalls() {
+                    attribution
+                        .direct_users
+                        .entry(nr)
+                        .or_default()
+                        .insert(name.clone());
+                }
+                attribution
+                    .binary_package
+                    .insert(name.clone(), inter.package.name.clone());
+                linker.add_library(name, ba.clone());
+            }
+            for (ei, ba) in inter.execs.iter().enumerate() {
+                let file = format!("{}/exec{ei}", inter.package.name);
+                for nr in ba.direct_syscalls() {
+                    attribution
+                        .direct_users
+                        .entry(nr)
+                        .or_default()
+                        .insert(file.clone());
+                }
+                attribution
+                    .binary_package
+                    .insert(file, inter.package.name.clone());
+            }
+        }
+        linker.seal();
+
+        // The dynamic linker's own footprint belongs to the package that
+        // ships it (libc6): applications do not import from ld.so, so its
+        // calls (`access`, `arch_prctl`, ...) keep 100% weighted importance
+        // through the always-installed libc package while their unweighted
+        // importance stays a per-package property (paper Tables 5 and 8).
+        let ldso_fp = linker
+            .resolve_whole_library(apistudy_corpus::libc_gen::LDSO_SONAME)
+            .unwrap_or_default();
+
+        // Per-package closed footprints.
+        let mut packages: Vec<PackageRecord> = Vec::with_capacity(inters.len());
+        for inter in &inters {
+            let mut fp = ApiFootprint::default();
+            let ships_ldso = inter.libs.iter().any(|(name, _)| {
+                name == apistudy_corpus::libc_gen::LDSO_SONAME
+            });
+            if ships_ldso {
+                fp.merge(&ApiFootprint::resolve(&catalog, &ldso_fp));
+            }
+            for ba in &inter.execs {
+                let raw = linker.resolve_executable(ba);
+                fp.merge(&ApiFootprint::resolve(&catalog, &raw));
+            }
+            let script_interpreters: Vec<String> = inter
+                .package
+                .files
+                .iter()
+                .filter_map(|f| match f {
+                    PackageFile::Script { shebang, .. } => Some(
+                        Interpreter::classify(shebang)
+                            .providing_package()
+                            .to_owned(),
+                    ),
+                    PackageFile::Elf { .. } => None,
+                })
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let n_scripts = inter.package.files.len()
+                - inter.execs.len()
+                - inter.libs.len();
+            packages.push(PackageRecord {
+                name: inter.package.name.clone(),
+                prob: repo.plan.popcon.probability(&inter.package.name),
+                install_count: repo.plan.popcon.count(&inter.package.name),
+                depends: inter.package.depends.clone(),
+                footprint: fp,
+                script_interpreters,
+                file_counts: (inter.execs.len(), inter.libs.len(), n_scripts),
+                unresolved_syscall_sites: inter.unresolved,
+            });
+        }
+        let by_name: HashMap<String, usize> = packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+
+        // Script packages inherit the interpreter package's footprint
+        // (§2.3: the interpreter over-approximates the script). Two passes
+        // settle interpreter-of-interpreter chains.
+        for _ in 0..2 {
+            let snapshot: Vec<ApiFootprint> =
+                packages.iter().map(|p| p.footprint.clone()).collect();
+            for p in packages.iter_mut() {
+                for provider in p.script_interpreters.clone() {
+                    if provider == p.name {
+                        continue;
+                    }
+                    if let Some(&i) = by_name.get(&provider) {
+                        p.footprint.merge(&snapshot[i]);
+                    }
+                }
+            }
+        }
+
+        Self {
+            catalog,
+            packages,
+            by_name,
+            total_installations: repo.plan.popcon.total_installations,
+            census,
+            attribution,
+            unresolved_syscall_sites: unresolved_total,
+            resolved_syscall_sites: resolved_total,
+        }
+    }
+
+    /// Rebuilds a measurable dataset from a published CSV export
+    /// ([`crate::dataset::Dataset`]): downstream analyses can compute every
+    /// metric without re-running the binary analysis. API names that no
+    /// longer resolve against the catalog are counted in the footprint's
+    /// `unresolved` field.
+    pub fn from_dataset(ds: &crate::dataset::Dataset) -> Self {
+        use apistudy_catalog::ApiKind;
+        let catalog = Catalog::linux_3_19();
+        let packages: Vec<PackageRecord> = ds
+            .rows
+            .iter()
+            .map(|row| {
+                let mut fp = ApiFootprint::default();
+                for (kind, names) in &row.apis {
+                    for name in names {
+                        let api = match kind {
+                            ApiKind::Syscall => catalog.syscall(name),
+                            ApiKind::Ioctl => catalog.ioctl(name),
+                            ApiKind::Fcntl => apistudy_catalog::FCNTL_OPS
+                                .iter()
+                                .position(|&(_, n)| n == name)
+                                .map(|i| apistudy_catalog::Api::Fcntl(i as u32)),
+                            ApiKind::Prctl => apistudy_catalog::PRCTL_OPS
+                                .iter()
+                                .position(|&(_, n)| n == name)
+                                .map(|i| apistudy_catalog::Api::Prctl(i as u32)),
+                            ApiKind::PseudoFile => catalog.pseudo_file(name),
+                            ApiKind::LibcSymbol => catalog.libc_symbol(name),
+                        };
+                        match api {
+                            Some(api) => {
+                                fp.apis.insert(api);
+                            }
+                            None => fp.unresolved += 1,
+                        }
+                    }
+                }
+                PackageRecord {
+                    name: row.name.clone(),
+                    prob: row.probability,
+                    install_count: row.install_count,
+                    depends: row.depends.clone(),
+                    footprint: fp,
+                    script_interpreters: Vec::new(),
+                    file_counts: (0, 0, 0),
+                    unresolved_syscall_sites: 0,
+                }
+            })
+            .collect();
+        let by_name = packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+        Self {
+            catalog,
+            packages,
+            by_name,
+            total_installations: ds.installations,
+            census: MixCensus::default(),
+            attribution: Attribution::default(),
+            unresolved_syscall_sites: 0,
+            resolved_syscall_sites: 0,
+        }
+    }
+
+    /// A package record by name.
+    pub fn package(&self, name: &str) -> Option<&PackageRecord> {
+        self.by_name.get(name).map(|&i| &self.packages[i])
+    }
+
+    /// Total installation mass (Σ probability), the denominator of
+    /// weighted completeness.
+    pub fn total_mass(&self) -> f64 {
+        self.packages.iter().map(|p| p.prob).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apistudy_catalog::Api;
+    use apistudy_corpus::{CalibrationSpec, Scale};
+
+    fn tiny() -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 150, installations: 50_000 },
+            CalibrationSpec::default(),
+            0xBEEF,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn pipeline_produces_a_record_per_package() {
+        let data = tiny();
+        assert_eq!(data.packages.len(), 150);
+        assert!(data.package("libc6").is_some());
+        assert!(data.package("coreutils").is_some());
+    }
+
+    #[test]
+    fn every_dynamic_package_gets_the_startup_footprint() {
+        let data = tiny();
+        let nr = |name: &str| data.catalog.syscalls.number_of(name).unwrap();
+        let mut checked = 0;
+        for p in &data.packages {
+            if p.file_counts.0 == 0 || p.footprint.is_empty() {
+                continue;
+            }
+            // Startup syscalls (exit_group) and ld.so's access must be
+            // present in every dynamically linked package.
+            if p.footprint.contains(Api::Syscall(nr("exit_group"))) {
+                assert!(
+                    p.footprint.contains(Api::Syscall(nr("mprotect"))),
+                    "{} lacks mprotect",
+                    p.name
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 100, "only {checked} packages checked");
+    }
+
+    #[test]
+    fn attribution_places_access_in_ldso() {
+        let data = tiny();
+        let nr = data.catalog.syscalls.number_of("access").unwrap();
+        let users: Vec<&str> = data.attribution.users_of(nr).collect();
+        assert!(
+            users.contains(&"ld-linux-x86-64.so.2"),
+            "access direct users: {users:?}"
+        );
+    }
+
+    #[test]
+    fn unused_syscalls_have_no_package_users() {
+        let data = tiny();
+        for name in ["sysfs", "remap_file_pages", "mq_notify",
+                     "lookup_dcookie", "restart_syscall", "move_pages",
+                     "get_robust_list", "rt_tgsigqueueinfo", "tuxcall",
+                     "create_module"] {
+            let nr = data.catalog.syscalls.number_of(name).unwrap();
+            let users = data
+                .packages
+                .iter()
+                .filter(|p| p.footprint.contains(Api::Syscall(nr)))
+                .count();
+            assert_eq!(users, 0, "{name} should be unused");
+        }
+    }
+
+    #[test]
+    fn pin_packages_carry_their_syscalls() {
+        let data = tiny();
+        let nr = |name: &str| data.catalog.syscalls.number_of(name).unwrap();
+        let kexec = data.package("kexec-tools").expect("pin exists");
+        assert!(kexec.footprint.contains(Api::Syscall(nr("kexec_load"))));
+        let numa = data.package("libnuma").expect("pin exists");
+        assert!(numa.footprint.contains(Api::Syscall(nr("mbind"))));
+    }
+
+    #[test]
+    fn qemu_has_the_largest_syscall_footprint() {
+        let data = tiny();
+        let qemu = data.package("qemu").unwrap().footprint.syscalls().count();
+        let max_other = data
+            .packages
+            .iter()
+            .filter(|p| p.name != "qemu")
+            .map(|p| p.footprint.syscalls().count())
+            .max()
+            .unwrap();
+        assert!(qemu >= max_other, "qemu {qemu} vs max {max_other}");
+        assert!(qemu >= 240, "qemu footprint is {qemu}");
+    }
+
+    #[test]
+    fn corpus_wide_ablation_shrinks_footprints() {
+        let repo = SynthRepo::new(
+            Scale { packages: 150, installations: 50_000 },
+            CalibrationSpec::default(),
+            0xBEEF,
+        );
+        let full = StudyData::from_synth(&repo);
+        let reduced = StudyData::from_synth_with(
+            &repo,
+            apistudy_analysis::AnalysisOptions {
+                function_pointer_edges: false,
+                ..Default::default()
+            },
+        );
+        let count = |d: &StudyData| -> usize {
+            d.packages.iter().map(|p| p.footprint.len()).sum()
+        };
+        assert!(
+            count(&reduced) < count(&full),
+            "disabling pointer edges must lose coverage corpus-wide: {} vs {}",
+            count(&reduced),
+            count(&full),
+        );
+    }
+
+    #[test]
+    fn unresolved_sites_are_rare() {
+        let data = tiny();
+        let total = data.unresolved_syscall_sites + data.resolved_syscall_sites;
+        assert!(total > 0);
+        let ratio = data.unresolved_syscall_sites as f64 / total as f64;
+        assert!(ratio < 0.10, "unresolved ratio {ratio}");
+    }
+}

@@ -1,0 +1,230 @@
+//! The implementation planner: "From Hello World to qemu" (paper §3.2).
+//!
+//! Given the measured importance ranking of system calls, computes the
+//! accumulated weighted completeness of supporting the N most important
+//! calls (Figure 3) and partitions the ranking into the five development
+//! stages of Table 4.
+
+use std::collections::HashMap;
+
+use apistudy_catalog::{Api, ApiKind};
+
+use crate::metrics::Metrics;
+
+/// The measured syscall importance ranking and the completeness curve over
+/// its prefixes.
+#[derive(Debug, Clone)]
+pub struct CompletenessCurve {
+    /// Syscall numbers, most important first.
+    pub ranking: Vec<u32>,
+    /// `points[n]` = weighted completeness when the first `n` calls of
+    /// `ranking` are supported (`points[0]` = 0 support).
+    pub points: Vec<f64>,
+}
+
+impl CompletenessCurve {
+    /// Computes the curve. Efficient: packages are bucketed by the maximum
+    /// rank in their (dependency-closed) syscall footprint, so the sweep is
+    /// one pass rather than one completeness evaluation per N.
+    pub fn compute(metrics: &Metrics<'_>) -> Self {
+        let data = metrics.data();
+        let ranking: Vec<u32> = metrics
+            .importance_ranking(ApiKind::Syscall)
+            .into_iter()
+            .map(|(api, _)| match api {
+                Api::Syscall(n) => n,
+                _ => unreachable!("syscall ranking"),
+            })
+            .collect();
+        let rank_of: HashMap<u32, usize> = ranking
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i + 1)) // 1-based: supported once N ≥ rank
+            .collect();
+
+        // Max rank per package footprint.
+        let n = data.packages.len();
+        let mut max_rank: Vec<usize> = data
+            .packages
+            .iter()
+            .map(|p| {
+                p.footprint
+                    .syscalls()
+                    .map(|nr| rank_of.get(&nr).copied().unwrap_or(usize::MAX))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        // Dependency closure: a package needs its dependencies to work, so
+        // its effective rank is the max over the dependency closure.
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let mut m = max_rank[i];
+                for dep in &data.packages[i].depends {
+                    if let Some(&d) = data.by_name.get(dep) {
+                        m = m.max(max_rank[d]);
+                    }
+                }
+                if m != max_rank[i] {
+                    max_rank[i] = m;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Mass histogram by effective rank.
+        let total_mass: f64 = data.packages.iter().map(|p| p.prob).sum();
+        let mut mass_at = vec![0.0f64; ranking.len() + 1];
+        for (i, p) in data.packages.iter().enumerate() {
+            if max_rank[i] <= ranking.len() {
+                mass_at[max_rank[i]] += p.prob;
+            }
+            // Packages needing an API outside the ranking never become
+            // supported (cannot happen for syscalls, kept for safety).
+        }
+        let mut points = Vec::with_capacity(ranking.len() + 1);
+        let mut acc = 0.0;
+        for m in mass_at {
+            acc += m;
+            points.push(if total_mass > 0.0 { acc / total_mass } else { 0.0 });
+        }
+        Self { ranking, points }
+    }
+
+    /// Completeness with the top `n` calls supported.
+    pub fn at(&self, n: usize) -> f64 {
+        self.points[n.min(self.points.len() - 1)]
+    }
+
+    /// Smallest N reaching at least the given completeness.
+    pub fn calls_needed(&self, completeness: f64) -> usize {
+        self.points
+            .iter()
+            .position(|&c| c >= completeness)
+            .unwrap_or(self.points.len() - 1)
+    }
+}
+
+/// One development stage (Table 4).
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage label (I–V).
+    pub label: &'static str,
+    /// Number of calls added in this stage.
+    pub added: usize,
+    /// Cumulative number of calls after this stage.
+    pub cumulative: usize,
+    /// Sample syscall names from this stage.
+    pub samples: Vec<String>,
+    /// Weighted completeness reached.
+    pub completeness: f64,
+}
+
+/// Partitions the curve into the paper's five stages (40 / 81 / 145 / 202 /
+/// everything used).
+pub fn stages(metrics: &Metrics<'_>, curve: &CompletenessCurve) -> Vec<Stage> {
+    let data = metrics.data();
+    // The last stage ends where importance hits zero (all used calls).
+    let used = curve
+        .ranking
+        .iter()
+        .take_while(|&&nr| metrics.importance(Api::Syscall(nr)) > 0.0)
+        .count();
+    let bounds = [40usize, 81, 145, 202, used.max(202)];
+    let labels = ["I", "II", "III", "IV", "V"];
+    let mut out = Vec::with_capacity(5);
+    let mut prev = 0usize;
+    for (i, &b) in bounds.iter().enumerate() {
+        let b = b.min(curve.ranking.len());
+        let samples: Vec<String> = curve.ranking[prev..b]
+            .iter()
+            .take(10)
+            .filter_map(|&nr| {
+                data.catalog.syscalls.by_number(nr).map(|d| d.name.to_owned())
+            })
+            .collect();
+        out.push(Stage {
+            label: labels[i],
+            added: b - prev,
+            cumulative: b,
+            samples,
+            completeness: curve.at(b),
+        });
+        prev = b;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyData;
+    use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+
+    fn data() -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 200, installations: 50_000 },
+            CalibrationSpec::default(),
+            11,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn curve_is_monotone_and_reaches_one() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let curve = CompletenessCurve::compute(&metrics);
+        assert_eq!(curve.ranking.len(), 323);
+        for w in curve.points.windows(2) {
+            assert!(w[1] >= w[0], "curve must be monotone");
+        }
+        assert!((curve.at(323) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hello_world_needs_about_40_calls() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let curve = CompletenessCurve::compute(&metrics);
+        // Nothing runs with fewer than ~40 calls...
+        assert!(curve.at(30) < 0.005, "at 30: {}", curve.at(30));
+        // ...but the first packages appear by 40.
+        assert!(curve.at(45) > 0.0, "at 45: {}", curve.at(45));
+    }
+
+    #[test]
+    fn knees_match_figure_3_shape() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let curve = CompletenessCurve::compute(&metrics);
+        let at81 = curve.at(81);
+        let at145 = curve.at(145);
+        let at202 = curve.at(202);
+        assert!(at81 > 0.01 && at81 < 0.40, "at 81: {at81}");
+        assert!(at145 > 0.25 && at145 < 0.75, "at 145: {at145}");
+        assert!(at202 > 0.70, "at 202: {at202}");
+        assert!(at81 < at145 && at145 < at202);
+    }
+
+    #[test]
+    fn stage_partition_covers_ranking() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let curve = CompletenessCurve::compute(&metrics);
+        let st = stages(&metrics, &curve);
+        assert_eq!(st.len(), 5);
+        assert_eq!(st[0].cumulative, 40);
+        assert_eq!(st[1].cumulative, 81);
+        assert_eq!(st[2].cumulative, 145);
+        assert_eq!(st[3].cumulative, 202);
+        assert!(st[4].cumulative >= 202);
+        for w in st.windows(2) {
+            assert!(w[1].completeness >= w[0].completeness);
+        }
+    }
+}

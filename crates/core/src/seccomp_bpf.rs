@@ -1,0 +1,392 @@
+//! Classic-BPF seccomp filter generation (paper §6).
+//!
+//! The paper observes that a statically recovered footprint is exactly the
+//! allow-list an application sandbox needs, and that seccomp-BPF policy
+//! generation "can be easily automated using our framework". This module
+//! does that end to end: it assembles a real classic-BPF program (the
+//! format `seccomp(2)` loads) from a footprint, and ships a small BPF
+//! interpreter so filters are *executable and testable* in-process.
+//!
+//! The generated program follows the canonical seccomp filter layout:
+//!
+//! ```text
+//!   ld  [offsetof(seccomp_data, arch)]
+//!   jne AUDIT_ARCH_X86_64 -> KILL
+//!   ld  [offsetof(seccomp_data, nr)]
+//!   jeq nr_0 -> ALLOW
+//!   ...
+//!   jeq nr_n -> ALLOW
+//!   ret KILL
+//! ```
+//!
+//! Dense runs of allowed numbers are emitted as range checks
+//! (`jge lo` + `jgt hi`), which keeps filters for broad footprints short.
+
+use crate::pipeline::StudyData;
+
+/// `AUDIT_ARCH_X86_64`.
+pub const AUDIT_ARCH_X86_64: u32 = 0xC000_003E;
+/// `SECCOMP_RET_ALLOW`.
+pub const RET_ALLOW: u32 = 0x7FFF_0000;
+/// `SECCOMP_RET_KILL` (kill the thread).
+pub const RET_KILL: u32 = 0x0000_0000;
+
+/// Offset of `seccomp_data.nr`.
+const OFF_NR: u32 = 0;
+/// Offset of `seccomp_data.arch`.
+const OFF_ARCH: u32 = 4;
+
+// Classic BPF opcodes (the subset seccomp filters use).
+const LD_W_ABS: u16 = 0x20; // BPF_LD | BPF_W | BPF_ABS
+const JMP_JEQ_K: u16 = 0x15; // BPF_JMP | BPF_JEQ | BPF_K
+const JMP_JGE_K: u16 = 0x35; // BPF_JMP | BPF_JGE | BPF_K
+const JMP_JGT_K: u16 = 0x25; // BPF_JMP | BPF_JGT | BPF_K
+const RET_K: u16 = 0x06; // BPF_RET | BPF_K
+
+/// One classic-BPF instruction (`struct sock_filter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpfInsn {
+    /// Opcode.
+    pub code: u16,
+    /// Jump-if-true offset.
+    pub jt: u8,
+    /// Jump-if-false offset.
+    pub jf: u8,
+    /// Operand.
+    pub k: u32,
+}
+
+impl BpfInsn {
+    fn new(code: u16, jt: u8, jf: u8, k: u32) -> Self {
+        Self { code, jt, jf, k }
+    }
+
+    /// Serializes to the kernel's 8-byte `sock_filter` wire format
+    /// (little-endian).
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[0..2].copy_from_slice(&self.code.to_le_bytes());
+        out[2] = self.jt;
+        out[3] = self.jf;
+        out[4..8].copy_from_slice(&self.k.to_le_bytes());
+        out
+    }
+}
+
+/// A complete seccomp-BPF filter program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpfProgram {
+    /// The instructions, in order.
+    pub insns: Vec<BpfInsn>,
+}
+
+impl BpfProgram {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Serializes the whole program to the `sock_fprog` byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.insns.iter().flat_map(|i| i.to_bytes()).collect()
+    }
+
+    /// Builds an allow-list filter from sorted, deduplicated syscall
+    /// numbers. Consecutive runs become range checks.
+    pub fn allow_list(numbers: &[u32]) -> Self {
+        debug_assert!(
+            numbers.windows(2).all(|w| w[0] < w[1]),
+            "numbers must be sorted and unique"
+        );
+        // Coalesce into inclusive ranges.
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for &n in numbers {
+            match ranges.last_mut() {
+                Some((_, hi)) if *hi + 1 == n => *hi = n,
+                _ => ranges.push((n, n)),
+            }
+        }
+
+        let mut insns = Vec::new();
+        // Architecture pinning.
+        insns.push(BpfInsn::new(LD_W_ABS, 0, 0, OFF_ARCH));
+        // jeq ARCH ? fall through : jump to the final KILL. The false
+        // offset is patched after layout.
+        let arch_check = insns.len();
+        insns.push(BpfInsn::new(JMP_JEQ_K, 0, 0, AUDIT_ARCH_X86_64));
+        insns.push(BpfInsn::new(LD_W_ABS, 0, 0, OFF_NR));
+
+        // Range and singleton checks. Each block either jumps to ALLOW
+        // (placed just before the final KILL) or falls through.
+        #[derive(Clone, Copy)]
+        enum Check {
+            Single(u32),
+            Range(u32, u32),
+        }
+        let checks: Vec<Check> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                if lo == hi {
+                    Check::Single(lo)
+                } else {
+                    Check::Range(lo, hi)
+                }
+            })
+            .collect();
+        // Emit with placeholder jump targets, then patch: ALLOW sits at
+        // index `allow_at`, KILL at `allow_at + 1`.
+        let mut check_sites: Vec<(usize, bool)> = Vec::new(); // (idx, is_range_second)
+        for c in &checks {
+            match *c {
+                Check::Single(n) => {
+                    check_sites.push((insns.len(), false));
+                    insns.push(BpfInsn::new(JMP_JEQ_K, 0, 0, n));
+                }
+                Check::Range(lo, hi) => {
+                    // jge lo ? continue : skip past the pair.
+                    insns.push(BpfInsn::new(JMP_JGE_K, 0, 1, lo));
+                    // jgt hi ? fall through (not allowed) : ALLOW.
+                    check_sites.push((insns.len(), true));
+                    insns.push(BpfInsn::new(JMP_JGT_K, 0, 0, hi));
+                }
+            }
+        }
+        // KILL is the fall-through after the last check; ALLOW sits
+        // behind it as the jump target of every successful check.
+        let kill_at = insns.len();
+        insns.push(BpfInsn::new(RET_K, 0, 0, RET_KILL));
+        let allow_at = insns.len();
+        insns.push(BpfInsn::new(RET_K, 0, 0, RET_ALLOW));
+
+        // Patch jump offsets (relative to the *next* instruction).
+        let rel = |from: usize, to: usize| -> u8 {
+            u8::try_from(to - from - 1).expect("filter fits classic BPF offsets")
+        };
+        for (idx, is_range_second) in check_sites {
+            if is_range_second {
+                // jgt hi: true → fall through to next check (offset 0 means
+                // next insn; but next insn is the next check) — we want
+                // true = NOT allowed → continue scanning, false = ALLOW.
+                insns[idx].jt = 0;
+                insns[idx].jf = rel(idx, allow_at);
+            } else {
+                insns[idx].jt = rel(idx, allow_at);
+                insns[idx].jf = 0;
+            }
+        }
+        insns[arch_check].jf = rel(arch_check, kill_at);
+        Self { insns }
+    }
+
+    /// Renders a human-readable disassembly.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, insn) in self.insns.iter().enumerate() {
+            let text = match insn.code {
+                LD_W_ABS => format!(
+                    "ld [{}]{}",
+                    insn.k,
+                    if insn.k == OFF_ARCH { "  ; arch" } else { "  ; nr" }
+                ),
+                JMP_JEQ_K => format!(
+                    "jeq #{:#x}, +{}, +{}",
+                    insn.k, insn.jt, insn.jf
+                ),
+                JMP_JGE_K => format!("jge #{}, +{}, +{}", insn.k, insn.jt, insn.jf),
+                JMP_JGT_K => format!("jgt #{}, +{}, +{}", insn.k, insn.jt, insn.jf),
+                RET_K => {
+                    if insn.k == RET_ALLOW {
+                        "ret ALLOW".to_owned()
+                    } else {
+                        "ret KILL".to_owned()
+                    }
+                }
+                other => format!("op {other:#x}"),
+            };
+            let _ = writeln!(out, "{i:4}: {text}");
+        }
+        out
+    }
+}
+
+/// The `seccomp_data` view the filter evaluates.
+#[derive(Debug, Clone, Copy)]
+pub struct SeccompData {
+    /// System call number.
+    pub nr: u32,
+    /// Audit architecture.
+    pub arch: u32,
+}
+
+/// Executes a classic-BPF seccomp filter over one syscall event.
+///
+/// Returns the filter's return value (`RET_ALLOW` / `RET_KILL`), or `None`
+/// when the program is malformed (falls off the end, bad offset — which
+/// the kernel verifier would reject).
+pub fn run_filter(program: &BpfProgram, data: SeccompData) -> Option<u32> {
+    let mut acc: u32 = 0;
+    let mut pc = 0usize;
+    let mut steps = 0usize;
+    while pc < program.insns.len() {
+        steps += 1;
+        if steps > 4096 {
+            return None; // Classic BPF cannot loop, but guard anyway.
+        }
+        let insn = program.insns[pc];
+        match insn.code {
+            LD_W_ABS => {
+                acc = match insn.k {
+                    OFF_NR => data.nr,
+                    OFF_ARCH => data.arch,
+                    _ => return None,
+                };
+                pc += 1;
+            }
+            JMP_JEQ_K => {
+                let taken = acc == insn.k;
+                pc += 1 + usize::from(if taken { insn.jt } else { insn.jf });
+            }
+            JMP_JGE_K => {
+                let taken = acc >= insn.k;
+                pc += 1 + usize::from(if taken { insn.jt } else { insn.jf });
+            }
+            JMP_JGT_K => {
+                let taken = acc > insn.k;
+                pc += 1 + usize::from(if taken { insn.jt } else { insn.jf });
+            }
+            RET_K => return Some(insn.k),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Builds the seccomp-BPF filter for a package's measured footprint.
+pub fn seccomp_filter(data: &StudyData, package: &str) -> Option<BpfProgram> {
+    let record = data.package(package)?;
+    let numbers: Vec<u32> = record.footprint.syscalls().collect();
+    Some(BpfProgram::allow_list(&numbers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allowed(program: &BpfProgram, nr: u32) -> bool {
+        run_filter(program, SeccompData { nr, arch: AUDIT_ARCH_X86_64 })
+            == Some(RET_ALLOW)
+    }
+
+    #[test]
+    fn empty_allow_list_kills_everything() {
+        let p = BpfProgram::allow_list(&[]);
+        for nr in [0, 1, 59, 322] {
+            assert!(!allowed(&p, nr));
+        }
+    }
+
+    #[test]
+    fn singletons_allow_exactly_their_numbers() {
+        let p = BpfProgram::allow_list(&[0, 3, 60]);
+        assert!(allowed(&p, 0));
+        assert!(allowed(&p, 3));
+        assert!(allowed(&p, 60));
+        for nr in [1, 2, 4, 59, 61, 322] {
+            assert!(!allowed(&p, nr), "{nr} must be killed");
+        }
+    }
+
+    #[test]
+    fn ranges_are_coalesced_and_exact() {
+        // 0..=4 and 10..=12 plus singleton 20.
+        let p = BpfProgram::allow_list(&[0, 1, 2, 3, 4, 10, 11, 12, 20]);
+        for nr in 0..=4 {
+            assert!(allowed(&p, nr));
+        }
+        for nr in 10..=12 {
+            assert!(allowed(&p, nr));
+        }
+        assert!(allowed(&p, 20));
+        for nr in [5, 9, 13, 19, 21] {
+            assert!(!allowed(&p, nr), "{nr} must be killed");
+        }
+        // Three checks (two ranges + one singleton) rather than nine.
+        assert!(p.len() < 9 + 4, "coalescing must shrink the filter: {}", p.len());
+    }
+
+    #[test]
+    fn wrong_architecture_is_killed() {
+        let p = BpfProgram::allow_list(&[0, 1, 2]);
+        let r = run_filter(&p, SeccompData { nr: 0, arch: 0x4000_0003 });
+        assert_eq!(r, Some(RET_KILL));
+    }
+
+    #[test]
+    fn exhaustive_check_against_reference() {
+        // Compare the filter against the allow-set for every number the
+        // study can see.
+        let allow: Vec<u32> = vec![0, 1, 2, 3, 9, 10, 11, 12, 13, 14, 21,
+                                   59, 60, 231, 257, 322];
+        let p = BpfProgram::allow_list(&allow);
+        let set: std::collections::HashSet<u32> =
+            allow.iter().copied().collect();
+        for nr in 0..400 {
+            assert_eq!(
+                allowed(&p, nr),
+                set.contains(&nr),
+                "mismatch at {nr}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_format_is_8_bytes_per_insn() {
+        let p = BpfProgram::allow_list(&[0, 1]);
+        assert_eq!(p.to_bytes().len(), p.len() * 8);
+        let first = p.insns[0].to_bytes();
+        assert_eq!(u16::from_le_bytes([first[0], first[1]]), 0x20);
+        assert_eq!(
+            u32::from_le_bytes([first[4], first[5], first[6], first[7]]),
+            4, // arch offset
+        );
+    }
+
+    #[test]
+    fn disassembly_mentions_every_ret() {
+        let p = BpfProgram::allow_list(&[5]);
+        let text = p.disassemble();
+        assert!(text.contains("ret ALLOW"));
+        assert!(text.contains("ret KILL"));
+        assert!(text.contains("; arch"));
+    }
+
+    #[test]
+    fn full_footprint_filter_is_verified_end_to_end() {
+        use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+        let repo = SynthRepo::new(
+            Scale { packages: 120, installations: 20_000 },
+            CalibrationSpec::default(),
+            3,
+        );
+        let data = crate::pipeline::StudyData::from_synth(&repo);
+        let record = data.package("coreutils").unwrap();
+        let allow: std::collections::HashSet<u32> =
+            record.footprint.syscalls().collect();
+        let p = seccomp_filter(&data, "coreutils").unwrap();
+        for nr in 0..=330u32 {
+            assert_eq!(
+                allowed(&p, nr),
+                allow.contains(&nr),
+                "filter and footprint disagree at {nr}"
+            );
+        }
+        // Broad footprints must still produce compact filters.
+        assert!(p.len() < allow.len() + 8, "ranges must coalesce");
+    }
+}

@@ -1,0 +1,134 @@
+//! Evaluation-workload matching.
+//!
+//! The paper's introduction promises "the ability to match evaluation
+//! workloads to modified or supported system APIs": if a researcher
+//! optimizes `stat` and `open` (the paper's own example, citing a dentry
+//! cache project), which widely-used applications would exercise — and
+//! benefit from — the change?
+
+use apistudy_catalog::Api;
+
+use crate::{metrics::Metrics, pipeline::PackageRecord};
+
+/// How candidate workloads must relate to the API set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Match {
+    /// The workload must use *every* listed API (it exercises the whole
+    /// modification).
+    All,
+    /// The workload must use *at least one* listed API.
+    Any,
+}
+
+/// Packages that would exercise the given APIs, most-installed first.
+///
+/// These are the evaluation workloads a prototype paper should run, and
+/// simultaneously the users who would benefit from an optimization (or
+/// break under a regression).
+pub fn workloads_for<'a>(
+    metrics: &'a Metrics<'_>,
+    apis: &[Api],
+    mode: Match,
+) -> Vec<&'a PackageRecord> {
+    let mut out: Vec<&PackageRecord> = metrics
+        .data()
+        .packages
+        .iter()
+        .filter(|p| match mode {
+            Match::All => apis.iter().all(|a| p.footprint.contains(*a)),
+            Match::Any => apis.iter().any(|a| p.footprint.contains(*a)),
+        })
+        .collect();
+    out.sort_by(|a, b| b.prob.total_cmp(&a.prob).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// The fraction of a typical installation that exercises the APIs —
+/// i.e. how representative a benchmark over these APIs is.
+pub fn exercised_mass(metrics: &Metrics<'_>, apis: &[Api], mode: Match) -> f64 {
+    let total: f64 = metrics.data().packages.iter().map(|p| p.prob).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let hit: f64 = workloads_for(metrics, apis, mode)
+        .iter()
+        .map(|p| p.prob)
+        .sum();
+    hit / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyData;
+    use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
+
+    fn data() -> StudyData {
+        let repo = SynthRepo::new(
+            Scale { packages: 200, installations: 50_000 },
+            CalibrationSpec::default(),
+            4,
+        );
+        StudyData::from_synth(&repo)
+    }
+
+    #[test]
+    fn stat_open_workloads_are_broad() {
+        // The paper's own example: a stat/open optimization touches almost
+        // everything.
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let apis = [
+            data.catalog.syscall("stat").unwrap(),
+            data.catalog.syscall("openat").unwrap(),
+        ];
+        let all = workloads_for(&metrics, &apis, Match::All);
+        assert!(all.len() > 60, "stat+open exercised by much of the corpus");
+        // Sorted by installation probability.
+        for w in all.windows(2) {
+            assert!(w[0].prob >= w[1].prob);
+        }
+        assert!(exercised_mass(&metrics, &apis, Match::All) > 0.4);
+    }
+
+    #[test]
+    fn niche_api_workloads_are_the_pins() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let mbind = [data.catalog.syscall("mbind").unwrap()];
+        let users = workloads_for(&metrics, &mbind, Match::Any);
+        let names: Vec<&str> = users.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"libnuma"), "{names:?}");
+        assert!(
+            exercised_mass(&metrics, &mbind, Match::Any) < 0.05,
+            "an mbind benchmark represents almost nobody"
+        );
+    }
+
+    #[test]
+    fn all_is_stricter_than_any() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let apis = [
+            data.catalog.syscall("mbind").unwrap(),
+            data.catalog.syscall("kexec_load").unwrap(),
+        ];
+        let any = workloads_for(&metrics, &apis, Match::Any);
+        let all = workloads_for(&metrics, &apis, Match::All);
+        assert!(all.len() <= any.len());
+        assert!(!any.is_empty());
+        assert!(all.is_empty(), "nobody uses both NUMA and kexec");
+    }
+
+    #[test]
+    fn empty_api_set_semantics() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        // All-of-nothing is everything; any-of-nothing is nothing.
+        assert_eq!(
+            workloads_for(&metrics, &[], Match::All).len(),
+            data.packages.len()
+        );
+        assert!(workloads_for(&metrics, &[], Match::Any).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Metric-engine edge cases: dependency cycles, self-dependencies, empty
+//! footprints, and scope filtering.
+
+use std::collections::{HashMap, HashSet};
+
+use apistudy_catalog::{Api, ApiKind, Catalog};
+use apistudy_core::{ApiFootprint, Attribution, Metrics, PackageRecord, StudyData};
+use apistudy_corpus::MixCensus;
+
+fn record(name: &str, prob: f64, apis: &[Api], deps: &[&str]) -> PackageRecord {
+    let mut fp = ApiFootprint::default();
+    fp.apis.extend(apis.iter().copied());
+    PackageRecord {
+        name: name.into(),
+        prob,
+        install_count: (prob * 1000.0) as u64,
+        depends: deps.iter().map(|s| s.to_string()).collect(),
+        footprint: fp,
+        script_interpreters: vec![],
+        file_counts: (1, 0, 0),
+        unresolved_syscall_sites: 0,
+    }
+}
+
+fn dataset(packages: Vec<PackageRecord>) -> StudyData {
+    let by_name: HashMap<String, usize> = packages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), i))
+        .collect();
+    StudyData {
+        catalog: Catalog::linux_3_19(),
+        packages,
+        by_name,
+        total_installations: 1000,
+        census: MixCensus::default(),
+        attribution: Attribution::default(),
+        unresolved_syscall_sites: 0,
+        resolved_syscall_sites: 1,
+    }
+}
+
+#[test]
+fn dependency_cycle_terminates_and_fails_together() {
+    // a ↔ b cycle: supporting only a's API leaves b broken, which breaks
+    // a through the cycle — and the fixpoint must terminate.
+    let data = dataset(vec![
+        record("a", 0.5, &[Api::Syscall(1)], &["b"]),
+        record("b", 0.5, &[Api::Syscall(2)], &["a"]),
+        record("standalone", 0.5, &[Api::Syscall(1)], &[]),
+    ]);
+    let metrics = Metrics::new(&data);
+    let only_one: HashSet<u32> = [1u32].into_iter().collect();
+    let c = metrics.syscall_completeness(&only_one);
+    // Only `standalone` survives: 0.5 / 1.5.
+    assert!((c - 0.5 / 1.5).abs() < 1e-12, "{c}");
+    let both: HashSet<u32> = [1u32, 2].into_iter().collect();
+    assert!((metrics.syscall_completeness(&both) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn self_dependency_is_harmless() {
+    let data = dataset(vec![record("selfie", 0.8, &[Api::Syscall(3)], &["selfie"])]);
+    let metrics = Metrics::new(&data);
+    let supported: HashSet<u32> = [3u32].into_iter().collect();
+    assert!((metrics.syscall_completeness(&supported) - 1.0).abs() < 1e-12);
+    assert_eq!(metrics.importance(Api::Syscall(3)), 0.8);
+}
+
+#[test]
+fn unknown_dependency_names_are_ignored() {
+    let data = dataset(vec![record(
+        "orphan",
+        0.4,
+        &[Api::Syscall(0)],
+        &["not-a-package"],
+    )]);
+    let metrics = Metrics::new(&data);
+    let supported: HashSet<u32> = [0u32].into_iter().collect();
+    assert!((metrics.syscall_completeness(&supported) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn empty_footprint_packages_always_work() {
+    let data = dataset(vec![
+        record("empty", 0.5, &[], &[]),
+        record("needy", 0.5, &[Api::Syscall(9)], &[]),
+    ]);
+    let metrics = Metrics::new(&data);
+    let none: HashSet<u32> = HashSet::new();
+    assert!((metrics.syscall_completeness(&none) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn scope_filter_ignores_out_of_scope_apis() {
+    // A package needing a libc symbol is still "supported" when only the
+    // syscall scope is evaluated.
+    let catalog = Catalog::linux_3_19();
+    let printf = catalog.libc_symbol("printf").unwrap();
+    let data = dataset(vec![record(
+        "printfy",
+        1.0,
+        &[Api::Syscall(1), printf],
+        &[],
+    )]);
+    let metrics = Metrics::new(&data);
+    let syscall_only: HashSet<u32> = [1u32].into_iter().collect();
+    assert!(
+        (metrics.syscall_completeness(&syscall_only) - 1.0).abs() < 1e-12,
+        "libc symbols are out of scope for Table 6"
+    );
+    // But an all-kind scope with an empty support set fails it.
+    let c = metrics.weighted_completeness(&HashSet::new(), |_| true);
+    assert_eq!(c, 0.0);
+}
+
+#[test]
+fn closure_unweighted_counts_transitive_need() {
+    let data = dataset(vec![
+        record("base", 1.0, &[Api::Syscall(7)], &[]),
+        record("app1", 0.5, &[], &["base"]),
+        record("app2", 0.5, &[], &["base"]),
+        record("loner", 0.5, &[], &[]),
+    ]);
+    let metrics = Metrics::new(&data);
+    // Direct usage: 1 of 4. Transitive: 3 of 4.
+    assert_eq!(metrics.unweighted_importance(Api::Syscall(7)), 0.25);
+    assert_eq!(metrics.closure_unweighted_importance(Api::Syscall(7)), 0.75);
+}
+
+#[test]
+fn importance_ranking_is_deterministic_under_ties() {
+    let data = dataset(vec![
+        record("a", 1.0, &[Api::Syscall(5), Api::Syscall(6)], &[]),
+        record("b", 1.0, &[Api::Syscall(6), Api::Syscall(5)], &[]),
+    ]);
+    let metrics = Metrics::new(&data);
+    let r1 = metrics.importance_ranking(ApiKind::Syscall);
+    let r2 = metrics.importance_ranking(ApiKind::Syscall);
+    assert_eq!(r1, r2);
+    // Both used calls are ranked above everything else.
+    let top: Vec<Api> = r1.iter().take(2).map(|&(a, _)| a).collect();
+    assert!(top.contains(&Api::Syscall(5)));
+    assert!(top.contains(&Api::Syscall(6)));
+}

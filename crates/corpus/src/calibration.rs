@@ -1,0 +1,581 @@
+//! Calibration of the synthetic corpus to the paper's published marginals.
+//!
+//! Everything the generator needs to know about the *shape* of Ubuntu
+//! 15.04 lives here: the Figure 1 language mix, the tier structure of
+//! system call importance (224 indispensable / 33 mid / 48 low / 18
+//! unused), the canonical importance ranking (anchored on Table 4's stage
+//! samples), per-syscall adoption rates (Tables 8–11), libc symbol
+//! popularity buckets (§3.5), vectored-opcode tiers (Figures 4–5),
+//! pseudo-file prominence (Figure 6), the Figure 3 footprint-breadth
+//! distribution, and the Table 1/2 special-purpose package pins.
+//!
+//! Scale (package and installation counts) is separate from calibration:
+//! tests run a small corpus with the same shape.
+
+/// Corpus scale: how many packages and surveyed installations to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of generated packages (the paper's archive has 30,976).
+    pub packages: usize,
+    /// Number of surveyed installations (the paper's popcon has 2,935,744).
+    pub installations: u64,
+}
+
+impl Scale {
+    /// Small scale for unit/integration tests (same shape, ~2 s to build).
+    pub fn test() -> Self {
+        Self { packages: 600, installations: 100_000 }
+    }
+
+    /// Medium scale for local experimentation.
+    pub fn medium() -> Self {
+        Self { packages: 4_000, installations: 500_000 }
+    }
+
+    /// The paper's full scale.
+    pub fn paper() -> Self {
+        Self { packages: 30_976, installations: 2_935_744 }
+    }
+}
+
+/// Figure 1: the executable-type mix across the repository.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryMix {
+    /// Fraction of executables that are ELF binaries (the rest are
+    /// scripts).
+    pub elf: f64,
+    /// dash (`#!/bin/sh`) scripts.
+    pub dash: f64,
+    /// Python scripts.
+    pub python: f64,
+    /// Perl scripts.
+    pub perl: f64,
+    /// bash scripts.
+    pub bash: f64,
+    /// Ruby scripts.
+    pub ruby: f64,
+    /// Other interpreters.
+    pub other: f64,
+    /// Among ELF binaries: fraction that are shared libraries.
+    pub elf_shared_lib: f64,
+    /// Among ELF binaries: fraction that are static executables.
+    pub elf_static: f64,
+}
+
+impl Default for BinaryMix {
+    fn default() -> Self {
+        // Paper Figure 1.
+        Self {
+            elf: 0.60,
+            dash: 0.15,
+            python: 0.09,
+            perl: 0.08,
+            bash: 0.06,
+            ruby: 0.012,
+            other: 0.015,
+            elf_shared_lib: 0.52,
+            elf_static: 0.0038,
+        }
+    }
+}
+
+/// Stage I of the canonical importance ranking: the 40 most important
+/// system calls (Table 4's "hello world" set). The first 38 are the libc
+/// startup footprint; `open` and `stat` round out the stage.
+pub const STAGE1: &[&str] = &[
+    "mprotect", "mmap", "munmap", "read", "write", "writev", "close",
+    "fstat", "openat", "brk", "exit_group", "getuid", "getgid",
+    "getrlimit", "set_tid_address", "set_robust_list", "rt_sigaction",
+    "rt_sigprocmask", "rt_sigreturn", "futex", "execve", "getpid",
+    "getppid", "gettid", "kill", "tgkill", "clone", "vfork", "dup2",
+    "fcntl", "setresuid", "setresgid", "sched_yield", "lseek",
+    "sched_setscheduler", "sched_setparam",
+    "getcwd", "getdents", "open", "stat",
+];
+
+/// Stage II (ranks 41–81): anchored on Table 4's samples (`mremap`,
+/// `ioctl`, `access`, `socket`, `poll`, `recvmsg`, `dup`, `unlink`,
+/// `wait4`, `select`, `chdir`, `pipe`).
+pub const STAGE2: &[&str] = &[
+    "ioctl", "access", "lstat", "socket", "connect", "poll", "recvmsg",
+    "dup", "unlink", "wait4", "select", "chdir", "pipe", "pipe2",
+    "mremap", "madvise", "nanosleep", "gettimeofday", "clock_gettime",
+    "sendto", "recvfrom", "bind", "getsockname", "getsockopt",
+    "setsockopt", "sendmsg", "rename", "mkdir", "readlink", "chmod",
+    "umask", "geteuid", "getegid", "fchmod", "fchown", "chown",
+    "ftruncate", "rmdir", "getpgrp", "setpgid", "fdatasync",
+];
+
+/// Stage III (ranks 82–145): anchored on Table 4's samples
+/// (`sigaltstack`, `shutdown`, `symlink`, `alarm`, `listen`, `pread64`,
+/// `getxattr`, `shmget`, `epoll_wait`, `chroot`, `sync`, `getrusage`).
+pub const STAGE3: &[&str] = &[
+    "sigaltstack", "shutdown", "symlink", "alarm", "listen", "pread64",
+    "getxattr", "shmget", "epoll_wait", "chroot", "sync", "getrusage",
+    "exit", "uname", "accept", "getpeername",
+    "socketpair", "waitid", "fork", "pwrite64", "readv",
+    "fsync", "truncate", "link", "mknod", "utime", "utimes", "statfs",
+    "fstatfs", "epoll_create", "epoll_ctl", "epoll_create1", "eventfd2",
+    "getdents64", "fchdir", "setsid", "getpgid", "getsid",
+    "setuid", "setgid", "creat", "setreuid", "setregid", "getgroups",
+    "setgroups", "getresuid", "getresgid", "setpriority", "getpriority",
+    "shmat", "shmctl", "shmdt", "sysinfo", "times", "getitimer",
+    "setitimer", "lchown", "mknodat", "signalfd4", "clock_getres",
+    "sched_getaffinity", "sched_setaffinity", "dup3", "tkill",
+];
+
+/// Stage IV (ranks 146–202): anchored on Table 4's samples (`flock`,
+/// `semget`, `ppoll`, `mount`, `pause`, `getpgid`, `settimeofday`,
+/// `capset`, `reboot`, `unshare`, `tkill`).
+pub const STAGE4: &[&str] = &[
+    "umount2", "inotify_init", "inotify_add_watch", "inotify_rm_watch",
+    "timerfd_create", "timerfd_settime", "splice", "timerfd_gettime",
+    "inotify_init1", "perf_event_open", "sendmmsg", "recvmmsg",
+    "flock", "semget", "ppoll", "mount", "pause", "settimeofday",
+    "capset", "reboot", "unshare", "semop", "semctl", "msgget", "msgsnd",
+    "msgrcv", "clock_nanosleep", "clock_settime",
+    "iopl", "ioperm", "ptrace",
+    "capget", "prctl", "arch_prctl",
+    "sched_getscheduler", "sched_getparam", "sched_get_priority_max",
+    "sched_get_priority_min",
+    "name_to_handle_at", "quotactl", "migrate_pages",
+    "setrlimit", "prlimit64", "sendfile", "pselect6",
+    "utimensat", "faccessat", "fchownat", "fchmodat", "unlinkat", "newfstatat", "renameat", "linkat", "symlinkat",
+    "readlinkat", "mkdirat", "accept4",
+];
+
+/// The 33 mid-importance system calls (Figure 2's 10–99% band), with
+/// their target API importance. Table 1/2 rows appear with the paper's
+/// published values.
+pub const MID_SYSCALLS: &[(&str, f64)] = &[
+    ("mbind", 0.36),
+    ("add_key", 0.272),
+    ("keyctl", 0.272),
+    ("request_key", 0.144),
+    ("preadv", 0.117),
+    ("pwritev", 0.117),
+    ("fanotify_init", 0.12),
+    ("fanotify_mark", 0.12),
+    ("swapon", 0.30),
+    ("swapoff", 0.28),
+    ("pivot_root", 0.15),
+    ("init_module", 0.40),
+    ("delete_module", 0.40),
+    ("finit_module", 0.25),
+    ("setns", 0.45),
+    ("process_vm_readv", 0.20),
+    ("process_vm_writev", 0.20),
+    ("kcmp", 0.10),
+    ("memfd_create", 0.15),
+    ("getrandom", 0.40),
+    ("set_mempolicy", 0.36),
+    ("get_mempolicy", 0.30),
+    ("listxattr", 0.45),
+    ("lgetxattr", 0.28),
+    ("lsetxattr", 0.15),
+    ("fsetxattr", 0.20),
+    ("removexattr", 0.22),
+    ("rt_sigqueueinfo", 0.15),
+    ("rt_sigtimedwait", 0.48),
+    ("rt_sigpending", 0.38),
+    ("timer_create", 0.52),
+    ("timer_gettime", 0.32),
+    ("mincore", 0.25),
+];
+
+/// The 48 low-importance system calls (Figure 2's under-10% band), with
+/// target importance. Includes the five officially retired calls that are
+/// still attempted (`uselib`, `nfsservctl`, `afs_syscall`, `vserver`,
+/// `security`) and the Table 2 single-package calls.
+pub const LOW_SYSCALLS: &[(&str, f64)] = &[
+    ("uselib", 0.010),
+    ("nfsservctl", 0.070),
+    ("afs_syscall", 0.005),
+    ("vserver", 0.003),
+    ("security", 0.003),
+    ("seccomp", 0.010),
+    ("sched_setattr", 0.010),
+    ("sched_getattr", 0.010),
+    ("kexec_load", 0.010),
+    ("clock_adjtime", 0.040),
+    ("renameat2", 0.040),
+    ("mq_timedsend", 0.010),
+    ("mq_getsetattr", 0.010),
+    ("getcpu", 0.040),
+    ("mq_open", 0.050),
+    ("mq_unlink", 0.050),
+    ("mq_timedreceive", 0.010),
+    ("kexec_file_load", 0.005),
+    ("bpf", 0.020),
+    ("open_by_handle_at", 0.010),
+    ("io_setup", 0.020),
+    ("io_destroy", 0.020),
+    ("io_submit", 0.020),
+    ("io_cancel", 0.010),
+    ("ioprio_set", 0.080),
+    ("ioprio_get", 0.060),
+    ("acct", 0.020),
+    ("vhangup", 0.010),
+    ("modify_ldt", 0.020),
+    ("_sysctl", 0.020),
+    ("readahead", 0.080),
+    ("sync_file_range", 0.050),
+    ("vmsplice", 0.020),
+    ("tee", 0.020),
+    ("semtimedop", 0.030),
+    ("signalfd", 0.030),
+    ("eventfd", 0.030),
+    ("timer_getoverrun", 0.020),
+    ("timer_settime", 0.080),
+    ("lremovexattr", 0.030),
+    ("fremovexattr", 0.030),
+    ("llistxattr", 0.030),
+    ("flistxattr", 0.050),
+    ("fadvise64", 0.090),
+    ("timer_delete", 0.090),
+    ("io_getevents", 0.010),
+    ("syncfs", 0.030),
+    ("epoll_pwait", 0.030),
+];
+
+/// The eight unused system calls with kernel entry points (Table 3);
+/// together with the ten no-entry-point slots these are the paper's 18
+/// never-used calls.
+pub const UNUSED_SYSCALLS: &[&str] = &[
+    "sysfs",
+    "rt_tgsigqueueinfo",
+    "get_robust_list",
+    "remap_file_pages",
+    "mq_notify",
+    "lookup_dcookie",
+    "restart_syscall",
+    "move_pages",
+];
+
+/// Per-syscall package-adoption targets (unweighted importance,
+/// Tables 8–11). Calls near 100% come from the libc startup footprint and
+/// are not listed here.
+pub const ADOPTION: &[(&str, f64)] = &[
+    // Table 8: insecure vs secure.
+    ("setuid", 0.1567),
+    ("setreuid", 0.0188),
+    ("setgid", 0.1207),
+    ("setregid", 0.0124),
+    ("getresuid", 0.3619),
+    ("geteuid", 0.5515),
+    ("getresgid", 0.3614),
+    ("getegid", 0.4887),
+    ("access", 0.7424),
+    ("faccessat", 0.0063),
+    ("mkdir", 0.5207),
+    ("mkdirat", 0.0034),
+    ("rename", 0.4318),
+    ("renameat", 0.0030),
+    ("readlink", 0.4638),
+    ("readlinkat", 0.0050),
+    ("chown", 0.2459),
+    ("fchownat", 0.0023),
+    ("chmod", 0.3980),
+    ("fchmodat", 0.0013),
+    // Table 9: old vs new.
+    ("getdents64", 0.0008),
+    ("utime", 0.0857),
+    ("utimes", 0.1790),
+    ("fork", 0.0007),
+    ("tkill", 0.0051),
+    ("wait4", 0.6056),
+    ("waitid", 0.0024),
+    // Table 10: Linux-specific vs portable.
+    ("accept4", 0.0093),
+    ("accept", 0.2935),
+    ("ppoll", 0.0390),
+    ("poll", 0.7107),
+    ("recvmmsg", 0.0011),
+    ("recvmsg", 0.6882),
+    ("sendmmsg", 0.0517),
+    ("sendmsg", 0.4249),
+    ("pipe2", 0.4033),
+    ("pipe", 0.5033),
+    ("readv", 0.6223),
+    // Table 6 gaps: calls whose absence defines the evaluated systems'
+    // completeness (fractions chosen to reproduce the published numbers).
+    ("umount2", 0.13),
+    ("inotify_init", 0.10),
+    ("inotify_add_watch", 0.10),
+    ("inotify_rm_watch", 0.09),
+    ("inotify_init1", 0.04),
+    ("splice", 0.06),
+    ("timerfd_create", 0.09),
+    ("timerfd_settime", 0.085),
+    ("timerfd_gettime", 0.05),
+    ("perf_event_open", 0.03),
+    ("name_to_handle_at", 0.008),
+    ("iopl", 0.012),
+    ("ioperm", 0.012),
+    ("quotactl", 0.004),
+    ("migrate_pages", 0.002),
+    // Table 11: simple vs powerful.
+    ("pread64", 0.2723),
+    ("dup3", 0.0872),
+    ("dup", 0.6664),
+    ("recvfrom", 0.5380),
+    ("sendto", 0.7171),
+    ("select", 0.6153),
+    ("pselect6", 0.0413),
+    ("chdir", 0.4461),
+    ("fchdir", 0.0220),
+];
+
+/// Figure 3 anchor points: cumulative weighted completeness at the
+/// N-most-important supported system calls, as `(mass quantile, rank)`.
+/// A package's footprint breadth K is sampled by inverting this curve.
+pub const BREADTH_CDF: &[(f64, f64)] = &[
+    (0.0, 40.0),
+    (0.0112, 40.0),
+    (0.1068, 64.0),
+    (0.25, 112.0),
+    (0.5009, 134.0),
+    (0.88, 176.0),
+    (0.9061, 182.0),
+    (1.0, 224.0),
+];
+
+
+/// Mass quantile of the breadth distribution: the fraction of package
+/// mass whose breadth K is at most `k` (linear interpolation over
+/// [`BREADTH_CDF`]).
+pub fn breadth_quantile(k: f64) -> f64 {
+    if k <= BREADTH_CDF[0].1 {
+        return 0.0;
+    }
+    for w in BREADTH_CDF.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if k <= y1 {
+            if y1 == y0 {
+                return x1;
+            }
+            return x0 + (x1 - x0) * (k - y0) / (y1 - y0);
+        }
+    }
+    1.0
+}
+
+/// The fraction of *eligible* packages (breadth > rank) that inline a
+/// non-ubiquitous indispensable call of the given rank (the planner's
+/// rank-consistency pass).
+pub fn sprinkle_fraction(rank: usize, indispensable: usize) -> f64 {
+    (0.55 - 0.30 * rank as f64 / indispensable.max(1) as f64).clamp(0.02, 0.98)
+}
+
+/// Expected unweighted importance of a sprinkled call at a rank: the
+/// sprinkle fraction times the eligible share of packages. Used to slot
+/// adoption-rate calls into the canonical ranking consistently.
+pub fn expected_unweighted(rank: usize, indispensable: usize) -> f64 {
+    sprinkle_fraction(rank, indispensable) * (1.0 - breadth_quantile(rank as f64))
+}
+
+/// libc symbol popularity buckets (§3.5 / Figure 7):
+/// 42.8% of the 1,274 symbols at ~100% importance, 39.7% under 1%
+/// (222 entirely unused), 50.6% under 50%.
+#[derive(Debug, Clone, Copy)]
+pub struct LibcBuckets {
+    /// Symbols used by core (always-installed) packages: ~100% importance.
+    pub universal: usize,
+    /// Symbols in the 50–99% importance band.
+    pub high: usize,
+    /// Symbols in the 1–50% band.
+    pub mid: usize,
+    /// Symbols under 1% but non-zero.
+    pub rare: usize,
+    /// Symbols used by no package at all.
+    pub unused: usize,
+}
+
+impl Default for LibcBuckets {
+    fn default() -> Self {
+        // 545 + 84 + 139 + 284 + 222 = 1274.
+        Self { universal: 545, high: 84, mid: 139, rare: 284, unused: 222 }
+    }
+}
+
+/// Vectored-opcode tiers (Figures 4 and 5).
+#[derive(Debug, Clone, Copy)]
+pub struct VectoredTiers {
+    /// ioctl operations at ~100% importance (the 47 TTY/generic ops plus
+    /// five more).
+    pub ioctl_universal: usize,
+    /// ioctl operations above 1% importance.
+    pub ioctl_above_1pct: usize,
+    /// ioctl operations used at all.
+    pub ioctl_used: usize,
+    /// fcntl commands at ~100%.
+    pub fcntl_universal: usize,
+    /// prctl options at ~100%.
+    pub prctl_universal: usize,
+    /// prctl options above 20%.
+    pub prctl_above_20pct: usize,
+}
+
+impl Default for VectoredTiers {
+    fn default() -> Self {
+        Self {
+            ioctl_universal: 52,
+            ioctl_above_1pct: 188,
+            ioctl_used: 280,
+            fcntl_universal: 11,
+            prctl_universal: 9,
+            prctl_above_20pct: 18,
+        }
+    }
+}
+
+/// A special-purpose package pinned to specific APIs (Tables 1 and 2).
+#[derive(Debug, Clone)]
+pub struct Pin {
+    /// Package name.
+    pub package: &'static str,
+    /// Installation probability.
+    pub prob: f64,
+    /// System calls (by name) the package's tool issues directly.
+    pub syscalls: &'static [&'static str],
+    /// Hard-coded pseudo-file paths.
+    pub paths: &'static [&'static str],
+}
+
+/// The Table 1/2 pins, with installation probabilities chosen so the
+/// resulting API importance matches the published values.
+pub const PINS: &[Pin] = &[
+    // Table 1: mbind 36% from libnuma (30%) + libopenblas (8.6%):
+    // 1 - 0.70 × 0.914 ≈ 0.36.
+    Pin { package: "libnuma", prob: 0.30, syscalls: &["mbind", "set_mempolicy", "get_mempolicy"], paths: &["/sys/devices/system/node"] },
+    Pin { package: "libopenblas", prob: 0.086, syscalls: &["mbind", "sched_getaffinity"], paths: &[] },
+    // add_key/keyctl 27.2% from libkeyutils (20%) + pam-keyutil (9%).
+    Pin { package: "libkeyutils", prob: 0.20, syscalls: &["add_key", "keyctl", "request_key"], paths: &[] },
+    Pin { package: "pam-keyutil", prob: 0.09, syscalls: &["add_key", "keyctl"], paths: &[] },
+    // Table 2 single-package calls.
+    Pin { package: "coop-computing-tools", prob: 0.010, syscalls: &["seccomp", "sched_setattr", "sched_getattr", "renameat2"], paths: &[] },
+    Pin { package: "kexec-tools", prob: 0.010, syscalls: &["kexec_load", "kexec_file_load", "reboot"], paths: &["/proc/kcore"] },
+    Pin { package: "systemd-timesync", prob: 0.040, syscalls: &["clock_adjtime", "settimeofday", "renameat2"], paths: &["/sys/class/net"] },
+    Pin { package: "qemu-user", prob: 0.010, syscalls: &["mq_timedsend", "mq_getsetattr", "mq_open"], paths: &[] },
+    Pin { package: "ioping", prob: 0.008, syscalls: &["io_getevents", "io_setup", "io_submit"], paths: &[] },
+    Pin { package: "zfs-fuse", prob: 0.004, syscalls: &["io_getevents", "io_setup", "io_destroy"], paths: &["/dev/fuse-zfs"] },
+    Pin { package: "valgrind", prob: 0.035, syscalls: &["getcpu", "process_vm_readv", "ptrace"], paths: &["/proc/%d/maps"] },
+    Pin { package: "rt-tests", prob: 0.006, syscalls: &["getcpu", "sched_setscheduler", "mlockall"], paths: &[] },
+    // Retired calls still attempted (nfsservctl at 7% via NFS tools).
+    Pin { package: "nfs-utils", prob: 0.070, syscalls: &["nfsservctl", "mount", "umount2"], paths: &["/proc/filesystems"] },
+    Pin { package: "legacy-av", prob: 0.010, syscalls: &["uselib", "security"], paths: &[] },
+    Pin { package: "vserver-utils", prob: 0.003, syscalls: &["vserver", "afs_syscall"], paths: &[] },
+    // Posix message queues (lower importance than System V, §3.1).
+    Pin { package: "mqueue-tools", prob: 0.045, syscalls: &["mq_open", "mq_unlink", "mq_timedreceive"], paths: &["/dev/mqueue"] },
+];
+
+/// The complete calibration bundle.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationSpec {
+    /// Figure 1 mix.
+    pub mix: BinaryMix,
+    /// libc symbol buckets.
+    pub libc_buckets: LibcBuckets,
+    /// Vectored-opcode tiers.
+    pub vectored: VectoredTiers,
+    /// What-if overrides for per-syscall adoption rates: entries replace
+    /// (or extend) [`ADOPTION`], letting one simulate e.g. "what if
+    /// `faccessat` adoption grew to 50%?" and re-measure.
+    pub adoption_overrides: Vec<(String, f64)>,
+}
+
+impl CalibrationSpec {
+    /// The effective adoption table: [`ADOPTION`] with overrides applied.
+    pub fn adoption(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = ADOPTION
+            .iter()
+            .map(|&(n, r)| (n.to_owned(), r))
+            .collect();
+        for (name, rate) in &self.adoption_overrides {
+            match out.iter_mut().find(|(n, _)| n == name) {
+                Some(entry) => entry.1 = *rate,
+                None => out.push((name.clone(), *rate)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apistudy_catalog::SyscallTable;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stage_lists_use_real_syscalls() {
+        let t = SyscallTable::new();
+        for name in STAGE1.iter().chain(STAGE2).chain(STAGE3).chain(STAGE4) {
+            assert!(t.by_name(name).is_some(), "unknown syscall {name}");
+        }
+        for (name, _) in MID_SYSCALLS.iter().chain(LOW_SYSCALLS) {
+            assert!(t.by_name(name).is_some(), "unknown syscall {name}");
+        }
+        for name in UNUSED_SYSCALLS {
+            assert!(t.by_name(name).is_some(), "unknown syscall {name}");
+        }
+    }
+
+    #[test]
+    fn stage1_has_40_calls() {
+        assert_eq!(STAGE1.len(), 40);
+        let set: HashSet<_> = STAGE1.iter().collect();
+        assert_eq!(set.len(), 40, "duplicates in stage 1");
+    }
+
+    #[test]
+    fn tier_sizes_partition_the_table() {
+        // Mid and low lists must be disjoint from each other, from the
+        // stages, and from the unused list.
+        let mid: HashSet<_> = MID_SYSCALLS.iter().map(|&(n, _)| n).collect();
+        let low: HashSet<_> = LOW_SYSCALLS.iter().map(|&(n, _)| n).collect();
+        let unused: HashSet<_> = UNUSED_SYSCALLS.iter().copied().collect();
+        assert_eq!(MID_SYSCALLS.len(), 33);
+        assert_eq!(unused.len(), 8);
+        assert!(mid.is_disjoint(&low), "mid/low overlap");
+        assert!(mid.is_disjoint(&unused));
+        assert!(low.is_disjoint(&unused));
+        let stages: HashSet<_> =
+            STAGE1.iter().chain(STAGE2).chain(STAGE3).chain(STAGE4).copied().collect();
+        for name in mid.iter().chain(low.iter()) {
+            assert!(!stages.contains(name), "{name} is both staged and tiered");
+        }
+    }
+
+    #[test]
+    fn breadth_cdf_is_monotone() {
+        for w in BREADTH_CDF.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn libc_buckets_sum_to_inventory() {
+        let b = LibcBuckets::default();
+        assert_eq!(
+            b.universal + b.high + b.mid + b.rare + b.unused,
+            apistudy_catalog::GLIBC_2_21_SYMBOL_COUNT
+        );
+    }
+
+    #[test]
+    fn pin_probabilities_are_probabilities() {
+        for pin in PINS {
+            assert!(pin.prob > 0.0 && pin.prob < 1.0, "{}", pin.package);
+        }
+    }
+
+    #[test]
+    fn mbind_importance_composes_to_36pct() {
+        // 1 - (1-0.30)(1-0.086) ≈ 0.36 (Table 1).
+        let p: f64 = 1.0 - (1.0 - 0.30) * (1.0 - 0.086);
+        assert!((p - 0.36).abs() < 0.005);
+    }
+}

@@ -1,0 +1,250 @@
+//! Materialization: turning a [`RepoPlan`] into packages with real ELF
+//! bytes.
+//!
+//! Materialization is lazy and deterministic: `package(i)` regenerates the
+//! same bytes for the same plan, so large corpora can be streamed through
+//! the analysis pipeline without holding every binary in memory.
+
+use apistudy_catalog::Catalog;
+
+use crate::{
+    codegen::{
+        generate_executable, generate_library, ExecSpec, ExportSpec, LibSpec,
+        VectoredVia,
+    },
+    calibration::{CalibrationSpec, Scale},
+    libc_gen::{self, LIBC_SONAME},
+    model::{Package, PackageFile},
+    plan::{ExecPlan, OwnLibPlan, PackagePlan, RepoPlan},
+};
+
+/// A planned synthetic repository with lazy, deterministic materialization.
+pub struct SynthRepo {
+    /// The plan (ground truth).
+    pub plan: RepoPlan,
+    catalog: Catalog,
+}
+
+fn via(wrapper: bool) -> VectoredVia {
+    if wrapper {
+        VectoredVia::Wrapper
+    } else {
+        VectoredVia::Inline
+    }
+}
+
+fn exec_spec(pkg: &PackagePlan, e: &ExecPlan) -> ExecSpec {
+    let mut needed = Vec::new();
+    let mut libc_calls = e.libc_calls.clone();
+    if !e.is_static {
+        needed.push(LIBC_SONAME.to_owned());
+        for &(li, ref export) in &e.own_lib_calls {
+            let soname = &pkg.libs[li].soname;
+            if !needed.contains(soname) {
+                needed.push(soname.clone());
+            }
+            libc_calls.push(export.clone());
+        }
+    }
+    ExecSpec {
+        is_static: e.is_static,
+        needed,
+        libc_calls,
+        direct_syscalls: e.direct_syscalls.clone(),
+        ioctl_codes: e.ioctl_codes.iter().map(|&(c, w)| (c, via(w))).collect(),
+        fcntl_codes: e.fcntl_codes.iter().map(|&(c, w)| (c, via(w))).collect(),
+        prctl_codes: e.prctl_codes.iter().map(|&(c, w)| (c, via(w))).collect(),
+        paths: e.paths.clone(),
+        dead_syscalls: Vec::new(),
+        helpers: 1 + (pkg.seed % 3) as u32,
+        seed: pkg.seed ^ fxhash(&e.file),
+    }
+}
+
+fn lib_spec(l: &OwnLibPlan) -> LibSpec {
+    LibSpec {
+        soname: l.soname.clone(),
+        needed: vec![LIBC_SONAME.to_owned()],
+        exports: l
+            .exports
+            .iter()
+            .map(|x| ExportSpec {
+                name: x.name.clone(),
+                direct_syscalls: x.direct_syscalls.clone(),
+                calls_exports: Vec::new(),
+                imports: x.libc_calls.clone(),
+                pad_to: 0,
+            })
+            .collect(),
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SynthRepo {
+    /// Plans a repository; materialization happens per package.
+    pub fn new(scale: Scale, spec: CalibrationSpec, seed: u64) -> Self {
+        let plan = RepoPlan::plan(scale, spec, seed);
+        Self { plan, catalog: Catalog::linux_3_19() }
+    }
+
+    /// Number of packages.
+    pub fn package_count(&self) -> usize {
+        self.plan.packages.len()
+    }
+
+    /// Materializes one package (index into `plan.packages`).
+    ///
+    /// Package 0 is `libc6` and additionally ships the four system
+    /// libraries (libc, the dynamic linker, libpthread, librt).
+    pub fn package(&self, i: usize) -> Package {
+        let p = &self.plan.packages[i];
+        let mut files = Vec::new();
+        if p.name == "libc6" {
+            for (name, bytes) in libc_gen::generate_system_libraries(&self.catalog) {
+                files.push(PackageFile::Elf { name, bytes });
+            }
+        }
+        for l in &p.libs {
+            files.push(PackageFile::Elf {
+                name: l.soname.clone(),
+                bytes: generate_library(&lib_spec(l)),
+            });
+        }
+        for e in &p.execs {
+            files.push(PackageFile::Elf {
+                name: e.file.clone(),
+                bytes: generate_executable(&exec_spec(p, e)),
+            });
+        }
+        for s in &p.scripts {
+            files.push(PackageFile::Script {
+                name: s.file.clone(),
+                shebang: s.shebang.clone(),
+            });
+        }
+        Package { name: p.name.clone(), depends: p.depends.clone(), files }
+    }
+
+    /// Materializes every package (small scales only).
+    pub fn materialize_all(&self) -> Vec<Package> {
+        (0..self.package_count()).map(|i| self.package(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Scale;
+    use apistudy_elf::ElfFile;
+
+    fn tiny_repo() -> SynthRepo {
+        SynthRepo::new(
+            Scale { packages: 120, installations: 10_000 },
+            CalibrationSpec::default(),
+            0xC0FFEE,
+        )
+    }
+
+    #[test]
+    fn plans_requested_package_count() {
+        let repo = tiny_repo();
+        assert_eq!(repo.package_count(), 120);
+        assert_eq!(repo.plan.packages[0].name, "libc6");
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let a = tiny_repo();
+        let b = tiny_repo();
+        for i in [0usize, 1, 50, 119] {
+            let pa = a.package(i);
+            let pb = b.package(i);
+            assert_eq!(pa.name, pb.name);
+            assert_eq!(pa.files.len(), pb.files.len());
+            for (fa, fb) in pa.files.iter().zip(&pb.files) {
+                match (fa, fb) {
+                    (
+                        PackageFile::Elf { bytes: ba, .. },
+                        PackageFile::Elf { bytes: bb, .. },
+                    ) => assert_eq!(ba, bb),
+                    (
+                        PackageFile::Script { shebang: sa, .. },
+                        PackageFile::Script { shebang: sb, .. },
+                    ) => assert_eq!(sa, sb),
+                    _ => panic!("file kind mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_elf_parses() {
+        let repo = tiny_repo();
+        for i in 0..repo.package_count().min(40) {
+            let pkg = repo.package(i);
+            for f in &pkg.files {
+                if let PackageFile::Elf { name, bytes } = f {
+                    ElfFile::parse(bytes)
+                        .unwrap_or_else(|e| panic!("{name}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn libc6_ships_system_libraries() {
+        let repo = tiny_repo();
+        let libc6 = repo.package(0);
+        let names: Vec<&str> = libc6.files.iter().map(|f| f.name()).collect();
+        assert!(names.contains(&"libc.so.6"));
+        assert!(names.contains(&"ld-linux-x86-64.so.2"));
+        assert!(names.contains(&"libpthread.so.0"));
+        assert!(names.contains(&"librt.so.1"));
+    }
+
+    #[test]
+    fn popcon_covers_every_package() {
+        let repo = tiny_repo();
+        for p in &repo.plan.packages {
+            assert!(repo.plan.popcon.count(&p.name) >= 1, "{}", p.name);
+        }
+        assert_eq!(repo.plan.popcon.count("libc6"), 10_000);
+    }
+
+    #[test]
+    fn ranking_is_a_permutation_with_224_indispensable() {
+        let repo = tiny_repo();
+        let r = &repo.plan.ranking;
+        assert_eq!(r.order.len(), 323);
+        assert_eq!(r.indispensable, 224);
+        let set: std::collections::HashSet<u32> = r.order.iter().copied().collect();
+        assert_eq!(set.len(), 323);
+    }
+
+    #[test]
+    fn script_packages_depend_on_interpreters() {
+        let repo = tiny_repo();
+        for p in &repo.plan.packages {
+            for s in &p.scripts {
+                let interp = crate::model::Interpreter::classify(&s.shebang);
+                let provider = interp.providing_package();
+                if provider != p.name {
+                    assert!(
+                        p.depends.iter().any(|d| d == provider),
+                        "{} has a {:?} script but no dep on {provider}",
+                        p.name,
+                        interp
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # apistudy-corpus
+//!
+//! The synthetic Ubuntu-like corpus that stands in for the paper's
+//! measurement substrate (30,976 packages + the popularity-contest survey;
+//! DESIGN.md §3–4):
+//!
+//! - [`model`] — packages, files, dependencies, popcon;
+//! - [`codegen`] — deterministic x86-64 code generation for executables
+//!   and shared libraries (real ELF bytes, real PLT calls, real syscall
+//!   instructions);
+//! - [`libc_gen`] — the synthetic glibc 2.21 (all 1,274 exports), dynamic
+//!   linker, libpthread, and librt;
+//! - [`calibration`] — the paper's published marginals as data;
+//! - [`plan`] — the repository planner (tiers, carriers, adoption,
+//!   buckets, coverage) whose output doubles as ground truth;
+//! - [`generate`] — lazy materialization of plans into packages;
+//! - [`scan`] — the Figure 1 executable-type census.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod codegen;
+pub mod generate;
+pub mod libc_gen;
+pub mod model;
+pub mod plan;
+pub mod scan;
+
+pub use calibration::{CalibrationSpec, Scale};
+pub use generate::SynthRepo;
+pub use model::{Interpreter, Package, PackageFile, Popcon};
+pub use plan::{PackagePlan, RepoPlan, Ranking, Tier};
+pub use scan::MixCensus;

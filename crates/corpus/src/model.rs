@@ -1,0 +1,264 @@
+//! The package-repository model: packages, files, dependencies, and the
+//! popularity-contest dataset.
+//!
+//! Mirrors the study's view of Ubuntu/Debian: APT packages are the unit of
+//! installation and of the popularity survey; each package ships
+//! executables, shared libraries, and interpreted scripts; packages track
+//! dependencies (a Python application depends on the Python interpreter
+//! package, paper §2).
+
+use std::collections::HashMap;
+
+/// A file shipped by a package.
+#[derive(Debug, Clone)]
+pub enum PackageFile {
+    /// An ELF object (executable or shared library), with its bytes.
+    Elf {
+        /// File name within the package.
+        name: String,
+        /// The complete ELF image.
+        bytes: Vec<u8>,
+    },
+    /// An interpreted script, carrying only its shebang line (the study
+    /// classifies scripts by interpreter and attributes the interpreter's
+    /// footprint to them, §2.3).
+    Script {
+        /// File name within the package.
+        name: String,
+        /// The shebang interpreter path (e.g. `/bin/sh`, `/usr/bin/python`).
+        shebang: String,
+    },
+}
+
+impl PackageFile {
+    /// The file's name.
+    pub fn name(&self) -> &str {
+        match self {
+            PackageFile::Elf { name, .. } | PackageFile::Script { name, .. } => name,
+        }
+    }
+}
+
+/// One APT-style package.
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Package name (unique within the repository).
+    pub name: String,
+    /// Names of packages this one depends on.
+    pub depends: Vec<String>,
+    /// Shipped files.
+    pub files: Vec<PackageFile>,
+}
+
+/// The popularity-contest dataset: how many of the surveyed installations
+/// installed each package (paper §2: 2,935,744 installations).
+#[derive(Debug, Clone, Default)]
+pub struct Popcon {
+    /// Total number of surveyed installations.
+    pub total_installations: u64,
+    counts: HashMap<String, u64>,
+}
+
+impl Popcon {
+    /// Creates an empty dataset with the given survey size.
+    pub fn new(total_installations: u64) -> Self {
+        Self { total_installations, counts: HashMap::new() }
+    }
+
+    /// Records a package's installation count.
+    pub fn set_count(&mut self, package: &str, count: u64) {
+        debug_assert!(count <= self.total_installations);
+        self.counts.insert(package.to_owned(), count);
+    }
+
+    /// Installation count for a package (0 when unsurveyed).
+    pub fn count(&self, package: &str) -> u64 {
+        self.counts.get(package).copied().unwrap_or(0)
+    }
+
+    /// Installation probability of a package: `count / total`.
+    pub fn probability(&self, package: &str) -> f64 {
+        if self.total_installations == 0 {
+            return 0.0;
+        }
+        self.count(package) as f64 / self.total_installations as f64
+    }
+
+    /// Number of surveyed packages.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(package, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Serializes in the Debian popularity-contest `by_inst` style:
+    /// `rank name inst` lines ordered by installation count, preceded by a
+    /// submissions header.
+    pub fn to_by_inst(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(&str, u64)> = self.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        let _ = writeln!(out, "Submissions: {}", self.total_installations);
+        for (rank, (name, count)) in rows.iter().enumerate() {
+            let _ = writeln!(out, "{} {} {}", rank + 1, name, count);
+        }
+        out
+    }
+
+    /// Parses the `by_inst` format back into a dataset.
+    ///
+    /// Returns `None` when the header is missing or a row is malformed.
+    pub fn from_by_inst(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let total = header.strip_prefix("Submissions:")?.trim().parse().ok()?;
+        let mut popcon = Popcon::new(total);
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let _rank = parts.next()?;
+            let name = parts.next()?;
+            let count: u64 = parts.next()?.parse().ok()?;
+            popcon.set_count(name, count);
+        }
+        Some(popcon)
+    }
+}
+
+/// Well-known shebang interpreters and the Figure 1 language buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interpreter {
+    /// `/bin/sh` → dash on Ubuntu.
+    Dash,
+    /// `/bin/bash`.
+    Bash,
+    /// Python 2/3.
+    Python,
+    /// Perl.
+    Perl,
+    /// Ruby.
+    Ruby,
+    /// Anything else.
+    Other,
+}
+
+impl Interpreter {
+    /// Classifies a shebang line's interpreter path.
+    pub fn classify(shebang: &str) -> Self {
+        let path = shebang.trim_start_matches("#!").trim();
+        let exe = path.split_whitespace().next().unwrap_or("");
+        let base = exe.rsplit('/').next().unwrap_or("");
+        // `#!/usr/bin/env python` style.
+        let base = if base == "env" {
+            path.split_whitespace().nth(1).unwrap_or("")
+        } else {
+            base
+        };
+        if base == "sh" || base == "dash" {
+            Interpreter::Dash
+        } else if base == "bash" {
+            Interpreter::Bash
+        } else if base.starts_with("python") {
+            Interpreter::Python
+        } else if base.starts_with("perl") {
+            Interpreter::Perl
+        } else if base.starts_with("ruby") {
+            Interpreter::Ruby
+        } else {
+            Interpreter::Other
+        }
+    }
+
+    /// The package providing this interpreter in the synthetic corpus.
+    pub fn providing_package(self) -> &'static str {
+        match self {
+            Interpreter::Dash => "dash",
+            Interpreter::Bash => "bash",
+            Interpreter::Python => "python2.7",
+            Interpreter::Perl => "perl",
+            Interpreter::Ruby => "ruby2.1",
+            Interpreter::Other => "binutils-misc",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popcon_probability() {
+        let mut p = Popcon::new(1000);
+        p.set_count("libc6", 1000);
+        p.set_count("kexec-tools", 10);
+        assert_eq!(p.probability("libc6"), 1.0);
+        assert_eq!(p.probability("kexec-tools"), 0.01);
+        assert_eq!(p.probability("unknown"), 0.0);
+        assert_eq!(p.count("kexec-tools"), 10);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn by_inst_roundtrip() {
+        let mut p = Popcon::new(1000);
+        p.set_count("libc6", 1000);
+        p.set_count("coreutils", 998);
+        p.set_count("kexec-tools", 10);
+        let text = p.to_by_inst();
+        assert!(text.starts_with("Submissions: 1000\n"));
+        assert!(text.contains("1 libc6 1000"));
+        let back = Popcon::from_by_inst(&text).expect("parse");
+        assert_eq!(back.total_installations, 1000);
+        assert_eq!(back.count("coreutils"), 998);
+        assert_eq!(back.count("kexec-tools"), 10);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn by_inst_rejects_garbage() {
+        assert!(Popcon::from_by_inst("").is_none());
+        assert!(Popcon::from_by_inst("no header\n1 x 2").is_none());
+        assert!(Popcon::from_by_inst("Submissions: 10\n1 pkg NaN").is_none());
+    }
+
+    #[test]
+    fn empty_survey_is_zero() {
+        let p = Popcon::new(0);
+        assert_eq!(p.probability("x"), 0.0);
+    }
+
+    #[test]
+    fn shebang_classification() {
+        assert_eq!(Interpreter::classify("#!/bin/sh"), Interpreter::Dash);
+        assert_eq!(Interpreter::classify("#!/bin/bash"), Interpreter::Bash);
+        assert_eq!(
+            Interpreter::classify("#!/usr/bin/python2.7"),
+            Interpreter::Python
+        );
+        assert_eq!(
+            Interpreter::classify("#!/usr/bin/env python3"),
+            Interpreter::Python
+        );
+        assert_eq!(Interpreter::classify("#!/usr/bin/perl -w"), Interpreter::Perl);
+        assert_eq!(
+            Interpreter::classify("#!/usr/bin/ruby2.1"),
+            Interpreter::Ruby
+        );
+        assert_eq!(
+            Interpreter::classify("#!/usr/bin/awk -f"),
+            Interpreter::Other
+        );
+    }
+}

@@ -1,0 +1,1670 @@
+//! Repository planning: deciding *what every package will contain* before
+//! any bytes are generated.
+//!
+//! The planner turns a [`Scale`] and [`CalibrationSpec`] into a
+//! [`RepoPlan`]: one [`PackagePlan`] per package with concrete libc calls,
+//! direct system calls, vectored opcodes, pseudo-file paths, shipped
+//! binaries/scripts, dependencies, and a popularity count. Plans are pure
+//! data — materializing them into ELF bytes is `generate.rs`'s job — and
+//! they double as the generator's ground truth for validating the analyzer.
+//!
+//! The planning pipeline (see DESIGN.md §4):
+//!
+//! 1. build the canonical importance ranking over all 323 system calls;
+//! 2. create package skeletons (tiers, probabilities, footprint breadth K
+//!    sampled from the Figure 3 curve);
+//! 3. place mid/low-importance system calls on carrier packages until each
+//!    hits its target importance (Tables 1–2 pins first);
+//! 4. sprinkle per-package adoption of the Tables 8–11 variant calls;
+//! 5. assign libc symbols to popularity buckets (§3.5) and to packages;
+//! 6. patch core packages so all 224 indispensable calls are covered;
+//! 7. assign vectored opcodes (Figures 4–5) and pseudo-files (Figure 6);
+//! 8. attach scripts (Figure 1), dependencies, and popcon counts.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use apistudy_catalog::{
+    wrappers::wrapped_syscalls, Catalog, IoctlGroup, SyscallStatus,
+    FCNTL_OPS, PRCTL_OPS,
+};
+use rand::{rngs::SmallRng, seq::SliceRandom, Rng, SeedableRng};
+
+use crate::{
+    calibration::{
+        CalibrationSpec, Scale, ADOPTION, BREADTH_CDF, LOW_SYSCALLS,
+        MID_SYSCALLS, PINS, STAGE1, STAGE2, STAGE3, STAGE4, UNUSED_SYSCALLS,
+    },
+    model::Popcon,
+};
+
+/// Package tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Always-installed base system packages.
+    Core,
+    /// Commonly installed packages (10–90%).
+    Mid,
+    /// The Zipf long tail.
+    Tail,
+    /// Special-purpose pins (Tables 1–2).
+    Pin,
+    /// Interpreter packages (dash, bash, python, ...).
+    Interpreter,
+}
+
+/// Planned executable.
+#[derive(Debug, Clone, Default)]
+pub struct ExecPlan {
+    /// File name.
+    pub file: String,
+    /// Statically linked.
+    pub is_static: bool,
+    /// libc functions called.
+    pub libc_calls: Vec<String>,
+    /// Exports called from the package's own shared library, as
+    /// `(library index, export name)`.
+    pub own_lib_calls: Vec<(usize, String)>,
+    /// Direct system calls.
+    pub direct_syscalls: Vec<u32>,
+    /// ioctl request codes (`true` = via the libc wrapper).
+    pub ioctl_codes: Vec<(u64, bool)>,
+    /// fcntl command codes.
+    pub fcntl_codes: Vec<(u64, bool)>,
+    /// prctl option codes.
+    pub prctl_codes: Vec<(u64, bool)>,
+    /// Hard-coded pseudo-file paths.
+    pub paths: Vec<String>,
+}
+
+/// Planned package-private shared library export.
+#[derive(Debug, Clone, Default)]
+pub struct LibExportPlan {
+    /// Export name.
+    pub name: String,
+    /// libc functions called.
+    pub libc_calls: Vec<String>,
+    /// Direct system calls.
+    pub direct_syscalls: Vec<u32>,
+}
+
+/// Planned package-private shared library.
+#[derive(Debug, Clone, Default)]
+pub struct OwnLibPlan {
+    /// `DT_SONAME` (globally unique).
+    pub soname: String,
+    /// Exports.
+    pub exports: Vec<LibExportPlan>,
+}
+
+/// Planned script.
+#[derive(Debug, Clone)]
+pub struct ScriptPlan {
+    /// File name.
+    pub file: String,
+    /// Shebang line.
+    pub shebang: String,
+}
+
+/// The full plan for one package.
+#[derive(Debug, Clone)]
+pub struct PackagePlan {
+    /// Package name.
+    pub name: String,
+    /// Installation probability.
+    pub prob: f64,
+    /// Tier.
+    pub tier: Tier,
+    /// Footprint-breadth rank bound (see DESIGN.md §4).
+    pub breadth: usize,
+    /// Dependencies (package names).
+    pub depends: Vec<String>,
+    /// Executables.
+    pub execs: Vec<ExecPlan>,
+    /// Package-private shared libraries.
+    pub libs: Vec<OwnLibPlan>,
+    /// Scripts.
+    pub scripts: Vec<ScriptPlan>,
+    /// Deterministic materialization seed.
+    pub seed: u64,
+}
+
+/// The canonical importance ranking over the system call table.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    /// Rank (0-based) → syscall number.
+    pub order: Vec<u32>,
+    /// Syscall number → rank.
+    pub rank_of: HashMap<u32, usize>,
+    /// Number of indispensable calls (the 100%-importance prefix).
+    pub indispensable: usize,
+}
+
+impl Ranking {
+    /// Builds the ranking from the calibration stage lists and the default
+    /// adoption table.
+    pub fn build(catalog: &Catalog) -> Self {
+        let adoption: Vec<(String, f64)> = ADOPTION
+            .iter()
+            .map(|&(n, r)| (n.to_owned(), r))
+            .collect();
+        Self::build_with(catalog, &adoption)
+    }
+
+    /// Builds the ranking with an explicit (possibly overridden) adoption
+    /// table: adoption-rate calls are slotted where their rate meets the
+    /// expected unweighted-importance curve.
+    pub fn build_with(catalog: &Catalog, adoption: &[(String, f64)]) -> Self {
+        let nr = |name: &str| {
+            catalog
+                .syscalls
+                .number_of(name)
+                .unwrap_or_else(|| panic!("unknown syscall {name}"))
+        };
+        let mut order: Vec<u32> = Vec::with_capacity(catalog.syscalls.len());
+        let mut seen: HashSet<u32> = HashSet::new();
+        let push = |order: &mut Vec<u32>, seen: &mut HashSet<u32>, n: u32| {
+            if seen.insert(n) {
+                order.push(n);
+            }
+        };
+        // Base order: the stage lists, then every remaining active call
+        // (not mid/low/unused), in numeric order — with adoption-rate calls
+        // held aside to be slotted in by rate below.
+        let tiered: HashSet<u32> = MID_SYSCALLS
+            .iter()
+            .chain(LOW_SYSCALLS)
+            .map(|&(n, _)| nr(n))
+            .chain(UNUSED_SYSCALLS.iter().map(|&n| nr(n)))
+            .collect();
+        let stage1_len = STAGE1.len();
+        let adoption_rate: HashMap<u32, f64> = adoption
+            .iter()
+            .map(|(n, r)| (nr(n), *r))
+            .filter(|(n, _)| !tiered.contains(n))
+            .collect();
+        let mut base: Vec<u32> = Vec::new();
+        {
+            let mut bseen: HashSet<u32> = HashSet::new();
+            for name in STAGE1.iter().chain(STAGE2).chain(STAGE3).chain(STAGE4)
+            {
+                let n = nr(name);
+                if bseen.insert(n) {
+                    base.push(n);
+                }
+            }
+            for def in catalog.syscalls.iter() {
+                if def.status == SyscallStatus::Active
+                    && !tiered.contains(&def.number)
+                    && bseen.insert(def.number)
+                {
+                    base.push(def.number);
+                }
+            }
+        }
+        let indispensable = base.len();
+        // Interleave: walk the base order (skipping adoption calls) and
+        // insert each adoption call where its rate meets the expected
+        // unweighted-importance curve. Stage I (the startup set) stays a
+        // contiguous prefix.
+        let mut adopted: Vec<(u32, f64)> = adoption_rate
+            .iter()
+            .map(|(&n, &r)| (n, r))
+            .collect();
+        adopted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut ai = 0usize;
+        for (pos, &n) in base.iter().enumerate() {
+            if adoption_rate.contains_key(&n) {
+                continue;
+            }
+            while ai < adopted.len()
+                && pos >= stage1_len
+                && adopted[ai].1
+                    >= crate::calibration::expected_unweighted(
+                        order.len(),
+                        indispensable,
+                    )
+            {
+                push(&mut order, &mut seen, adopted[ai].0);
+                ai += 1;
+            }
+            push(&mut order, &mut seen, n);
+        }
+        while ai < adopted.len() {
+            push(&mut order, &mut seen, adopted[ai].0);
+            ai += 1;
+        }
+        debug_assert_eq!(order.len(), indispensable);
+        // Retired-but-attempted calls are in LOW; NoEntryPoint slots go to
+        // the very end (never used).
+        // Mid tier, by descending target importance.
+        let mut mid: Vec<(&str, f64)> = MID_SYSCALLS.to_vec();
+        mid.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, _) in mid {
+            push(&mut order, &mut seen, nr(name));
+        }
+        let mut low: Vec<(&str, f64)> = LOW_SYSCALLS.to_vec();
+        low.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, _) in low {
+            push(&mut order, &mut seen, nr(name));
+        }
+        for name in UNUSED_SYSCALLS {
+            push(&mut order, &mut seen, nr(name));
+        }
+        for def in catalog.syscalls.iter() {
+            push(&mut order, &mut seen, def.number);
+        }
+        let rank_of = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        Self { order, rank_of, indispensable }
+    }
+
+    /// Rank of a syscall number (total order; lower = more important).
+    pub fn rank(&self, nr: u32) -> usize {
+        self.rank_of.get(&nr).copied().unwrap_or(usize::MAX)
+    }
+
+    /// Syscall numbers of the top `n` ranks.
+    pub fn top(&self, n: usize) -> &[u32] {
+        &self.order[..n.min(self.order.len())]
+    }
+}
+
+/// libc symbol popularity bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibcBucket {
+    /// ~100% importance.
+    Universal,
+    /// 50–99%.
+    High,
+    /// 1–50%.
+    Mid,
+    /// Under 1%.
+    Rare,
+    /// Never used.
+    Unused,
+}
+
+/// The complete repository plan.
+#[derive(Debug, Clone)]
+pub struct RepoPlan {
+    /// Scale used.
+    pub scale: Scale,
+    /// Calibration used.
+    pub spec: CalibrationSpec,
+    /// Master seed.
+    pub seed: u64,
+    /// Package plans (the system `libc6` package is index 0).
+    pub packages: Vec<PackagePlan>,
+    /// Popularity-contest counts.
+    pub popcon: Popcon,
+    /// The canonical importance ranking.
+    pub ranking: Ranking,
+    /// libc symbol id → bucket.
+    pub libc_buckets: Vec<LibcBucket>,
+}
+
+/// libc symbols that must be near-universal for the Table 7 libc-variant
+/// comparison to come out right: fortified `_chk` variants (missing from
+/// uClibc/musl raw) plus the startup/runtime hooks every binary touches.
+const UNIVERSAL_PRIORITY: &[&str] = &[
+    "__libc_start_main", "__cxa_finalize", "__cxa_atexit",
+    "__stack_chk_fail", "__printf_chk", "__fprintf_chk", "__sprintf_chk",
+    "__snprintf_chk", "__vfprintf_chk", "__vsnprintf_chk", "__memcpy_chk",
+    "__memmove_chk", "__memset_chk", "__strcpy_chk", "__strncpy_chk",
+    "__strcat_chk", "__strncat_chk", "__stpcpy_chk", "__fgets_chk",
+    "__read_chk", "__getcwd_chk", "__chk_fail", "__fortify_fail",
+    "__isoc99_scanf", "__isoc99_fscanf", "__isoc99_sscanf",
+    "__errno_location", "memalign",
+    "printf", "fprintf", "sprintf", "snprintf", "vfprintf", "puts",
+    "putchar", "fputs", "fputc", "fwrite", "fread", "fgets", "fopen",
+    "fclose", "fflush", "fseek", "ftell", "feof", "ferror", "fileno",
+    "malloc", "free", "calloc", "realloc", "exit", "_exit", "abort",
+    "atexit", "getenv", "setenv", "strtol", "strtoul", "atoi", "qsort",
+    "bsearch", "rand", "srand",
+    "memcpy", "memmove", "memset", "memcmp", "memchr", "strcpy",
+    "strncpy", "strcat", "strncat", "strcmp", "strncmp", "strchr",
+    "strrchr", "strstr", "strlen", "strnlen", "strdup", "strerror",
+    "strtok", "strcasecmp", "strncasecmp",
+    "open", "close", "read", "write", "lseek", "unlink",
+    "getpid", "getppid", "getuid", "geteuid", "getgid", "getegid",
+    "isatty", "fcntl", "dup", "dup2", "pipe", "fork", "execv", "execvp",
+    "execve", "waitpid", "kill", "signal", "sigaction", "sigprocmask",
+    "sigemptyset", "sigaddset", "raise", "alarm", "sleep", "usleep",
+    "nanosleep", "time", "gettimeofday", "clock_gettime", "localtime",
+    "localtime_r", "gmtime", "gmtime_r", "mktime", "strftime",
+    "stat", "fstat", "lstat", "access", "chdir", "getcwd", "mkdir",
+    "rmdir", "rename", "chmod", "chown", "umask", "opendir", "readdir",
+    "closedir", "ioctl", "uname", "sysconf", "getpagesize", "mmap",
+    "munmap", "mprotect", "brk", "sbrk",
+    "setlocale", "tolower", "toupper", "isalpha", "isdigit", "isspace",
+    "isprint", "getopt", "getopt_long", "perror", "abort_handler_s",
+];
+
+/// Universal pseudo-files (Figure 6's left edge).
+const UNIVERSAL_PATHS: &[&str] = &[
+    "/dev/null", "/dev/tty", "/dev/urandom", "/dev/zero",
+    "/proc/cpuinfo", "/proc/meminfo", "/proc/self/exe", "/proc/stat",
+    "/proc/filesystems", "/proc/self/maps", "/proc/mounts",
+    "/proc/self/status",
+];
+
+/// Named core packages (beyond `libc6` and the interpreters).
+const CORE_PACKAGES: &[&str] = &[
+    "coreutils", "util-linux", "apt", "dpkg", "systemd", "grep", "sed",
+    "tar", "gzip", "findutils", "procps", "mount-tools", "passwd",
+    "login", "init-system-helpers", "bsdutils", "diffutils", "hostname",
+    "sysvinit-utils", "e2fsprogs", "ncurses-bin", "kmod", "udev",
+    "net-tools", "iproute2", "ifupdown", "isc-dhcp-client", "rsyslog",
+    "cron", "console-setup", "keyboard-configuration", "kbd-tools",
+    "less", "nano", "vim-tiny", "wget", "curl-core", "openssh-client",
+    "gnupg", "ca-certificates", "readline-common", "debconf",
+    "lsb-release", "adduser", "base-passwd",
+];
+
+/// Interpreter packages: `(package, probability, breadth K)`.
+const INTERPRETERS: &[(&str, f64, usize)] = &[
+    ("dash", 0.999, 81),
+    ("bash", 0.995, 120),
+    ("python2.7", 0.97, 145),
+    ("perl", 0.98, 145),
+    ("ruby2.1", 0.35, 160),
+    ("binutils-misc", 0.50, 100),
+];
+
+fn interp_cdf(cdf: &[(f64, f64)], u: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0);
+    for w in cdf.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if u <= x1 {
+            if x1 == x0 {
+                return y1;
+            }
+            return y0 + (y1 - y0) * (u - x0) / (x1 - x0);
+        }
+    }
+    cdf.last().map(|&(_, y)| y).unwrap_or(0.0)
+}
+
+/// Combined importance of a set of installation probabilities.
+fn importance(probs: &[f64]) -> f64 {
+    1.0 - probs.iter().fold(1.0, |acc, &p| acc * (1.0 - p))
+}
+
+/// Builds the reverse wrapper map: syscall name → libc symbols whose
+/// wrapped set is exactly that one syscall.
+fn singleton_wrappers(catalog: &Catalog) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    for (_, sym) in catalog.libc.iter() {
+        let wrapped = wrapped_syscalls(&sym.name);
+        if wrapped.len() == 1 {
+            out.entry(wrapped[0].to_owned())
+                .or_insert_with(|| sym.name.clone());
+        }
+    }
+    // Prefer the exact same-named wrapper when it exists.
+    for (_, sym) in catalog.libc.iter() {
+        let wrapped = wrapped_syscalls(&sym.name);
+        if wrapped.len() == 1 && wrapped[0] == sym.name {
+            out.insert(sym.name.clone(), sym.name.clone());
+        }
+    }
+    out
+}
+
+impl RepoPlan {
+    /// Plans a repository at the given scale.
+    pub fn plan(scale: Scale, spec: CalibrationSpec, seed: u64) -> Self {
+        let catalog = Catalog::linux_3_19();
+        let adoption = spec.adoption();
+        let ranking = Ranking::build_with(&catalog, &adoption);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let singleton = singleton_wrappers(&catalog);
+
+        // ---- 1. Package skeletons ------------------------------------
+        let mut packages: Vec<PackagePlan> = Vec::with_capacity(scale.packages);
+        let mut name_set: HashSet<String> = HashSet::new();
+        let add_pkg = |packages: &mut Vec<PackagePlan>,
+                           name_set: &mut HashSet<String>,
+                           name: String,
+                           prob: f64,
+                           tier: Tier,
+                           breadth: usize,
+                           seed: u64| {
+            assert!(name_set.insert(name.clone()), "duplicate package {name}");
+            packages.push(PackagePlan {
+                name,
+                prob,
+                tier,
+                breadth,
+                depends: Vec::new(),
+                execs: Vec::new(),
+                libs: Vec::new(),
+                scripts: Vec::new(),
+                seed,
+            });
+        };
+
+        // libc6 is package 0, installed everywhere.
+        add_pkg(&mut packages, &mut name_set, "libc6".into(), 1.0, Tier::Core, 224, seed ^ 1);
+
+        for name in CORE_PACKAGES {
+            let prob = rng.gen_range(0.96..0.999);
+            let breadth = (interp_cdf(BREADTH_CDF, rng.gen()) as usize)
+                .clamp(120, 224);
+            add_pkg(
+                &mut packages,
+                &mut name_set,
+                (*name).into(),
+                prob,
+                Tier::Core,
+                breadth,
+                rng.gen(),
+            );
+        }
+        for &(name, prob, breadth) in INTERPRETERS {
+            add_pkg(
+                &mut packages,
+                &mut name_set,
+                name.into(),
+                prob,
+                Tier::Interpreter,
+                breadth,
+                rng.gen(),
+            );
+        }
+        for pin in PINS {
+            add_pkg(
+                &mut packages,
+                &mut name_set,
+                pin.package.into(),
+                pin.prob,
+                Tier::Pin,
+                224,
+                rng.gen(),
+            );
+        }
+        // qemu: the paper's 270-syscall maximum.
+        add_pkg(&mut packages, &mut name_set, "qemu".into(), 0.02, Tier::Pin, ranking.indispensable + MID_SYSCALLS.len() + 13, rng.gen());
+
+        let fixed = packages.len();
+        let remaining = scale.packages.saturating_sub(fixed);
+        let mid_count = (scale.packages as f64 * 0.15) as usize;
+        let tail_count = remaining.saturating_sub(mid_count);
+        for i in 0..mid_count {
+            // Log-uniform in [0.08, 0.92].
+            let u: f64 = rng.gen();
+            let prob = 0.08 * (0.92f64 / 0.08).powf(u);
+            let k = interp_cdf(BREADTH_CDF, rng.gen()) as usize;
+            add_pkg(
+                &mut packages,
+                &mut name_set,
+                format!("app-{i:05}"),
+                prob,
+                Tier::Mid,
+                k.clamp(40, 224),
+                rng.gen(),
+            );
+        }
+        for i in 0..tail_count {
+            // Zipf-ish tail in [2/installations, 0.08).
+            let u: f64 = rng.gen();
+            let floor = (2.0 / scale.installations as f64).max(1e-6);
+            let prob = floor * (0.08 / floor).powf(u * u);
+            let k = interp_cdf(BREADTH_CDF, rng.gen()) as usize;
+            add_pkg(
+                &mut packages,
+                &mut name_set,
+                format!("pkg-{i:05}"),
+                prob,
+                Tier::Tail,
+                k.clamp(40, 224),
+                rng.gen(),
+            );
+        }
+
+        let index_of: HashMap<String, usize> = packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+
+        // Footprint templates (§6): many real packages are built from the
+        // same skeletons (autotools helpers, trivial wrappers) and share a
+        // footprint exactly — the paper finds only ~1/3 of applications
+        // have a unique footprint. A slice of mid/tail packages therefore
+        // clones a prototype's facts instead of rolling its own.
+        let mut template_of: Vec<Option<usize>> = vec![None; packages.len()];
+        let mut is_proto: Vec<bool> = vec![false; packages.len()];
+        {
+            let assign = |tier: Tier, proto_div: usize, q: f64,
+                              packages: &mut Vec<PackagePlan>,
+                              template_of: &mut Vec<Option<usize>>,
+                              is_proto: &mut Vec<bool>,
+                              rng: &mut SmallRng| {
+                let members: Vec<usize> = packages
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.tier == tier)
+                    .map(|(i, _)| i)
+                    .collect();
+                if members.is_empty() {
+                    return;
+                }
+                let protos = (members.len() / proto_div).max(1);
+                let (proto_idx, rest) = members.split_at(protos.min(members.len()));
+                for &i in rest {
+                    if rng.gen_bool(q) {
+                        let proto = proto_idx[rng.gen_range(0..proto_idx.len())];
+                        template_of[i] = Some(proto);
+                        is_proto[proto] = true;
+                        packages[i].breadth = packages[proto].breadth;
+                        packages[i].seed = packages[proto].seed;
+                    }
+                }
+            };
+            assign(Tier::Tail, 18, 0.62, &mut packages, &mut template_of, &mut is_proto, &mut rng);
+            assign(Tier::Mid, 10, 0.25, &mut packages, &mut template_of, &mut is_proto, &mut rng);
+        }
+        let templated_count = template_of.iter().filter(|t| t.is_some()).count();
+
+        // Per-package accumulated facts (merged into exec plans at the
+        // end of planning).
+        let mut acc: Vec<ImplAcc> = vec![ImplAcc::default(); packages.len()];
+
+        // ---- libc symbol buckets (consulted by every usage pass) --------
+        let buckets = assign_libc_buckets(&catalog, &ranking, &spec, &mut rng);
+        let bucket_ok = |sym: &str| -> bool {
+            catalog
+                .libc
+                .id_of(sym)
+                .is_some_and(|id| buckets[id as usize] != LibcBucket::Unused)
+        };
+
+        // Which packages contain inline `syscall` instructions at all: the
+        // paper finds only ~15% of binaries issue system calls directly
+        // (§7); everyone else goes through libc.
+        let emits_direct: Vec<bool> = packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p.tier {
+                Tier::Pin => true,
+                Tier::Core => rng.gen_bool(0.35),
+                _ => i != 0 && rng.gen_bool(0.18),
+            })
+            .collect();
+
+        // Helper: add a syscall by name, via the singleton libc wrapper
+        // when available (and not itself universal-constrained), else as a
+        // direct syscall.
+        let nr_of = |name: &str| catalog.syscalls.number_of(name).expect("known syscall");
+        // Calls whose direct sites must stay inside libraries (Table 1):
+        // applications only ever reach them through the libc wrapper.
+        let wrapper_only: HashSet<&str> = ["clock_settime", "iopl", "ioperm",
+                                           "signalfd4", "preadv", "pwritev"]
+            .into_iter()
+            .collect();
+        let add_syscall_usage =
+            |acc: &mut Vec<ImplAcc>, pkg: usize, name: &str, rng: &mut SmallRng| {
+                if let Some(wrapper) =
+                    singleton.get(name).filter(|w| bucket_ok(w))
+                {
+                    // Non-emitter packages always go through libc; emitter
+                    // packages inline about half their calls.
+                    if wrapper_only.contains(name)
+                        || !emits_direct[pkg]
+                        || rng.gen_bool(0.5)
+                    {
+                        acc[pkg].libc_calls.insert(wrapper.clone());
+                        return;
+                    }
+                }
+                acc[pkg].direct.insert(nr_of(name));
+            };
+
+        // ---- 2. Pins (Tables 1–2) ------------------------------------
+        for pin in PINS {
+            let idx = index_of[pin.package];
+            for name in pin.syscalls {
+                add_syscall_usage(&mut acc, idx, name, &mut rng);
+            }
+            for path in pin.paths {
+                acc[idx].paths.insert((*path).to_owned());
+            }
+        }
+        // qemu: footprint of 270 calls, including KVM ioctls and /dev/kvm.
+        // Tiered calls are reached through libc wrappers so their direct
+        // call sites stay attributed to libc / the pin libraries (Table 1).
+        {
+            let idx = index_of["qemu"];
+            let target = packages[idx].breadth;
+            let mut have = 0usize;
+            // Walk only the used region of the ranking (indispensable +
+            // tiered calls); the unused tail must stay unused.
+            let used_region = ranking.order.len() - UNUSED_SYSCALLS.len() - 10;
+            for (rank, &nr) in ranking.order[..used_region].iter().enumerate() {
+                if have >= target {
+                    break;
+                }
+                let name = catalog.syscalls.by_number(nr).expect("defined").name;
+                if rank < ranking.indispensable {
+                    // Emulators issue the common calls inline.
+                    acc[idx].direct.insert(nr);
+                    have += 1;
+                } else if let Some(wrapper) = singleton.get(name) {
+                    // Tiered calls go through libc so their direct sites
+                    // stay with their pin libraries (Table 1).
+                    acc[idx].libc_calls.insert(wrapper.clone());
+                    have += 1;
+                }
+            }
+            acc[idx].paths.insert("/dev/kvm".into());
+            for name in ["KVM_GET_API_VERSION", "KVM_CREATE_VM", "KVM_RUN",
+                         "KVM_CREATE_VCPU", "KVM_CHECK_EXTENSION"] {
+                if let Some(op) = catalog.ioctl_ops.iter().find(|o| o.name == name) {
+                    acc[idx].ioctl.insert(op.code, false);
+                }
+            }
+        }
+
+        // ---- 3. Mid/low carrier placement -----------------------------
+        // Candidate pools for carriers.
+        let mid_pool: Vec<usize> = packages
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| {
+                p.tier == Tier::Mid && template_of[i].is_none() && !is_proto[i]
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let tail_pool: Vec<usize> = packages
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| {
+                p.tier == Tier::Tail && template_of[i].is_none() && !is_proto[i]
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        // Carriers of mid/low-tier calls come from dedicated slices of the
+        // pools: special-purpose packages cluster in reality, and bounding
+        // the slice keeps the Figure 3 tail (the last ~10% of mass needing
+        // 70 more calls) stable across corpus scales.
+        let mid_carriers: Vec<usize> = {
+            let k = (mid_pool.len() * 15 / 100).max(4).min(mid_pool.len());
+            mid_pool[mid_pool.len() - k..].to_vec()
+        };
+        let tail_carriers: Vec<usize> = {
+            let k = (tail_pool.len() * 20 / 100).max(6).min(tail_pool.len());
+            tail_pool[tail_pool.len() - k..].to_vec()
+        };
+
+        let place_carriers = |acc: &mut Vec<ImplAcc>,
+                                  packages: &mut Vec<PackagePlan>,
+                                  rng: &mut SmallRng,
+                                  name: &str,
+                                  target: f64,
+                                  pool: &[usize]| {
+            // Existing importance from pins.
+            let mut probs: Vec<f64> = packages
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| {
+                    acc[i].direct.contains(&nr_of(name))
+                        || singleton
+                            .get(name)
+                            .is_some_and(|w| acc[i].libc_calls.contains(w))
+                })
+                .map(|(_, p)| p.prob)
+                .collect();
+            let mut guard = 0;
+            while importance(&probs) < target && guard < 4 * pool.len() + 64 {
+                guard += 1;
+                let Some(&idx) = pool.choose(rng) else { break };
+                // Small targets must not overshoot: skip carriers whose
+                // probability alone would blow past the target.
+                let gap = target - importance(&probs);
+                if packages[idx].prob > (2.5 * gap + 0.004) && guard < 3 * pool.len() {
+                    continue;
+                }
+                let rank = ranking.rank(nr_of(name));
+                add_syscall_usage(acc, idx, name, rng);
+                probs.push(packages[idx].prob);
+                if packages[idx].breadth < rank + 1 {
+                    packages[idx].breadth = rank + 1;
+                }
+            }
+        };
+        for &(name, target) in MID_SYSCALLS {
+            place_carriers(&mut acc, &mut packages, &mut rng, name, target, &mid_carriers);
+        }
+        for &(name, target) in LOW_SYSCALLS {
+            place_carriers(&mut acc, &mut packages, &mut rng, name, target, &tail_carriers);
+        }
+
+        // ---- 4. Adoption sprinkling (Tables 8–11), with any what-if
+        // overrides from the calibration spec applied.
+        for (name, rate) in adoption.iter().map(|(n, r)| (n.as_str(), *r)) {
+            let nr = nr_of(name);
+            let rank = ranking.rank(nr);
+            let target_count = ((rate
+                * (scale.packages.saturating_sub(templated_count)) as f64)
+                .round() as usize)
+                .max(1);
+            let mut eligible: Vec<usize> = packages
+                .iter()
+                .enumerate()
+                .filter(|&(i, p)| {
+                    p.breadth > rank
+                        && p.tier != Tier::Pin
+                        && p.tier != Tier::Interpreter
+                        && i != 0
+                        && template_of[i].is_none()
+                })
+                .map(|(i, _)| i)
+                .collect();
+            eligible.shuffle(&mut rng);
+            for &idx in eligible.iter().take(target_count) {
+                add_syscall_usage(&mut acc, idx, name, &mut rng);
+            }
+        }
+
+        // ---- 4b. Rank-consistent usage of the indispensable tier -------
+        // Within the 224 indispensable calls, the fraction of packages
+        // using a call must decrease with its rank, or the measured
+        // importance ordering would diverge from the canonical one and the
+        // Figure 3 knees would drift. Every non-ubiquitous indispensable
+        // call is issued *inline* (direct syscall sites in application
+        // code — which is also why the paper's Table 1 is short) by a
+        // random fraction of the packages whose breadth covers it.
+        {
+            let adoption_names: HashSet<String> =
+                adoption.iter().map(|(n, _)| n.clone()).collect();
+            let mut ubiquitous: HashSet<u32> = HashSet::new();
+            for name in wrapped_syscalls("__libc_start_main") {
+                ubiquitous.insert(nr_of(name));
+            }
+            for name in ["access", "arch_prctl", "mprotect"] {
+                ubiquitous.insert(nr_of(name));
+            }
+            for (rank, &nr) in ranking.order[..ranking.indispensable]
+                .iter()
+                .enumerate()
+            {
+                if ubiquitous.contains(&nr) {
+                    continue;
+                }
+                let name = catalog.syscalls.by_number(nr).expect("defined").name;
+                if adoption_names.contains(name)
+                    || wrapper_only.contains(name)
+                {
+                    continue;
+                }
+                let jitter = rng.gen_range(0.96..1.04);
+                let f = (crate::calibration::sprinkle_fraction(
+                    rank,
+                    ranking.indispensable,
+                ) * jitter)
+                    .clamp(0.02, 0.98);
+                // Calls with no libc wrapper can only live in packages
+                // that inline syscalls; their per-package fraction is
+                // scaled up so the corpus-wide adoption stays on the
+                // curve (~25% of mass are emitters).
+                let wrapper = singleton.get(name).filter(|w| bucket_ok(w));
+                let f_eff = if wrapper.is_some() {
+                    f
+                } else {
+                    (f / 0.20).min(0.95)
+                };
+                for i in 0..packages.len() {
+                    if i == 0 || packages[i].breadth <= rank {
+                        continue;
+                    }
+                    if packages[i].tier == Tier::Interpreter
+                        || template_of[i].is_some()
+                    {
+                        continue;
+                    }
+                    if wrapper.is_none() && !emits_direct[i] {
+                        continue;
+                    }
+                    if rng.gen_bool(f_eff) {
+                        match (emits_direct[i], wrapper) {
+                            (true, _) | (false, None) => {
+                                acc[i].direct.insert(nr);
+                            }
+                            (false, Some(w)) => {
+                                acc[i].libc_calls.insert(w.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- 5. libc symbol assignment ----------------------------------
+        // Rank budget of each symbol: the worst canonical rank among its
+        // wrapped syscalls. A package may only call symbols within its
+        // breadth K, keeping the Figure 3 curve intact.
+        let sym_rank: HashMap<String, usize> = catalog
+            .libc
+            .iter()
+            .map(|(_, s)| {
+                let r = wrapped_syscalls(&s.name)
+                    .iter()
+                    .map(|w| ranking.rank(nr_of(w)))
+                    .max()
+                    .unwrap_or(0);
+                (s.name.clone(), r)
+            })
+            .collect();
+
+        // Universal symbol coverage: every universal symbol is called by at
+        // least one always-installed package. libc6 (package 0) and the
+        // interpreters are excluded — their footprints propagate to every
+        // dependent package, so they must stay minimal / within their K.
+        let universal_syms: Vec<String> = catalog
+            .libc
+            .iter()
+            .filter(|&(id, _)| buckets[id as usize] == LibcBucket::Universal)
+            .map(|(_, s)| s.name.clone())
+            .collect();
+        let core_pool: Vec<usize> = packages
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| p.tier == Tier::Core && i != 0)
+            .map(|(i, _)| i)
+            .collect();
+        let interp_pool: Vec<usize> = packages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.tier == Tier::Interpreter)
+            .map(|(i, _)| i)
+            .collect();
+        let pick_core = |packages: &mut Vec<PackagePlan>, start: usize, need: usize| -> usize {
+            let n = core_pool.len();
+            for off in 0..n {
+                let idx = core_pool[(start + off) % n];
+                if packages[idx].breadth > need {
+                    return idx;
+                }
+            }
+            // No core covers this rank: the kitchen-sink core absorbs it.
+            let idx = core_pool[0];
+            if packages[idx].breadth <= need {
+                packages[idx].breadth = need + 1;
+            }
+            idx
+        };
+        for (i, sym) in universal_syms.iter().enumerate() {
+            let idx = pick_core(&mut packages, i, sym_rank[sym]);
+            acc[idx].libc_calls.insert(sym.clone());
+        }
+        // Every package samples universal symbols within its rank budget
+        // (templated clones copy their prototype instead).
+        for (i, p) in packages.iter().enumerate() {
+            if i == 0 || template_of[i].is_some() {
+                continue; // libc6 stays minimal.
+            }
+            let n = match p.tier {
+                Tier::Core | Tier::Interpreter => rng.gen_range(30..70),
+                Tier::Mid => rng.gen_range(12..40),
+                Tier::Pin => rng.gen_range(6..16),
+                Tier::Tail => rng.gen_range(4..20),
+            };
+            for _ in 0..n {
+                let sym = &universal_syms[rng.gen_range(0..universal_syms.len())];
+                if sym_rank[sym] < p.breadth {
+                    acc[i].libc_calls.insert(sym.clone());
+                }
+            }
+        }
+        // High/mid/rare symbols get dedicated carrier packages, preferring
+        // carriers whose budget already covers the symbol. Symbols that
+        // wrap adoption-controlled or tiered syscalls are carrier-only by
+        // construction and are skipped here.
+        let reserved: Vec<bool> = catalog
+            .libc
+            .iter()
+            .map(|(_, sym)| {
+                wrapped_syscalls(&sym.name)
+                    .iter()
+                    .any(|w| sym_rank[&sym.name] >= ranking.indispensable
+                        || ADOPTION.iter().any(|&(n, _)| n == *w))
+            })
+            .collect();
+        for (id, sym) in catalog.libc.iter() {
+            if reserved[id as usize] {
+                continue;
+            }
+            let (target, pool) = match buckets[id as usize] {
+                LibcBucket::High => (rng.gen_range(0.50..0.95), &mid_pool),
+                LibcBucket::Mid => (rng.gen_range(0.02..0.45), &mid_pool),
+                LibcBucket::Rare => (rng.gen_range(0.0001..0.008), &tail_pool),
+                _ => continue,
+            };
+            let need = sym_rank[&sym.name] + 1;
+            let mut probs: Vec<f64> = Vec::new();
+            let mut guard = 0;
+            while importance(&probs) < target && guard < 200 {
+                guard += 1;
+                let Some(&idx) = pool.choose(&mut rng) else { break };
+                // Do not overshoot small targets with popular carriers
+                // (the rare band must stay under 1% importance).
+                let gap = target - importance(&probs);
+                if packages[idx].prob > (2.5 * gap + 0.002) && guard < 150 {
+                    continue;
+                }
+                if packages[idx].breadth < need {
+                    // Prefer a different carrier; bump only as a fallback.
+                    if guard % 4 != 0 {
+                        continue;
+                    }
+                    packages[idx].breadth = need;
+                }
+                acc[idx].libc_calls.insert(sym.name.clone());
+                probs.push(packages[idx].prob);
+            }
+        }
+
+        // stdio-internal group (Table 7): glibc's buffered-I/O internals
+        // (`__overflow`, `__uflow`, ...) are referenced together by a bit
+        // over half the package mass; uClibc and musl do not export them,
+        // which is what caps their normalized weighted completeness.
+        for (i, p) in packages.iter().enumerate() {
+            if i == 0 || template_of[i].is_some() {
+                continue;
+            }
+            // Interpreters are exempt: their footprint propagates to every
+            // script package through dependency closure, which would make
+            // the Table 7 outcome hinge on a handful of coin flips.
+            let q = match p.tier {
+                Tier::Core => 0.62,
+                Tier::Interpreter => 0.0,
+                Tier::Mid => 0.57,
+                Tier::Tail => 0.52,
+                Tier::Pin => 0.40,
+            };
+            if q == 0.0 {
+                continue;
+            }
+            if rng.gen_bool(q) {
+                for sym in ["__overflow", "__uflow", "__underflow",
+                            "_IO_getc", "_IO_putc"] {
+                    acc[i].libc_calls.insert(sym.to_owned());
+                }
+            }
+        }
+
+        // ---- 6. Indispensable coverage patch ---------------------------
+        // An indispensable call must be required on essentially every
+        // installation (Figure 2's 224 at 100%). Calls already carried by
+        // startup/ld.so are there; the rest are topped up with core-package
+        // users until their combined importance is ~1.
+        {
+            let mut ubiquitous: HashSet<u32> = HashSet::new();
+            for name in wrapped_syscalls("__libc_start_main") {
+                ubiquitous.insert(nr_of(name));
+            }
+            for name in ["access", "arch_prctl", "mprotect"] {
+                ubiquitous.insert(nr_of(name));
+            }
+            // Miss probability per syscall from current assignments.
+            let mut miss: HashMap<u32, f64> = HashMap::new();
+            for (i, a) in acc.iter().enumerate() {
+                let q = 1.0 - packages[i].prob;
+                for &nr in &a.direct {
+                    *miss.entry(nr).or_insert(1.0) *= q;
+                }
+                for call in &a.libc_calls {
+                    for name in wrapped_syscalls(call) {
+                        *miss.entry(nr_of(name)).or_insert(1.0) *= q;
+                    }
+                }
+            }
+            let positions: Vec<usize> = (0..core_pool.len()).collect();
+            let mut core_cycle = positions.iter().cycle();
+            for (rank, &nr) in ranking.order[..ranking.indispensable]
+                .iter()
+                .enumerate()
+            {
+                if ubiquitous.contains(&nr) {
+                    continue;
+                }
+                let name = catalog
+                    .syscalls
+                    .by_number(nr)
+                    .expect("ranking holds defined syscalls")
+                    .name;
+                let wrapper = singleton.get(name).filter(|w| {
+                    catalog
+                        .libc
+                        .id_of(w)
+                        .is_some_and(|id| buckets[id as usize] != LibcBucket::Unused)
+                });
+                let mut m = miss.get(&nr).copied().unwrap_or(1.0);
+                let mut guard = 0;
+                while m > 1e-4 && guard < 24 {
+                    guard += 1;
+                    let cursor = core_cycle.next().copied().unwrap_or(0);
+                    let idx = pick_core(&mut packages, cursor, rank);
+                    match wrapper {
+                        Some(w) => {
+                            if !acc[idx].libc_calls.insert(w.clone()) {
+                                continue;
+                            }
+                        }
+                        None => {
+                            if !acc[idx].direct.insert(nr) {
+                                continue;
+                            }
+                        }
+                    }
+                    m *= 1.0 - packages[idx].prob;
+                }
+            }
+        }
+
+        // ---- 7. Vectored opcodes & pseudo-files -------------------------
+        {
+            let rank_ioctl = ranking.rank(nr_of("ioctl"));
+            let rank_fcntl = ranking.rank(nr_of("fcntl"));
+            let rank_prctl = ranking.rank(nr_of("prctl"));
+            let with_budget = |pool: &[usize], rank: usize| -> Vec<usize> {
+                pool.iter()
+                    .copied()
+                    .filter(|&i| packages[i].breadth > rank)
+                    .collect()
+            };
+            let pools = VectoredPools {
+                ioctl_core: with_budget(&core_pool, rank_ioctl),
+                ioctl_mid: with_budget(&mid_pool, rank_ioctl),
+                ioctl_tail: with_budget(&tail_pool, rank_ioctl),
+                fcntl_core: with_budget(&core_pool, rank_fcntl),
+                fcntl_mid: with_budget(&mid_pool, rank_fcntl),
+                fcntl_tail: with_budget(&tail_pool, rank_fcntl),
+                prctl_core: with_budget(&core_pool, rank_prctl),
+                prctl_mid: with_budget(&mid_pool, rank_prctl),
+                prctl_tail: with_budget(&tail_pool, rank_prctl),
+            };
+            let probs: Vec<f64> = packages.iter().map(|p| p.prob).collect();
+            assign_vectored(
+                &catalog, &spec, &mut acc, &pools, &probs, &emits_direct,
+                &mut rng,
+            );
+            let path_core: Vec<usize> =
+                core_pool.iter().chain(&interp_pool).copied().collect();
+            assign_paths(&catalog, &mut acc, &path_core, &mid_pool, &tail_pool, &mut rng);
+        }
+
+        // Clone prototype facts into templated packages (their pools were
+        // excluded everywhere above, so the calibrated rates are
+        // preserved and clones replicate their prototype exactly).
+        for i in 0..packages.len() {
+            if let Some(proto) = template_of[i] {
+                acc[i] = acc[proto].clone();
+            }
+        }
+
+        // ---- 8. Files, scripts, deps, popcon ----------------------------
+        let mut popcon = Popcon::new(scale.installations);
+        for i in 0..packages.len() {
+            let p_seed = packages[i].seed;
+            let mut prng = SmallRng::seed_from_u64(p_seed);
+            let a = &acc[i];
+            let tier = packages[i].tier;
+            // Distribute accumulated facts over 1–3 executables and 0–2
+            // private libraries.
+            let nexec = match tier {
+                Tier::Core | Tier::Interpreter => prng.gen_range(2..=4),
+                Tier::Mid => prng.gen_range(1..=3),
+                _ => prng.gen_range(1..=2),
+            };
+            let lib_pin_pkg = matches!(
+                packages[i].name.as_str(),
+                "libnuma" | "libopenblas" | "libkeyutils" | "pam-keyutil"
+            );
+            let nlib = match tier {
+                Tier::Core => prng.gen_range(2..=3),
+                Tier::Mid => prng.gen_range(1..=3),
+                Tier::Interpreter => 2,
+                Tier::Pin if lib_pin_pkg => 1,
+                _ => {
+                    usize::from(prng.gen_bool(0.85))
+                        + usize::from(prng.gen_bool(0.45))
+                }
+            };
+            let is_static = tier == Tier::Tail && prng.gen_bool(0.016);
+
+            let mut execs: Vec<ExecPlan> = (0..nexec)
+                .map(|e| ExecPlan {
+                    file: format!("{}-bin{e}", packages[i].name),
+                    is_static: is_static && e == 0,
+                    ..Default::default()
+                })
+                .collect();
+            let mut libs: Vec<OwnLibPlan> = (0..nlib)
+                .map(|l| OwnLibPlan {
+                    soname: format!("lib{}-{l}.so.1", packages[i].name),
+                    exports: (0..prng.gen_range(2..6))
+                        .map(|x| LibExportPlan {
+                            name: format!("{}_{l}_fn{x}", packages[i].name.replace('-', "_")),
+                            ..Default::default()
+                        })
+                        .collect(),
+                })
+                .collect();
+
+            // Deal facts round-robin: most to exec 0, some to libs.
+            // Library pins (libnuma & co.) keep their call sites inside
+            // their shared library (the paper's Table 1 attribution);
+            // application pins (qemu & co.) keep them in executables.
+            let lib_pin = matches!(
+                packages[i].name.as_str(),
+                "libnuma" | "libopenblas" | "libkeyutils" | "pam-keyutil"
+            );
+            let nlibs = libs.len();
+            let nexecs = execs.len();
+            let lib_bias = if tier == Tier::Pin {
+                if lib_pin && nlibs > 0 { 1.0 } else { 0.0 }
+            } else {
+                0.3
+            };
+            let deal = move |prng: &mut SmallRng| -> (bool, usize) {
+                if nlibs > 0 && prng.gen_bool(lib_bias) {
+                    (true, prng.gen_range(0..nlibs))
+                } else {
+                    (false, prng.gen_range(0..nexecs))
+                }
+            };
+            for call in &a.libc_calls {
+                let (to_lib, j) = deal(&mut prng);
+                if to_lib {
+                    let exports = &mut libs[j].exports;
+                    let k = prng.gen_range(0..exports.len());
+                    exports[k].libc_calls.push(call.clone());
+                } else if execs[j].is_static {
+                    // Static binaries cannot import; keep on exec 1+.
+                    execs[0].direct_syscalls.extend(
+                        wrapped_syscalls(call).iter().map(|s| nr_of(s)),
+                    );
+                } else {
+                    execs[j].libc_calls.push(call.clone());
+                }
+            }
+            for &nr in &a.direct {
+                let (to_lib, j) = deal(&mut prng);
+                if to_lib {
+                    let exports = &mut libs[j].exports;
+                    let k = prng.gen_range(0..exports.len());
+                    exports[k].direct_syscalls.push(nr);
+                } else {
+                    execs[j].direct_syscalls.push(nr);
+                }
+            }
+            for (&code, &via) in &a.ioctl {
+                let j = prng.gen_range(0..execs.len());
+                let is_static = execs[j].is_static;
+                execs[j].ioctl_codes.push((code, via && !is_static));
+            }
+            for (&code, &via) in &a.fcntl {
+                let j = prng.gen_range(0..execs.len());
+                let is_static = execs[j].is_static;
+                execs[j].fcntl_codes.push((code, via && !is_static));
+            }
+            for (&code, &via) in &a.prctl {
+                let j = prng.gen_range(0..execs.len());
+                let is_static = execs[j].is_static;
+                execs[j].prctl_codes.push((code, via && !is_static));
+            }
+            for path in &a.paths {
+                let j = prng.gen_range(0..execs.len());
+                execs[j].paths.push(path.clone());
+            }
+            // The first non-static exec references every export of each
+            // private library, so all dealt facts stay reachable; other
+            // execs reference one export each for call-graph variety.
+            for (li, lib) in libs.iter().enumerate() {
+                let mut primary_done = false;
+                for (e, exec) in execs.iter_mut().enumerate() {
+                    if exec.is_static {
+                        continue;
+                    }
+                    if !primary_done {
+                        for x in &lib.exports {
+                            exec.own_lib_calls.push((li, x.name.clone()));
+                        }
+                        primary_done = true;
+                    } else {
+                        let x = (e + li) % lib.exports.len();
+                        exec.own_lib_calls
+                            .push((li, lib.exports[x].name.clone()));
+                    }
+                }
+            }
+
+            // Scripts per the Figure 1 mix: expected scripts per package
+            // chosen so the global executable mix matches. A package only
+            // ships scripts whose interpreter fits its breadth budget
+            // (script packages inherit the interpreter's footprint, §2.3),
+            // so each kind's expectation is scaled by the mass fraction of
+            // eligible packages. libc6 and the interpreters themselves ship
+            // none: their footprints propagate to every dependent package.
+            let mut scripts = Vec::new();
+            if i != 0 && tier != Tier::Interpreter {
+                let per_pkg_elf = (nexec + nlib) as f64;
+                let script_total =
+                    per_pkg_elf / spec.mix.elf * (1.0 - spec.mix.elf);
+                // (shebang, mix fraction, interpreter breadth K).
+                let script_kinds: [(&str, f64, usize); 6] = [
+                    ("#!/bin/sh", spec.mix.dash, 81),
+                    ("#!/usr/bin/python2.7", spec.mix.python, 145),
+                    ("#!/usr/bin/perl", spec.mix.perl, 145),
+                    ("#!/bin/bash", spec.mix.bash, 120),
+                    ("#!/usr/bin/ruby2.1", spec.mix.ruby, 160),
+                    ("#!/usr/bin/awk -f", spec.mix.other, 100),
+                ];
+                let non_elf: f64 =
+                    script_kinds.iter().map(|&(_, f, _)| f).sum();
+                // Fraction of packages whose breadth reaches `k`, from the
+                // breadth CDF (mass quantile).
+                let eligible_frac = |k: usize| -> f64 {
+                    let mut q = 1.0;
+                    for w in BREADTH_CDF.windows(2) {
+                        let (x0, y0) = w[0];
+                        let (x1, y1) = w[1];
+                        if (k as f64) <= y1 {
+                            let t = if y1 == y0 {
+                                x1
+                            } else {
+                                x0 + (x1 - x0) * (k as f64 - y0) / (y1 - y0)
+                            };
+                            q = t.clamp(0.0, 1.0);
+                            break;
+                        }
+                    }
+                    (1.0 - q).max(0.05)
+                };
+                for (shebang, frac, k_interp) in script_kinds {
+                    if packages[i].breadth < k_interp {
+                        continue;
+                    }
+                    let expect = script_total * frac / non_elf
+                        / eligible_frac(k_interp);
+                    let n = expect.floor() as usize
+                        + usize::from(prng.gen_bool(expect.fract().clamp(0.0, 1.0)));
+                    for s in 0..n {
+                        scripts.push(ScriptPlan {
+                            file: format!(
+                                "{}-script{}-{s}",
+                                packages[i].name,
+                                scripts.len()
+                            ),
+                            shebang: shebang.to_owned(),
+                        });
+                    }
+                }
+            }
+
+            // Dependencies: libc6 for all; interpreters for scripts.
+            let mut depends: BTreeSet<String> = BTreeSet::new();
+            if i != 0 {
+                depends.insert("libc6".into());
+            }
+            for s in &scripts {
+                let interp = crate::model::Interpreter::classify(&s.shebang);
+                let provider = interp.providing_package();
+                if provider != packages[i].name {
+                    depends.insert(provider.to_owned());
+                }
+            }
+            if packages[i].name == "pam-keyutil" {
+                depends.insert("libkeyutils".into());
+            }
+
+            let pkg = &mut packages[i];
+            pkg.execs = execs;
+            pkg.libs = libs;
+            pkg.scripts = scripts;
+            pkg.depends = depends.into_iter().collect();
+            let count = (pkg.prob * scale.installations as f64).round() as u64;
+            popcon.set_count(&pkg.name, count.clamp(1, scale.installations));
+        }
+
+        Self { scale, spec, seed, packages, popcon, ranking, libc_buckets: buckets }
+    }
+
+    /// The package plan by name.
+    pub fn package(&self, name: &str) -> Option<&PackagePlan> {
+        self.packages.iter().find(|p| p.name == name)
+    }
+}
+
+/// Assigns every libc symbol to a popularity bucket, honouring forced
+/// constraints (symbols wrapping unused system calls can never be used;
+/// symbols wrapping mid/low calls are carrier-only and live in the band
+/// matching their syscall's importance).
+fn assign_libc_buckets(
+    catalog: &Catalog,
+    ranking: &Ranking,
+    spec: &CalibrationSpec,
+    rng: &mut SmallRng,
+) -> Vec<LibcBucket> {
+    let nr_of = |name: &str| catalog.syscalls.number_of(name).expect("known");
+    let unused_nrs: HashSet<u32> = UNUSED_SYSCALLS.iter().map(|&n| nr_of(n)).collect();
+    let n = catalog.libc.len();
+    let mut buckets = vec![LibcBucket::Unused; n];
+    let mut assigned = vec![false; n];
+
+    // Forced: wraps an unused syscall → Unused; wraps a mid/low syscall
+    // or an adoption-controlled syscall (Tables 8–11 and the Table 6
+    // gaps) → Rare (carrier-only), so broad sampling cannot distort the
+    // calibrated rates.
+    let adoption_nrs: HashSet<u32> =
+        ADOPTION.iter().map(|&(n, _)| nr_of(n)).collect();
+    let mut counts = spec.libc_buckets;
+    for (id, sym) in catalog.libc.iter() {
+        let wrapped = wrapped_syscalls(&sym.name);
+        if wrapped.iter().any(|w| unused_nrs.contains(&nr_of(w))) {
+            buckets[id as usize] = LibcBucket::Unused;
+            assigned[id as usize] = true;
+        } else if wrapped
+            .iter()
+            .any(|w| adoption_nrs.contains(&nr_of(w)))
+        {
+            // Adoption-controlled wrappers end up near 100% importance
+            // (their users always include some always-installed package),
+            // so they consume the universal quota even though they are
+            // carrier-only for assignment purposes.
+            buckets[id as usize] = LibcBucket::Rare;
+            assigned[id as usize] = true;
+            counts.universal = counts.universal.saturating_sub(1);
+        } else if wrapped
+            .iter()
+            .any(|w| ranking.rank(nr_of(w)) >= ranking.indispensable)
+        {
+            // Mid/low-tier wrappers track their syscall's importance
+            // (1–50%); charge the mid quota.
+            buckets[id as usize] = LibcBucket::Rare;
+            assigned[id as usize] = true;
+            counts.mid = counts.mid.saturating_sub(1);
+        }
+    }
+    // Universal priority names.
+    for name in UNIVERSAL_PRIORITY {
+        if let Some(id) = catalog.libc.id_of(name) {
+            if !assigned[id as usize] && counts.universal > 0 {
+                buckets[id as usize] = LibcBucket::Universal;
+                assigned[id as usize] = true;
+                counts.universal -= 1;
+            }
+        }
+    }
+    // __overflow/__uflow into the high band (Table 7's uClibc gap).
+    for name in ["__overflow", "__uflow", "__underflow", "_IO_getc", "_IO_putc"] {
+        if let Some(id) = catalog.libc.id_of(name) {
+            if !assigned[id as usize] && counts.high > 0 {
+                buckets[id as usize] = LibcBucket::High;
+                assigned[id as usize] = true;
+                counts.high -= 1;
+            }
+        }
+    }
+    // The GNU extensions musl lacks (Table 7's musl samples) must stay in
+    // the mid band, not be universal-sampled.
+    for name in ["secure_getenv", "random_r", "srandom_r", "initstate_r",
+                 "setstate_r", "drand48_r", "lrand48_r", "mrand48_r",
+                 "canonicalize_file_name", "qsort_r"] {
+        if let Some(id) = catalog.libc.id_of(name) {
+            if !assigned[id as usize] && counts.mid > 0 {
+                buckets[id as usize] = LibcBucket::Mid;
+                assigned[id as usize] = true;
+                counts.mid -= 1;
+            }
+        }
+    }
+    // Fill the rest: iterate in inventory order (family order approximates
+    // real-world popularity), with a light shuffle inside windows.
+    let mut rest: Vec<u32> = (0..n as u32).filter(|&i| !assigned[i as usize]).collect();
+    // Shuffle within 64-entry windows to avoid hard family cliffs.
+    for chunk in rest.chunks_mut(64) {
+        chunk.shuffle(rng);
+    }
+    // Reserved (carrier-only) symbols were already charged against the
+    // universal/mid quotas above; the rare quota is fully available to the
+    // fill. Only the genuinely-unused forced set reduces the unused quota.
+    let unused_forced = buckets
+        .iter()
+        .zip(&assigned)
+        .filter(|&(b, &a)| a && *b == LibcBucket::Unused)
+        .count();
+    let mut remaining = [
+        (LibcBucket::Universal, counts.universal),
+        (LibcBucket::High, counts.high),
+        (LibcBucket::Mid, counts.mid),
+        (LibcBucket::Rare, counts.rare),
+        (
+            LibcBucket::Unused,
+            counts.unused.saturating_sub(unused_forced),
+        ),
+    ];
+    let mut ri = 0;
+    for id in rest {
+        while ri < remaining.len() && remaining[ri].1 == 0 {
+            ri += 1;
+        }
+        let bucket = if ri < remaining.len() {
+            remaining[ri].1 -= 1;
+            remaining[ri].0
+        } else {
+            LibcBucket::Unused
+        };
+        buckets[id as usize] = bucket;
+    }
+    buckets
+}
+
+/// Rank-filtered candidate pools for vectored-opcode assignment: a
+/// package may only issue an opcode when its breadth budget covers the
+/// parent system call's rank.
+struct VectoredPools {
+    ioctl_core: Vec<usize>,
+    ioctl_mid: Vec<usize>,
+    ioctl_tail: Vec<usize>,
+    fcntl_core: Vec<usize>,
+    fcntl_mid: Vec<usize>,
+    fcntl_tail: Vec<usize>,
+    prctl_core: Vec<usize>,
+    prctl_mid: Vec<usize>,
+    prctl_tail: Vec<usize>,
+}
+
+/// Assigns vectored opcodes per the Figure 4/5 tiers.
+fn assign_vectored(
+    catalog: &Catalog,
+    spec: &CalibrationSpec,
+    acc: &mut [ImplAcc],
+    pools: &VectoredPools,
+    probs: &[f64],
+    emits_direct: &[bool],
+    rng: &mut SmallRng,
+) {
+    // Wrapper-vs-inline per insertion: only emitter packages ever load the
+    // opcode next to an inline `syscall` instruction.
+    let via = |idx: usize, rng: &mut SmallRng, wrapper_bias: f64| -> bool {
+        !emits_direct[idx] || rng.gen_bool(wrapper_bias)
+    };
+    let t = spec.vectored;
+    // ioctl: universal tier — every universal code is used by at least one
+    // always-installed package, and core/mid packages sample the TTY set.
+    let uni: Vec<u64> = catalog.ioctl_ops[..t.ioctl_universal]
+        .iter()
+        .map(|o| o.code)
+        .collect();
+    let core = &pools.ioctl_core;
+    let mid = &pools.ioctl_mid;
+    let tail = &pools.ioctl_tail;
+    if core.is_empty() || mid.is_empty() || tail.is_empty() {
+        return;
+    }
+    for (i, &code) in uni.iter().enumerate() {
+        let idx = core[i % core.len()];
+        acc[idx].ioctl.insert(code, via(idx, rng, 0.6));
+    }
+    for &idx in core.iter().chain(mid) {
+        for _ in 0..rng.gen_range(1..6) {
+            let code = uni[rng.gen_range(0..uni.len())];
+            acc[idx].ioctl.insert(code, via(idx, rng, 0.6));
+        }
+    }
+    // Mid tier: codes [universal..above_1pct) → one or two mid carriers,
+    // with combined importance capped below ~95% so the universal ioctl
+    // tier stays at its 52 operations.
+    for op in &catalog.ioctl_ops[t.ioctl_universal..t.ioctl_above_1pct] {
+        let mut placed = 0;
+        let mut miss = 1.0f64;
+        let want = rng.gen_range(1..3);
+        for _ in 0..24 {
+            if placed >= want {
+                break;
+            }
+            let idx = mid[rng.gen_range(0..mid.len())];
+            let p = probs[idx];
+            if miss * (1.0 - p) < 0.06 {
+                continue; // would push importance past ~94%.
+            }
+            acc[idx].ioctl.insert(op.code, via(idx, rng, 0.5));
+            miss *= 1.0 - p;
+            placed += 1;
+        }
+    }
+    // Rare tier: codes [above_1pct..used) → one tail carrier. Skip the KVM
+    // group (qemu-pinned in the planner).
+    for op in &catalog.ioctl_ops[t.ioctl_above_1pct..t.ioctl_used] {
+        if op.group == IoctlGroup::Kvm {
+            continue;
+        }
+        let idx = tail[rng.gen_range(0..tail.len())];
+        acc[idx].ioctl.insert(op.code, via(idx, rng, 0.4));
+    }
+    // fcntl: universal commands via core + broad sampling; the rest split
+    // mid/rare/unused.
+    let core = &pools.fcntl_core;
+    let mid = &pools.fcntl_mid;
+    let tail = &pools.fcntl_tail;
+    let fu = t.fcntl_universal.min(FCNTL_OPS.len());
+    for (i, &(code, _)) in FCNTL_OPS[..fu].iter().enumerate() {
+        let idx = core[i % core.len()];
+        acc[idx].fcntl.insert(code, via(idx, rng, 0.7));
+    }
+    for &idx in core.iter().chain(mid) {
+        for _ in 0..rng.gen_range(1..4) {
+            let (code, _) = FCNTL_OPS[rng.gen_range(0..fu)];
+            acc[idx].fcntl.insert(code, via(idx, rng, 0.7));
+        }
+    }
+    for &(code, _) in &FCNTL_OPS[fu..] {
+        if rng.gen_bool(0.75) {
+            let pool = if rng.gen_bool(0.4) { mid } else { tail };
+            let idx = pool[rng.gen_range(0..pool.len())];
+            acc[idx].fcntl.insert(code, via(idx, rng, 0.6));
+        }
+    }
+    // prctl: 9 universal via core; 9 more on mid carriers; a handful rare;
+    // the rest unused.
+    let core = &pools.prctl_core;
+    let mid = &pools.prctl_mid;
+    let tail = &pools.prctl_tail;
+    if core.is_empty() || mid.is_empty() || tail.is_empty() {
+        return;
+    }
+    let pu = t.prctl_universal.min(PRCTL_OPS.len());
+    for (i, &(code, _)) in PRCTL_OPS[..pu].iter().enumerate() {
+        let idx = core[i % core.len()];
+        acc[idx].prctl.insert(code, via(idx, rng, 0.7));
+    }
+    for &idx in core.iter().chain(mid.iter().take(mid.len() / 2)) {
+        for _ in 0..rng.gen_range(0..3) {
+            let (code, _) = PRCTL_OPS[rng.gen_range(0..pu)];
+            acc[idx].prctl.insert(code, via(idx, rng, 0.7));
+        }
+    }
+    let pm = t.prctl_above_20pct.min(PRCTL_OPS.len());
+    for &(code, _) in &PRCTL_OPS[pu..pm] {
+        let mut placed = 0;
+        let mut miss = 1.0f64;
+        for _ in 0..24 {
+            if placed >= 4 || miss < 0.10 {
+                break;
+            }
+            let idx = mid[rng.gen_range(0..mid.len())];
+            let p = probs[idx];
+            if miss * (1.0 - p) < 0.06 {
+                continue;
+            }
+            acc[idx].prctl.insert(code, via(idx, rng, 0.5));
+            miss *= 1.0 - p;
+            placed += 1;
+        }
+    }
+    for &(code, _) in &PRCTL_OPS[pm..] {
+        if rng.gen_bool(0.45) {
+            let idx = tail[rng.gen_range(0..tail.len())];
+            acc[idx].prctl.insert(code, via(idx, rng, 0.5));
+        }
+    }
+}
+
+/// Assigns pseudo-file paths per the Figure 6 prominence curve.
+///
+/// Paths imply no extra system calls, so no rank filtering is needed.
+fn assign_paths(
+    catalog: &Catalog,
+    acc: &mut [ImplAcc],
+    core: &[usize],
+    mid: &[usize],
+    tail: &[usize],
+    rng: &mut SmallRng,
+) {
+    // Universal paths: covered by core, sampled broadly.
+    for (i, &p) in UNIVERSAL_PATHS.iter().enumerate() {
+        let idx = core[i % core.len()];
+        acc[idx].paths.insert(p.to_owned());
+    }
+    for &idx in core.iter().chain(mid) {
+        if rng.gen_bool(0.55) {
+            for _ in 0..rng.gen_range(1..3) {
+                let p = UNIVERSAL_PATHS[rng.gen_range(0..UNIVERSAL_PATHS.len())];
+                acc[idx].paths.insert(p.to_owned());
+            }
+        }
+    }
+    // The named inventory's tail: mid files to mid carriers, special ones
+    // to tail carriers, leaving a remainder unused.
+    let uni: HashSet<&str> = UNIVERSAL_PATHS.iter().copied().collect();
+    for (_, pattern, _, special) in catalog.pseudo_files.iter() {
+        if uni.contains(pattern) || pattern == "/dev/kvm" {
+            continue;
+        }
+        if !special {
+            for _ in 0..rng.gen_range(1..3) {
+                let idx = mid[rng.gen_range(0..mid.len())];
+                acc[idx].paths.insert(pattern.to_owned());
+            }
+        } else if rng.gen_bool(0.7) {
+            let idx = tail[rng.gen_range(0..tail.len())];
+            acc[idx].paths.insert(pattern.to_owned());
+        }
+    }
+}
+
+/// Internal accumulator shared with the planning loop (kept here so the
+/// helper functions can name the type).
+#[derive(Default, Clone)]
+struct ImplAcc {
+    libc_calls: BTreeSet<String>,
+    direct: BTreeSet<u32>,
+    ioctl: BTreeMap<u64, bool>,
+    fcntl: BTreeMap<u64, bool>,
+    prctl: BTreeMap<u64, bool>,
+    paths: BTreeSet<String>,
+}

@@ -1,0 +1,64 @@
+//! Error type for ELF parsing.
+
+use std::fmt;
+
+/// An error encountered while parsing an ELF object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// The buffer is too small to contain the referenced structure.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Offset at which the read was attempted.
+        offset: usize,
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The file does not start with the ELF magic.
+    BadMagic,
+    /// The file is not 64-bit little-endian.
+    UnsupportedClass,
+    /// The file is not an x86-64 object.
+    UnsupportedMachine(u16),
+    /// A string-table reference points outside the table or is unterminated.
+    BadString {
+        /// Offset into the string table.
+        offset: usize,
+    },
+    /// A section header index is out of range.
+    BadSectionIndex(usize),
+    /// A structural invariant is violated (described by the message).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated { what, offset, need, have } => write!(
+                f,
+                "truncated {what} at offset {offset}: need {need} bytes, have {have}"
+            ),
+            ElfError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            ElfError::UnsupportedClass => {
+                write!(f, "not a 64-bit little-endian ELF file")
+            }
+            ElfError::UnsupportedMachine(m) => {
+                write!(f, "unsupported machine type {m} (want x86-64)")
+            }
+            ElfError::BadString { offset } => {
+                write!(f, "bad string-table reference at offset {offset}")
+            }
+            ElfError::BadSectionIndex(i) => {
+                write!(f, "section index {i} out of range")
+            }
+            ElfError::Malformed(msg) => write!(f, "malformed ELF: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// Result alias for ELF operations.
+pub type Result<T> = std::result::Result<T, ElfError>;

@@ -1,0 +1,28 @@
+//! # apistudy-elf
+//!
+//! A from-scratch ELF64 parser and writer for the EuroSys'16 Linux API
+//! usage study reproduction.
+//!
+//! - [`parse::ElfFile`] reads x86-64 ELF objects: headers, sections,
+//!   program headers, symbol tables, `.dynamic`, `.rela.plt`, and string
+//!   extraction — everything the static analyzer needs.
+//! - [`build::ElfBuilder`] writes real ELF objects (static/dynamic
+//!   executables and shared libraries) for the synthetic corpus, with a
+//!   two-phase layout protocol so generated machine code can reference
+//!   final virtual addresses.
+//!
+//! The writer and parser share conventions (see the PLT note in [`build`]),
+//! and every object the builder produces round-trips through the parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod error;
+pub mod parse;
+pub mod types;
+
+pub use build::{ElfBuilder, Layout, DEFAULT_INTERP, EXEC_BASE, PLT_STUB_SIZE};
+pub use error::{ElfError, Result};
+pub use parse::{BinaryClass, ElfFile, Header, ProgramHeader, Rela, Section, Symbol};
+pub use types::{ElfType, SectionType, SymBinding, SymType};

@@ -1,0 +1,270 @@
+//! ELF64 on-disk structures and constants.
+//!
+//! Only the subset needed by the study is modelled: x86-64 little-endian
+//! ELF64 objects with section headers, program headers, symbol tables,
+//! string tables, `.dynamic`, and RELA relocations.
+
+/// ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size of one ELF64 program header.
+pub const PHDR_SIZE: usize = 56;
+/// Size of one ELF64 section header.
+pub const SHDR_SIZE: usize = 64;
+/// Size of one ELF64 symbol-table entry.
+pub const SYM_SIZE: usize = 24;
+/// Size of one ELF64 RELA relocation entry.
+pub const RELA_SIZE: usize = 24;
+/// Size of one `.dynamic` entry.
+pub const DYN_SIZE: usize = 16;
+
+/// Object file type (`e_type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElfType {
+    /// Relocatable object.
+    Rel,
+    /// Executable with fixed load addresses (statically linked or non-PIE).
+    Exec,
+    /// Shared object: either a library or a PIE executable.
+    Dyn,
+    /// Core dump.
+    Core,
+    /// Anything else.
+    Other(u16),
+}
+
+impl ElfType {
+    /// Decodes `e_type`.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => ElfType::Rel,
+            2 => ElfType::Exec,
+            3 => ElfType::Dyn,
+            4 => ElfType::Core,
+            other => ElfType::Other(other),
+        }
+    }
+
+    /// Encodes to `e_type`.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ElfType::Rel => 1,
+            ElfType::Exec => 2,
+            ElfType::Dyn => 3,
+            ElfType::Core => 4,
+            ElfType::Other(v) => v,
+        }
+    }
+}
+
+/// `e_machine` value for x86-64.
+pub const EM_X86_64: u16 = 62;
+
+/// Section header types (`sh_type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SectionType {
+    Null,
+    Progbits,
+    Symtab,
+    Strtab,
+    Rela,
+    Hash,
+    Dynamic,
+    Note,
+    Nobits,
+    Dynsym,
+    Other(u32),
+}
+
+impl SectionType {
+    /// Decodes `sh_type`.
+    pub fn from_u32(v: u32) -> Self {
+        match v {
+            0 => SectionType::Null,
+            1 => SectionType::Progbits,
+            2 => SectionType::Symtab,
+            3 => SectionType::Strtab,
+            4 => SectionType::Rela,
+            5 => SectionType::Hash,
+            6 => SectionType::Dynamic,
+            7 => SectionType::Note,
+            8 => SectionType::Nobits,
+            11 => SectionType::Dynsym,
+            other => SectionType::Other(other),
+        }
+    }
+
+    /// Encodes to `sh_type`.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            SectionType::Null => 0,
+            SectionType::Progbits => 1,
+            SectionType::Symtab => 2,
+            SectionType::Strtab => 3,
+            SectionType::Rela => 4,
+            SectionType::Hash => 5,
+            SectionType::Dynamic => 6,
+            SectionType::Note => 7,
+            SectionType::Nobits => 8,
+            SectionType::Dynsym => 11,
+            SectionType::Other(v) => v,
+        }
+    }
+}
+
+/// Section flags.
+pub mod shf {
+    /// Writable at runtime.
+    pub const WRITE: u64 = 0x1;
+    /// Occupies memory at runtime.
+    pub const ALLOC: u64 = 0x2;
+    /// Contains executable instructions.
+    pub const EXECINSTR: u64 = 0x4;
+}
+
+/// Program header types (`p_type`).
+pub mod pt {
+    /// Loadable segment.
+    pub const LOAD: u32 = 1;
+    /// Dynamic linking info.
+    pub const DYNAMIC: u32 = 2;
+    /// Interpreter path.
+    pub const INTERP: u32 = 3;
+}
+
+/// Program header flags.
+pub mod pf {
+    /// Executable.
+    pub const X: u32 = 1;
+    /// Writable.
+    pub const W: u32 = 2;
+    /// Readable.
+    pub const R: u32 = 4;
+}
+
+/// Dynamic tags (`d_tag`).
+pub mod dt {
+    /// End of dynamic array.
+    pub const NULL: i64 = 0;
+    /// Needed shared library (value is a `.dynstr` offset).
+    pub const NEEDED: i64 = 1;
+    /// Shared object name.
+    pub const SONAME: i64 = 14;
+}
+
+/// Symbol binding (upper nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymBinding {
+    /// Local symbol.
+    Local,
+    /// Global symbol.
+    Global,
+    /// Weak symbol.
+    Weak,
+    /// Anything else.
+    Other(u8),
+}
+
+impl SymBinding {
+    /// Decodes the binding nibble.
+    pub fn from_nibble(v: u8) -> Self {
+        match v {
+            0 => SymBinding::Local,
+            1 => SymBinding::Global,
+            2 => SymBinding::Weak,
+            other => SymBinding::Other(other),
+        }
+    }
+
+    /// Encodes the binding nibble.
+    pub fn to_nibble(self) -> u8 {
+        match self {
+            SymBinding::Local => 0,
+            SymBinding::Global => 1,
+            SymBinding::Weak => 2,
+            SymBinding::Other(v) => v,
+        }
+    }
+}
+
+/// Symbol type (lower nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymType {
+    /// Untyped.
+    NoType,
+    /// Data object.
+    Object,
+    /// Function.
+    Func,
+    /// Section symbol.
+    Section,
+    /// File symbol.
+    File,
+    /// Anything else.
+    Other(u8),
+}
+
+impl SymType {
+    /// Decodes the type nibble.
+    pub fn from_nibble(v: u8) -> Self {
+        match v {
+            0 => SymType::NoType,
+            1 => SymType::Object,
+            2 => SymType::Func,
+            3 => SymType::Section,
+            4 => SymType::File,
+            other => SymType::Other(other),
+        }
+    }
+
+    /// Encodes the type nibble.
+    pub fn to_nibble(self) -> u8 {
+        match self {
+            SymType::NoType => 0,
+            SymType::Object => 1,
+            SymType::Func => 2,
+            SymType::Section => 3,
+            SymType::File => 4,
+            SymType::Other(v) => v,
+        }
+    }
+}
+
+/// x86-64 relocation type used for PLT entries (`R_X86_64_JUMP_SLOT`).
+pub const R_X86_64_JUMP_SLOT: u32 = 7;
+
+/// Special section index: undefined symbol.
+pub const SHN_UNDEF: u16 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elf_type_roundtrip() {
+        for t in [ElfType::Rel, ElfType::Exec, ElfType::Dyn, ElfType::Core,
+                  ElfType::Other(7)] {
+            assert_eq!(ElfType::from_u16(t.to_u16()), t);
+        }
+    }
+
+    #[test]
+    fn section_type_roundtrip() {
+        for v in 0..12u32 {
+            let t = SectionType::from_u32(v);
+            assert_eq!(t.to_u32(), v);
+        }
+    }
+
+    #[test]
+    fn sym_nibbles_roundtrip() {
+        for v in 0..4u8 {
+            assert_eq!(SymBinding::from_nibble(v).to_nibble(), v);
+            assert_eq!(SymType::from_nibble(v).to_nibble(), v);
+        }
+        assert_eq!(SymType::from_nibble(4).to_nibble(), 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! ELF parser edge cases: PIE classification, string extraction limits,
+//! soname-less libraries, and section accessors.
+
+use apistudy_elf::{BinaryClass, ElfBuilder, ElfFile, ElfType};
+
+#[test]
+fn pie_executables_classify_as_dynamic_executables() {
+    // A PIE is ET_DYN *with* an interpreter. Builders emit ET_EXEC for
+    // executables, so construct the PIE shape manually: shared library
+    // plus an entry — then patch the built image's e_type? Instead, use
+    // the builder's shared-library path and confirm SharedLib, and the
+    // executable path and confirm DynExec; the classifier's PIE branch is
+    // covered by editing the type field of a built executable.
+    let mut b = ElfBuilder::executable();
+    b.needed("libc.so.6");
+    b.declare_import("write");
+    let _ = b.layout(4, 0);
+    b.set_text(vec![0xc3; 4]);
+    b.set_entry(0);
+    let mut bytes = b.build().unwrap();
+    // Patch e_type: ET_EXEC(2) → ET_DYN(3): a PIE keeps PT_INTERP.
+    bytes[16] = 3;
+    let elf = ElfFile::parse(&bytes).unwrap();
+    assert_eq!(elf.header.etype, ElfType::Dyn);
+    assert_eq!(elf.classify(), BinaryClass::DynExec, "PIE is an executable");
+}
+
+#[test]
+fn soname_less_dynamic_object() {
+    // A dynamic executable has no DT_SONAME.
+    let mut b = ElfBuilder::executable();
+    b.needed("libc.so.6");
+    let _ = b.layout(2, 0);
+    b.set_text(vec![0xc3; 2]);
+    b.set_entry(0);
+    let bytes = b.build().unwrap();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    assert_eq!(elf.soname().unwrap(), None);
+    assert_eq!(elf.needed_libraries().unwrap(), vec!["libc.so.6"]);
+}
+
+#[test]
+fn strings_in_respects_min_len_and_charset() {
+    let mut b = ElfBuilder::static_executable();
+    let _ = b.layout(2, 0);
+    b.set_text(vec![0xc3; 2]);
+    b.set_entry(0);
+    let mut rodata = Vec::new();
+    rodata.extend_from_slice(b"/proc/cpuinfo\0"); // long enough
+    rodata.extend_from_slice(b"ab\0"); // too short for min_len 4
+    rodata.extend_from_slice(&[0xff, 0xfe]); // non-printable run
+    rodata.extend_from_slice(b"with space ok\0");
+    rodata.extend_from_slice(b"unterminated-tail"); // no NUL: dropped
+    b.set_rodata(rodata);
+    let bytes = b.build().unwrap();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    let ro = elf.section_by_name(".rodata").unwrap().clone();
+    let strings = elf.strings_in(&ro, 4).unwrap();
+    assert_eq!(
+        strings,
+        vec!["/proc/cpuinfo".to_owned(), "with space ok".to_owned()]
+    );
+}
+
+#[test]
+fn section_accessors() {
+    let mut b = ElfBuilder::shared_library("libacc.so");
+    let f = b.declare_export("f");
+    let _ = b.layout(8, 4);
+    b.set_text(vec![0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0xc3]);
+    b.set_rodata(vec![1, 2, 3, 4]);
+    b.bind_export(f, 0, 8);
+    let bytes = b.build().unwrap();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    assert!(elf.section_by_name(".text").is_some());
+    assert!(elf.section_by_name(".nope").is_none());
+    let names: Vec<&str> = elf.sections.iter().map(|s| s.name.as_str()).collect();
+    for expected in [".dynstr", ".dynsym", ".dynamic", ".text", ".rodata",
+                     ".symtab", ".strtab", ".shstrtab"] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+    // Program headers: LOAD + DYNAMIC for a library.
+    assert_eq!(elf.program_headers.len(), 2);
+}
+
+#[test]
+fn empty_import_library_has_no_plt() {
+    let mut b = ElfBuilder::shared_library("libnoimp.so");
+    let f = b.declare_export("f");
+    let layout = b.layout(2, 0);
+    assert_eq!(layout.plt_addr, 0, "no imports → no PLT address");
+    b.set_text(vec![0x90, 0xc3]);
+    b.bind_export(f, 0, 2);
+    let bytes = b.build().unwrap();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    assert!(elf.section_by_name(".plt").is_none());
+    assert!(elf.plt_map().unwrap().is_empty());
+}
+
+#[test]
+fn bytes_roundtrip_identity() {
+    let mut b = ElfBuilder::executable();
+    b.needed("libc.so.6");
+    b.declare_import("read");
+    let _ = b.layout(2, 0);
+    b.set_text(vec![0x90, 0xc3]);
+    b.set_entry(0);
+    let bytes = b.build().unwrap();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    assert_eq!(elf.bytes(), &bytes[..]);
+}

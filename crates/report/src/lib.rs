@@ -1,0 +1,15 @@
+//! # apistudy-report
+//!
+//! Rendering layer for the study's artifacts: plain-text tables
+//! ([`table::TextTable`]) and figure series ([`series::Series`]) with CSV
+//! export — the output side of every table and figure the `repro` harness
+//! regenerates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod table;
+
+pub use series::Series;
+pub use table::{pct, pct2, Align, TextTable};

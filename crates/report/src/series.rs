@@ -1,0 +1,126 @@
+//! Figure series: the study's figures are lines (inverted CDFs and
+//! accumulation curves) rendered as sampled points plus an ASCII sketch.
+
+use std::fmt::Write as _;
+
+/// One figure line: a label and `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Sampled points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+
+    /// Builds an inverted-CDF series from descending values (the figures'
+    /// "N-most important" style): `x` = 1-based rank, `y` = value.
+    pub fn inverted_cdf(label: impl Into<String>, values: &[f64]) -> Self {
+        let points = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + 1) as f64, v))
+            .collect();
+        Self::new(label, points)
+    }
+
+    /// The y value at the largest x ≤ the given x (step interpolation).
+    pub fn value_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|&&(px, _)| px <= x)
+            .last()
+            .map(|&(_, y)| y)
+    }
+
+    /// The smallest x whose y reaches at least `y` (for monotonically
+    /// increasing series).
+    pub fn x_reaching(&self, y: f64) -> Option<f64> {
+        self.points.iter().find(|&&(_, py)| py >= y).map(|&(x, _)| x)
+    }
+
+    /// Renders a compact ASCII sketch of the series (height rows,
+    /// downsampled to `width` columns), plus the labelled anchor points.
+    pub fn sketch(&self, width: usize, height: usize) -> String {
+        if self.points.is_empty() || width == 0 || height == 0 {
+            return String::new();
+        }
+        let (ymin, ymax) = self.points.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)),
+        );
+        let span = (ymax - ymin).max(1e-12);
+        let n = self.points.len();
+        let mut grid = vec![vec![' '; width]; height];
+        for c in 0..width {
+            let idx = c * (n - 1) / width.max(1);
+            let y = self.points[idx.min(n - 1)].1;
+            let r = ((ymax - y) / span * (height - 1) as f64).round() as usize;
+            if let Some(row) = grid.get_mut(r.min(height - 1)) {
+                row[c] = '*';
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} [{:.3}..{:.3}]", self.label, ymin, ymax);
+        for row in grid {
+            let line: String = row.into_iter().collect();
+            let _ = writeln!(out, "|{}", line.trim_end());
+        }
+        out
+    }
+
+    /// CSV export: `x,y` lines with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y\n");
+        for &(x, y) in &self.points {
+            let _ = writeln!(out, "{x},{y}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverted_cdf_ranks_from_one() {
+        let s = Series::inverted_cdf("test", &[1.0, 0.5, 0.1]);
+        assert_eq!(s.points, vec![(1.0, 1.0), (2.0, 0.5), (3.0, 0.1)]);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let s = Series::new("t", vec![(1.0, 0.0), (2.0, 0.5), (3.0, 1.0)]);
+        assert_eq!(s.value_at(2.5), Some(0.5));
+        assert_eq!(s.value_at(3.0), Some(1.0));
+        assert_eq!(s.value_at(0.5), None);
+    }
+
+    #[test]
+    fn x_reaching_finds_threshold() {
+        let s = Series::new("t", vec![(1.0, 0.1), (2.0, 0.6), (3.0, 0.9)]);
+        assert_eq!(s.x_reaching(0.5), Some(2.0));
+        assert_eq!(s.x_reaching(0.95), None);
+    }
+
+    #[test]
+    fn sketch_renders_grid() {
+        let s = Series::inverted_cdf("curve", &[1.0, 0.8, 0.5, 0.2, 0.0]);
+        let sk = s.sketch(10, 4);
+        assert!(sk.starts_with("curve"));
+        assert_eq!(sk.lines().count(), 5);
+        assert!(sk.contains('*'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let s = Series::new("t", vec![(1.0, 0.5)]);
+        assert_eq!(s.to_csv(), "x,y\n1,0.5\n");
+    }
+}

@@ -1,0 +1,235 @@
+//! Plain-text table rendering for the study's tables.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (text).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table with a title, headers, and rows.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment (must match the header count).
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a row of `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> =
+            self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        line.extend(std::iter::repeat_n(' ', pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths, &self.aligns));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table (used for
+    /// EXPERIMENTS-style documents).
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}", self.title);
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | ")
+        );
+        let sep: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => "---",
+                Align::Right => "---:",
+            })
+            .collect();
+        let _ = writeln!(out, "| {} |", sep.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Renders as CSV (headers + rows, comma-separated, quotes around
+    /// cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a probability as a percentage with one decimal (negative zero
+/// normalizes to `0.0%`).
+pub fn pct(v: f64) -> String {
+    let x = 100.0 * v;
+    format!("{:.1}%", if x == 0.0 { 0.0 } else { x })
+}
+
+/// Formats a probability as a percentage with two decimals (for the
+/// unweighted tables).
+pub fn pct2(v: f64) -> String {
+    let x = 100.0 * v;
+    format!("{:.2}%", if x == 0.0 { 0.0 } else { x })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"])
+            .aligns(&[Align::Left, Align::Right]);
+        t.row_str(&["read", "100.0%"]);
+        t.row_str(&["a-much-longer-name", "3.2%"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].ends_with("100.0%"));
+        assert!(lines[4].ends_with("3.2%"));
+    }
+
+    #[test]
+    fn markdown_renders_alignment_row() {
+        let mut t = TextTable::new("MD", &["name", "value"])
+            .aligns(&[Align::Left, Align::Right]);
+        t.row_str(&["a|b", "1"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### MD"));
+        assert!(md.contains("| --- | ---: |"));
+        assert!(md.contains("a\\|b"), "pipes are escaped: {md}");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.row_str(&["x,y", "plain"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.4295), "43.0%");
+        assert_eq!(pct2(0.74241), "74.24%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(-0.0), "0.0%", "negative zero normalizes");
+        assert_eq!(pct2(-0.0), "0.00%");
+    }
+}

@@ -1,0 +1,316 @@
+//! A small x86-64 assembler.
+//!
+//! Emits the instruction mix the corpus generator needs: function
+//! prologues/epilogues, constant loads for system call numbers and vectored
+//! opcodes, `syscall`/`int $0x80`, direct and indirect calls, RIP-relative
+//! string references, and padding. Every emitted instruction is covered by
+//! the decoder; the property tests assert the round trip.
+
+use crate::insn::Reg;
+
+/// An append-only assembler positioned at a base virtual address.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    bytes: Vec<u8>,
+    base: u64,
+}
+
+impl Asm {
+    /// Creates an assembler whose first byte will live at `base`.
+    pub fn new(base: u64) -> Self {
+        Self { bytes: Vec::new(), base }
+    }
+
+    /// The virtual address of the next emitted byte.
+    pub fn here(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consumes the assembler, returning the machine code.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    fn rex_b(&mut self, reg: Reg) -> u8 {
+        if reg.0 >= 8 {
+            0x41
+        } else {
+            0
+        }
+    }
+
+    /// `mov r32, imm32` (B8+r). Zero-extends into the full register.
+    pub fn mov_imm32(&mut self, reg: Reg, imm: u32) {
+        let rex = self.rex_b(reg);
+        if rex != 0 {
+            self.bytes.push(rex);
+        }
+        self.bytes.push(0xb8 + (reg.0 & 7));
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `mov r64, imm32` sign-extended (REX.W C7 /0). The compiler-style
+    /// encoding of small constants into 64-bit registers.
+    pub fn mov_imm32_sx(&mut self, reg: Reg, imm: i32) {
+        self.bytes.push(if reg.0 >= 8 { 0x49 } else { 0x48 });
+        self.bytes.push(0xc7);
+        self.bytes.push(0xc0 | (reg.0 & 7));
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `xor r32, r32` — the idiomatic zero.
+    pub fn xor_self(&mut self, reg: Reg) {
+        let rex = if reg.0 >= 8 { 0x45 } else { 0 };
+        if rex != 0 {
+            self.bytes.push(rex);
+        }
+        self.bytes.push(0x31);
+        self.bytes.push(0xc0 | ((reg.0 & 7) << 3) | (reg.0 & 7));
+    }
+
+    /// `syscall`.
+    pub fn syscall(&mut self) {
+        self.bytes.extend_from_slice(&[0x0f, 0x05]);
+    }
+
+    /// `int $0x80` — the legacy 32-bit system call gate.
+    pub fn int80(&mut self) {
+        self.bytes.extend_from_slice(&[0xcd, 0x80]);
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.bytes.push(0xc3);
+    }
+
+    /// `call rel32` to an absolute target.
+    pub fn call(&mut self, target: u64) {
+        let end = self.here() + 5;
+        let rel = target.wrapping_sub(end) as i64;
+        debug_assert!(
+            i32::try_from(rel).is_ok(),
+            "call target out of rel32 range"
+        );
+        self.bytes.push(0xe8);
+        self.bytes.extend_from_slice(&(rel as i32).to_le_bytes());
+    }
+
+    /// `jmp rel32` to an absolute target.
+    pub fn jmp(&mut self, target: u64) {
+        let end = self.here() + 5;
+        let rel = target.wrapping_sub(end) as i64;
+        self.bytes.push(0xe9);
+        self.bytes.extend_from_slice(&(rel as i32).to_le_bytes());
+    }
+
+    /// `je rel32` (any long conditional works; the analyzer treats them
+    /// uniformly).
+    pub fn je(&mut self, target: u64) {
+        let end = self.here() + 6;
+        let rel = target.wrapping_sub(end) as i64;
+        self.bytes.extend_from_slice(&[0x0f, 0x84]);
+        self.bytes.extend_from_slice(&(rel as i32).to_le_bytes());
+    }
+
+    /// `lea r64, [rip+disp32]` resolving to an absolute target.
+    pub fn lea_rip(&mut self, reg: Reg, target: u64) {
+        let rex: u8 = if reg.0 >= 8 { 0x4c } else { 0x48 };
+        let end = self.here() + 7;
+        let rel = target.wrapping_sub(end) as i64;
+        debug_assert!(
+            i32::try_from(rel).is_ok(),
+            "lea target out of disp32 range"
+        );
+        self.bytes.push(rex);
+        self.bytes.push(0x8d);
+        self.bytes.push(((reg.0 & 7) << 3) | 0x05);
+        self.bytes.extend_from_slice(&(rel as i32).to_le_bytes());
+    }
+
+    /// `call r64` — indirect call through a register.
+    pub fn call_reg(&mut self, reg: Reg) {
+        if reg.0 >= 8 {
+            self.bytes.push(0x41);
+        }
+        self.bytes.push(0xff);
+        self.bytes.push(0xd0 | (reg.0 & 7));
+    }
+
+    /// `endbr64` — the CET landing pad modern toolchains emit at every
+    /// indirect-call target.
+    pub fn endbr64(&mut self) {
+        self.bytes.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]);
+    }
+
+    /// `push rbp`.
+    pub fn push_rbp(&mut self) {
+        self.bytes.push(0x55);
+    }
+
+    /// `mov rbp, rsp`.
+    pub fn mov_rbp_rsp(&mut self) {
+        self.bytes.extend_from_slice(&[0x48, 0x89, 0xe5]);
+    }
+
+    /// `pop rbp`.
+    pub fn pop_rbp(&mut self) {
+        self.bytes.push(0x5d);
+    }
+
+    /// `sub rsp, imm8`.
+    pub fn sub_rsp(&mut self, imm: u8) {
+        self.bytes.extend_from_slice(&[0x48, 0x83, 0xec, imm]);
+    }
+
+    /// `add rsp, imm8`.
+    pub fn add_rsp(&mut self, imm: u8) {
+        self.bytes.extend_from_slice(&[0x48, 0x83, 0xc4, imm]);
+    }
+
+    /// `mov r64, r64`.
+    pub fn mov_reg(&mut self, dst: Reg, src: Reg) {
+        let rex = 0x48 | if src.0 >= 8 { 4 } else { 0 } | if dst.0 >= 8 { 1 } else { 0 };
+        self.bytes.push(rex);
+        self.bytes.push(0x89);
+        self.bytes.push(0xc0 | ((src.0 & 7) << 3) | (dst.0 & 7));
+    }
+
+    /// One-byte `nop`, `n` times.
+    pub fn nops(&mut self, n: usize) {
+        self.bytes.extend(std::iter::repeat_n(0x90, n));
+    }
+
+    /// `int3` padding (used between functions, like real toolchains).
+    pub fn int3_pad(&mut self, n: usize) {
+        self.bytes.extend(std::iter::repeat_n(0xcc, n));
+    }
+
+    /// Pads with `int3` so the next byte lands on `align` (a power of two).
+    pub fn align(&mut self, align: u64) {
+        debug_assert!(align.is_power_of_two());
+        while !self.here().is_multiple_of(align) {
+            self.bytes.push(0xcc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, Decoder};
+    use crate::insn::Insn;
+
+    #[test]
+    fn mov_imm_roundtrip() {
+        let mut a = Asm::new(0x1000);
+        a.mov_imm32(Reg::RAX, 60);
+        a.mov_imm32(Reg::R10, 0x5401);
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0x1000).collect();
+        assert_eq!(insns[0].insn, Insn::MovImm { reg: Reg::RAX, imm: 60 });
+        assert_eq!(insns[1].insn, Insn::MovImm { reg: Reg::R10, imm: 0x5401 });
+    }
+
+    #[test]
+    fn mov_imm_sx_roundtrip() {
+        let mut a = Asm::new(0);
+        a.mov_imm32_sx(Reg::RAX, -1);
+        a.mov_imm32_sx(Reg::R9, 42);
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0).collect();
+        assert_eq!(insns[0].insn, Insn::MovImm { reg: Reg::RAX, imm: u64::MAX });
+        assert_eq!(insns[1].insn, Insn::MovImm { reg: Reg::R9, imm: 42 });
+    }
+
+    #[test]
+    fn call_targets_resolve() {
+        let mut a = Asm::new(0x4000);
+        a.call(0x4100);
+        a.jmp(0x4000);
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0x4000).collect();
+        assert_eq!(insns[0].insn, Insn::CallRel { target: 0x4100 });
+        assert_eq!(insns[1].insn, Insn::JmpRel { target: 0x4000 });
+    }
+
+    #[test]
+    fn lea_rip_resolves() {
+        let mut a = Asm::new(0x2000);
+        a.lea_rip(Reg::RDI, 0x3000);
+        a.lea_rip(Reg::R8, 0x2000);
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0x2000).collect();
+        assert_eq!(insns[0].insn, Insn::LeaRip { reg: Reg::RDI, target: 0x3000 });
+        assert_eq!(insns[1].insn, Insn::LeaRip { reg: Reg::R8, target: 0x2000 });
+    }
+
+    #[test]
+    fn xor_self_roundtrip() {
+        let mut a = Asm::new(0);
+        a.xor_self(Reg::RAX);
+        a.xor_self(Reg::R9);
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0).collect();
+        assert_eq!(insns[0].insn, Insn::XorSelf { reg: Reg::RAX });
+        assert_eq!(insns[1].insn, Insn::XorSelf { reg: Reg::R9 });
+    }
+
+    #[test]
+    fn prologue_epilogue_decode_cleanly() {
+        let mut a = Asm::new(0);
+        a.push_rbp();
+        a.mov_rbp_rsp();
+        a.sub_rsp(0x20);
+        a.mov_reg(Reg::RSI, Reg::RDI);
+        a.add_rsp(0x20);
+        a.pop_rbp();
+        a.ret();
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0).collect();
+        assert_eq!(insns.len(), 7);
+        assert_eq!(insns.last().unwrap().insn, Insn::Ret);
+        assert!(insns.iter().all(|d| d.insn != Insn::Unknown));
+    }
+
+    #[test]
+    fn indirect_call_roundtrip() {
+        let mut a = Asm::new(0);
+        a.call_reg(Reg::RAX);
+        a.call_reg(Reg::R11);
+        let code = a.finish();
+        let insns: Vec<_> = Decoder::new(&code, 0).collect();
+        assert_eq!(insns[0].insn, Insn::CallIndirect);
+        assert_eq!(insns[1].insn, Insn::CallIndirect);
+    }
+
+    #[test]
+    fn align_pads_to_boundary() {
+        let mut a = Asm::new(0x1001);
+        a.align(16);
+        assert_eq!(a.here() % 16, 0);
+        let code = a.finish();
+        assert!(code.iter().all(|&b| b == 0xcc));
+    }
+
+    #[test]
+    fn syscall_sequence() {
+        let mut a = Asm::new(0);
+        a.mov_imm32(Reg::RAX, 1);
+        a.mov_imm32(Reg::RDI, 1);
+        a.syscall();
+        a.ret();
+        let code = a.finish();
+        let d = decode(&code[10..], 10);
+        assert_eq!(d.insn, Insn::Syscall);
+    }
+}

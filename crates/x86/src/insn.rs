@@ -1,0 +1,123 @@
+//! Instruction representation: registers and decoded-instruction semantics.
+
+/// A general-purpose register number (0–15, x86-64 encoding order).
+///
+/// The low eight map to the classic registers; REX extensions reach r8–r15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+#[allow(missing_docs)]
+impl Reg {
+    pub const RAX: Reg = Reg(0);
+    pub const RCX: Reg = Reg(1);
+    pub const RDX: Reg = Reg(2);
+    pub const RBX: Reg = Reg(3);
+    pub const RSP: Reg = Reg(4);
+    pub const RBP: Reg = Reg(5);
+    pub const RSI: Reg = Reg(6);
+    pub const RDI: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+
+    /// Conventional x86-64 name (64-bit form).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8",
+            "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+        ];
+        NAMES[usize::from(self.0 & 0xf)]
+    }
+}
+
+/// Semantic classification of a decoded instruction.
+///
+/// The analyzer only needs a handful of semantics — constant loads into
+/// registers (system call numbers, vectored opcodes), control flow (call
+/// graph edges), RIP-relative address formation (function pointers and
+/// string references), and the three system call instructions. Everything
+/// else decodes as [`Insn::Other`] with a correct length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `mov r32, imm32` (zero-extends) or `mov r/m64, imm32`
+    /// (sign-extends); the analyzer treats both as a constant load.
+    MovImm {
+        /// Destination register.
+        reg: Reg,
+        /// The loaded constant, as seen in the full 64-bit register.
+        imm: u64,
+    },
+    /// `xor r, r` with identical source and destination: a constant zero.
+    XorSelf {
+        /// The zeroed register.
+        reg: Reg,
+    },
+    /// `lea r64, [rip+disp32]` with the *resolved absolute* target.
+    LeaRip {
+        /// Destination register.
+        reg: Reg,
+        /// Absolute address the instruction computes.
+        target: u64,
+    },
+    /// `call rel32` with the resolved absolute target.
+    CallRel {
+        /// Absolute call target.
+        target: u64,
+    },
+    /// `jmp rel8/rel32` with the resolved absolute target.
+    JmpRel {
+        /// Absolute jump target.
+        target: u64,
+    },
+    /// A conditional branch with the resolved absolute target.
+    Jcc {
+        /// Absolute branch target.
+        target: u64,
+    },
+    /// `call r/m64` — an indirect call (target unknown statically).
+    CallIndirect,
+    /// `jmp r/m64` — an indirect jump.
+    JmpIndirect,
+    /// `syscall`.
+    Syscall,
+    /// `int imm8` (the analyzer cares about `int $0x80`).
+    Int {
+        /// Interrupt vector.
+        vector: u8,
+    },
+    /// `sysenter`.
+    Sysenter,
+    /// `ret` / `ret imm16`.
+    Ret,
+    /// Any other instruction; only its length matters.
+    Other,
+    /// An undecodable byte sequence; the decoder advances one byte
+    /// (linear resynchronization, mirroring the paper's disassembler-trust
+    /// assumption).
+    Unknown,
+}
+
+/// A decoded instruction with its location and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Instruction length in bytes (≥ 1).
+    pub len: usize,
+    /// Semantic classification.
+    pub insn: Insn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names() {
+        assert_eq!(Reg::RAX.name(), "rax");
+        assert_eq!(Reg::RDI.name(), "rdi");
+        assert_eq!(Reg(15).name(), "r15");
+        assert_eq!(Reg(31).name(), "r15", "masked to 4 bits");
+    }
+}

@@ -1,0 +1,27 @@
+//! # apistudy-x86
+//!
+//! A from-scratch x86-64 instruction decoder and miniature assembler for
+//! the EuroSys'16 Linux API usage study reproduction.
+//!
+//! The study's analyzer (paper §7) disassembles every binary in the
+//! distribution to find system call instructions and reconstruct call
+//! graphs. [`decode()`](decode::decode) provides that disassembler: a length decoder with
+//! semantic classification of exactly the facts the analyzer consumes —
+//! constant loads into registers (system call numbers, `ioctl`/`fcntl`/
+//! `prctl` opcodes), direct and indirect control flow, RIP-relative address
+//! formation (function pointers, string references), and the three system
+//! call instructions (`syscall`, `int $0x80`, `sysenter`).
+//!
+//! [`encode::Asm`] is the matching assembler used by the corpus generator;
+//! its output is guaranteed decodable, which the property tests assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod encode;
+pub mod insn;
+
+pub use decode::{decode, Decoder};
+pub use encode::Asm;
+pub use insn::{Decoded, Insn, Reg};

@@ -1,0 +1,136 @@
+//! Decoder coverage over the broader instruction mix found in real
+//! toolchain output: prefixes, the 0F map, addressing-form variety, and
+//! group-3 immediates.
+
+use apistudy_x86::{decode, Decoder, Insn, Reg};
+
+fn one(bytes: &[u8]) -> (Insn, usize) {
+    let d = decode(bytes, 0x1000);
+    (d.insn, d.len)
+}
+
+#[test]
+fn two_byte_map_entries() {
+    // syscall / sysenter / rdtsc / cpuid / ud2.
+    assert_eq!(one(&[0x0f, 0x05]).0, Insn::Syscall);
+    assert_eq!(one(&[0x0f, 0x34]).0, Insn::Sysenter);
+    assert_eq!(one(&[0x0f, 0x31]).0, Insn::Other);
+    assert_eq!(one(&[0x0f, 0xa2]).0, Insn::Other);
+    assert_eq!(one(&[0x0f, 0x0b]).0, Insn::Other);
+    // movzx/movsx with ModRM.
+    assert_eq!(one(&[0x0f, 0xb6, 0xc0]), (Insn::Other, 3)); // movzx eax, al
+    assert_eq!(one(&[0x48, 0x0f, 0xbe, 0x07]), (Insn::Other, 4)); // movsx rax, [rdi]
+    // setcc.
+    assert_eq!(one(&[0x0f, 0x94, 0xc0]), (Insn::Other, 3)); // sete al
+    // Long NOPs, as emitted by assemblers for alignment.
+    assert_eq!(one(&[0x0f, 0x1f, 0x00]), (Insn::Other, 3));
+    assert_eq!(
+        one(&[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00]),
+        (Insn::Other, 6)
+    );
+    // bswap.
+    assert_eq!(one(&[0x0f, 0xc8]), (Insn::Other, 2));
+}
+
+#[test]
+fn legacy_prefixes_are_skipped() {
+    // rep stosb-style prefixes in front of known instructions.
+    assert_eq!(one(&[0xf3, 0x0f, 0x05]).0, Insn::Syscall); // (nonsense but decodable)
+    assert_eq!(one(&[0x2e, 0xc3]).0, Insn::Ret); // cs-prefix ret
+    assert_eq!(one(&[0x66, 0x90]), (Insn::Other, 2)); // xchg ax,ax
+    // gs-segment load.
+    assert_eq!(one(&[0x65, 0x48, 0x8b, 0x04, 0x25, 0, 0, 0, 0]).1, 9);
+}
+
+#[test]
+fn addressing_forms() {
+    // [reg] / [reg+disp8] / [reg+disp32] / [base+index*scale].
+    assert_eq!(one(&[0x48, 0x8b, 0x00]).1, 3); // mov rax, [rax]
+    assert_eq!(one(&[0x48, 0x8b, 0x40, 0x08]).1, 4); // mov rax, [rax+8]
+    assert_eq!(one(&[0x48, 0x8b, 0x80, 1, 0, 0, 0]).1, 7); // +disp32
+    assert_eq!(one(&[0x48, 0x8b, 0x04, 0xc8]).1, 4); // [rax+rcx*8]
+    assert_eq!(one(&[0x48, 0x8b, 0x44, 0xc8, 0x10]).1, 5); // [rax+rcx*8+0x10]
+    // SIB with no base ([index*scale+disp32], mod=00 base=101).
+    assert_eq!(one(&[0x48, 0x8b, 0x04, 0xcd, 0, 0, 0, 0]).1, 8);
+    // RIP-relative data (mov, not lea): len 7, classified Other.
+    assert_eq!(one(&[0x48, 0x8b, 0x05, 1, 0, 0, 0]), (Insn::Other, 7));
+}
+
+#[test]
+fn group3_immediates() {
+    // test r/m32, imm32 (F7 /0) has an immediate...
+    assert_eq!(one(&[0xf7, 0xc0, 1, 0, 0, 0]).1, 6);
+    // ...but not r/m32 (F7 /3: neg) does not.
+    assert_eq!(one(&[0xf7, 0xd8]).1, 2);
+    // test r/m8, imm8 (F6 /0).
+    assert_eq!(one(&[0xf6, 0xc0, 0x01]).1, 3);
+    // mul r/m8 (F6 /4).
+    assert_eq!(one(&[0xf6, 0xe0]).1, 2);
+}
+
+#[test]
+fn group5_forms() {
+    assert_eq!(one(&[0xff, 0xd0]).0, Insn::CallIndirect); // call rax
+    assert_eq!(one(&[0xff, 0x10]).0, Insn::CallIndirect); // call [rax]
+    assert_eq!(one(&[0xff, 0xe0]).0, Insn::JmpIndirect); // jmp rax
+    assert_eq!(one(&[0xff, 0x25, 0, 0, 0, 0]).0, Insn::JmpIndirect); // jmp [rip]
+    assert_eq!(one(&[0xff, 0xc0]).0, Insn::Other); // inc eax
+    assert_eq!(one(&[0xff, 0x30]).0, Insn::Other); // push [rax]
+}
+
+#[test]
+fn arithmetic_column_forms() {
+    // add/sub/cmp with ModRM and immediates.
+    assert_eq!(one(&[0x01, 0xd8]).1, 2); // add eax, ebx
+    assert_eq!(one(&[0x48, 0x29, 0xc3]).1, 3); // sub rbx, rax
+    assert_eq!(one(&[0x3c, 0x05]).1, 2); // cmp al, 5
+    assert_eq!(one(&[0x3d, 1, 0, 0, 0]).1, 5); // cmp eax, imm32
+    assert_eq!(one(&[0x83, 0xf8, 0x01]).1, 3); // cmp eax, 1 (imm8)
+    assert_eq!(one(&[0x81, 0xf8, 1, 0, 0, 0]).1, 6); // cmp eax, imm32
+    // 16-bit operand-size immediate shrinks.
+    assert_eq!(one(&[0x66, 0x3d, 0x34, 0x12]).1, 4); // cmp ax, 0x1234
+}
+
+#[test]
+fn rex_extended_registers() {
+    // mov r15d, imm32: 41 BF.
+    let d = decode(&[0x41, 0xbf, 1, 0, 0, 0], 0);
+    assert_eq!(d.insn, Insn::MovImm { reg: Reg(15), imm: 1 });
+    // xor r9d, r9d: 45 31 C9.
+    let d = decode(&[0x45, 0x31, 0xc9], 0);
+    assert_eq!(d.insn, Insn::XorSelf { reg: Reg(9) });
+    // lea r12, [rip+1]: 4C 8D 25 01 00 00 00.
+    let d = decode(&[0x4c, 0x8d, 0x25, 1, 0, 0, 0], 0x100);
+    assert_eq!(d.insn, Insn::LeaRip { reg: Reg(12), target: 0x108 });
+}
+
+#[test]
+fn stack_and_flow_misc() {
+    assert_eq!(one(&[0x68, 1, 0, 0, 0]).1, 5); // push imm32
+    assert_eq!(one(&[0x6a, 0x10]).1, 2); // push imm8
+    assert_eq!(one(&[0xc9]), (Insn::Other, 1)); // leave
+    assert_eq!(one(&[0xc2, 0x10, 0x00]).0, Insn::Ret); // ret imm16
+    assert_eq!(one(&[0xf4]).1, 1); // hlt
+    assert_eq!(one(&[0x99]).1, 1); // cdq
+    // Shifts.
+    assert_eq!(one(&[0xc1, 0xe0, 0x04]).1, 3); // shl eax, 4
+    assert_eq!(one(&[0xd1, 0xe0]).1, 2); // shl eax, 1
+}
+
+#[test]
+fn resync_consumes_entire_buffer() {
+    // A pathological byte soup still terminates with full coverage.
+    let junk: Vec<u8> = (0..=255u8).collect();
+    let total: usize = Decoder::new(&junk, 0).map(|d| d.len).sum();
+    assert_eq!(total, junk.len());
+}
+
+#[test]
+fn prefix_flood_is_rejected_gracefully() {
+    // 16+ prefixes cannot form an instruction; decoder must emit Unknown
+    // and advance.
+    let flood = [0x66u8; 32];
+    let d = decode(&flood, 0);
+    assert_eq!(d.insn, Insn::Unknown);
+    assert_eq!(d.len, 1);
+}

@@ -1,0 +1,88 @@
+//! Compatibility-layer planning: the paper's core use case (§3.2, §4.1).
+//!
+//! You are building a new OS prototype with a Linux compatibility layer.
+//! Given the set of system calls you already support, this example tells
+//! you (a) what fraction of a typical installation would work, and (b)
+//! which calls to implement next for the largest gain — exactly the
+//! workflow Table 6 applies to User-Mode Linux, L4Linux, FreeBSD, and
+//! Graphene.
+//!
+//! ```text
+//! cargo run --example compat_planning
+//! ```
+
+use std::collections::HashSet;
+
+use apistudy::compat::{all_profiles, graphene};
+use apistudy::core::Study;
+use apistudy::corpus::Scale;
+
+fn main() {
+    let study = Study::run(Scale::test(), 42);
+    let metrics = study.metrics();
+
+    // Evaluate the four systems the paper evaluates.
+    println!("weighted completeness of existing Linux-compatible systems:");
+    for profile in all_profiles(&metrics) {
+        println!(
+            "  {:<22} {:>3} syscalls  ->  {:6.2}%",
+            profile.name,
+            profile.len(),
+            100.0 * profile.completeness(&metrics),
+        );
+    }
+
+    // The paper's Graphene experiment: two scheduling calls unlock a jump.
+    let g = graphene(&metrics);
+    let g2 = g.with_added(&metrics, &["sched_setscheduler", "sched_setparam"]);
+    println!(
+        "\nGraphene before/after adding scheduling control: {:.2}% -> {:.2}%",
+        100.0 * g.completeness(&metrics),
+        100.0 * g2.completeness(&metrics),
+    );
+
+    // Now plan *your* prototype: start from a unikernel-ish 60 calls.
+    let ranking = study
+        .implementation_plan()
+        .0
+        .ranking;
+    let mut supported: HashSet<u32> = ranking.iter().take(60).copied().collect();
+    println!("\nincremental plan for a new prototype:");
+    for step in 0..5 {
+        let completeness = metrics.syscall_completeness(&supported);
+        // Find the most important unsupported calls.
+        let next: Vec<String> = ranking
+            .iter()
+            .filter(|nr| !supported.contains(nr))
+            .take(10)
+            .map(|&nr| {
+                study
+                    .data()
+                    .catalog
+                    .syscalls
+                    .by_number(nr)
+                    .map(|d| d.name.to_owned())
+                    .unwrap_or_default()
+            })
+            .collect();
+        println!(
+            "  step {step}: {:>3} calls supported, completeness {:5.1}%, next: {}",
+            supported.len(),
+            100.0 * completeness,
+            next.iter().take(4).cloned().collect::<Vec<_>>().join(", "),
+        );
+        // Implement the next 30.
+        let additions: Vec<u32> = ranking
+            .iter()
+            .filter(|nr| !supported.contains(nr))
+            .take(30)
+            .copied()
+            .collect();
+        supported.extend(additions);
+    }
+    println!(
+        "  final: {} calls, completeness {:.1}%",
+        supported.len(),
+        100.0 * metrics.syscall_completeness(&supported),
+    );
+}

@@ -1,0 +1,89 @@
+//! Deprecation and security audit: the paper's §5 use case.
+//!
+//! Kernel maintainers deciding whether an API can be retired — or whether
+//! a secure replacement is getting traction — need adoption data. This
+//! example reports: retired calls still attempted, deprecation candidates
+//! with zero users, and the adoption gap between insecure/old calls and
+//! their secure/new variants (Tables 8–9).
+//!
+//! ```text
+//! cargo run --example deprecation_audit
+//! ```
+
+use apistudy::catalog::variants::{GENERATION_PAIRS, SECURITY_PAIRS};
+use apistudy::catalog::SyscallStatus;
+use apistudy::core::Study;
+use apistudy::corpus::Scale;
+
+fn main() {
+    let study = Study::run(Scale::test(), 42);
+    let metrics = study.metrics();
+    let catalog = &study.data().catalog;
+
+    // 1. Officially retired calls that applications still attempt.
+    println!("retired system calls still attempted by applications:");
+    for def in catalog.syscalls.iter() {
+        if def.status != SyscallStatus::Retired {
+            continue;
+        }
+        let api = apistudy::catalog::Api::Syscall(def.number);
+        let imp = metrics.importance(api);
+        if imp > 0.0 {
+            let pkgs: Vec<String> = metrics
+                .dependents(api)
+                .iter()
+                .take(2)
+                .map(|p| p.name.clone())
+                .collect();
+            println!(
+                "  {:<12} importance {:5.1}%  attempted by: {}",
+                def.name,
+                100.0 * imp,
+                pkgs.join(", "),
+            );
+        }
+    }
+
+    // 2. Deprecation candidates: defined, has an entry point, zero users.
+    println!("\ndeprecation candidates (active, never used):");
+    for def in catalog.syscalls.iter() {
+        if def.status == SyscallStatus::Active {
+            let api = apistudy::catalog::Api::Syscall(def.number);
+            if metrics.importance(api) == 0.0 {
+                println!("  {}", def.name);
+            }
+        }
+    }
+
+    // 3. Secure-variant adoption (Table 8): how many packages still use
+    // the race-prone or ill-specified form?
+    println!("\nsecure-variant adoption (fraction of packages):");
+    for pair in SECURITY_PAIRS.iter().take(8) {
+        let l = catalog.syscall(pair.left).unwrap();
+        let r = catalog.syscall(pair.right).unwrap();
+        println!(
+            "  {:<10} {:6.2}%   vs   {:<12} {:6.2}%",
+            pair.left,
+            100.0 * metrics.unweighted_importance(l),
+            pair.right,
+            100.0 * metrics.unweighted_importance(r),
+        );
+    }
+
+    // 4. Old-vs-new migration (Table 9).
+    println!("\nold-vs-new API migration:");
+    for pair in GENERATION_PAIRS {
+        let l = catalog.syscall(pair.left).unwrap();
+        let r = catalog.syscall(pair.right).unwrap();
+        let old = metrics.unweighted_importance(l);
+        let new = metrics.unweighted_importance(r);
+        let verdict = if new > old { "migrated" } else { "stalled" };
+        println!(
+            "  {:<10} {:6.2}%  ->  {:<12} {:6.2}%   [{verdict}]",
+            pair.left,
+            100.0 * old,
+            pair.right,
+            100.0 * new,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run a small study and ask the questions the paper opens
+//! with — which system calls matter, and how complete would a prototype
+//! with N calls be?
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use apistudy::catalog::ApiKind;
+use apistudy::core::Study;
+use apistudy::corpus::Scale;
+
+fn main() {
+    // Generate a small synthetic distribution and measure it.
+    let study = Study::run(Scale::test(), 42);
+    let metrics = study.metrics();
+
+    // 1. How important are individual system calls?
+    println!("API importance (probability an installation needs the call):");
+    for name in ["read", "ioctl", "mbind", "kexec_load", "mq_notify"] {
+        let api = study.syscall(name).expect("known syscall");
+        println!(
+            "  {name:<12} {:6.2}%  (used by {:.2}% of packages)",
+            100.0 * metrics.importance(api),
+            100.0 * metrics.unweighted_importance(api),
+        );
+    }
+
+    // 2. Who depends on a niche call?
+    let mbind = study.syscall("mbind").unwrap();
+    let deps = metrics.dependents(mbind);
+    println!("\nmost-installed packages needing mbind:");
+    for p in deps.iter().take(3) {
+        println!("  {} (installed on {:.1}% of systems)", p.name, 100.0 * p.prob);
+    }
+
+    // 3. How far would a prototype get with the N most important calls?
+    let (curve, stages) = study.implementation_plan();
+    println!("\nweighted completeness of a prototype supporting the top-N calls:");
+    for n in [40, 81, 145, 202, 272] {
+        println!("  N = {n:>3}: {:5.1}%", 100.0 * curve.at(n));
+    }
+    println!("\ncalls needed for half of a typical installation: {}",
+             curve.calls_needed(0.5));
+    println!("stage I samples: {}", stages[0].samples.join(", "));
+
+    // 4. The long tail: how many syscalls does nobody use?
+    let unused = metrics
+        .importance_ranking(ApiKind::Syscall)
+        .into_iter()
+        .filter(|&(_, imp)| imp == 0.0)
+        .count();
+    println!("\nsystem calls used by no application: {unused}");
+}

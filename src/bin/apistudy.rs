@@ -1,0 +1,241 @@
+//! `apistudy` — command-line front end to the study.
+//!
+//! ```text
+//! apistudy [--scale test|medium|paper] [--seed N] <command> [args]
+//!
+//! commands:
+//!   importance <api>...      weighted + unweighted importance of syscalls
+//!   dependents <api>         most-installed packages needing a syscall
+//!   suggest <file>           next syscalls for a prototype (one name or
+//!                            number per line in <file>)
+//!   completeness <file>      weighted completeness of a syscall list
+//!   workloads <api>...       packages exercising all the given syscalls
+//!   seccomp <package>        seccomp allow-list + BPF filter for a package
+//!   export <path>            write the measured dataset as CSV
+//!   summary                  headline numbers (Figures 2/3/7)
+//! ```
+
+use std::collections::HashSet;
+use std::process::exit;
+
+use apistudy::catalog::ApiKind;
+use apistudy::core::{
+    dataset::Dataset,
+    footprints,
+    planner::CompletenessCurve,
+    seccomp_bpf::{seccomp_filter, AUDIT_ARCH_X86_64}, Study,
+};
+use apistudy::corpus::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: apistudy [--scale test|medium|paper] [--seed N] <command>\n\
+         commands: importance <api>... | dependents <api> | suggest <file>\n\
+         \x20         | completeness <file> | workloads <api>...\n\
+         \x20         | seccomp <pkg> | export <path> | summary"
+    );
+    exit(2)
+}
+
+fn read_syscall_list(study: &Study, path: &str) -> HashSet<u32> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let mut out = HashSet::new();
+    for token in text.split_whitespace() {
+        let nr = token
+            .parse::<u32>()
+            .ok()
+            .or_else(|| study.data().catalog.syscalls.number_of(token));
+        match nr {
+            Some(nr) => {
+                out.insert(nr);
+            }
+            None => {
+                eprintln!("unknown syscall {token:?}");
+                exit(1)
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut scale = Scale::test();
+    let mut seed = 2016u64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::test(),
+                    Some("medium") => Scale::medium(),
+                    Some("paper") => Scale::paper(),
+                    _ => usage(),
+                }
+            }
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                rest.push(other.to_owned());
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    if rest.is_empty() {
+        usage();
+    }
+    let command = rest.remove(0);
+
+    eprintln!(
+        "measuring {} packages ({} installations, seed {seed})...",
+        scale.packages, scale.installations
+    );
+    let study = Study::run(scale, seed);
+    let metrics = study.metrics();
+
+    match command.as_str() {
+        "importance" => {
+            if rest.is_empty() {
+                usage();
+            }
+            println!("{:<20} {:>10} {:>12}", "syscall", "importance", "unweighted");
+            for name in &rest {
+                match study.syscall(name) {
+                    Some(api) => println!(
+                        "{:<20} {:>9.2}% {:>11.2}%",
+                        name,
+                        100.0 * metrics.importance(api),
+                        100.0 * metrics.unweighted_importance(api),
+                    ),
+                    None => println!("{name:<20} (unknown syscall)"),
+                }
+            }
+        }
+        "dependents" => {
+            let Some(name) = rest.first() else { usage() };
+            let Some(api) = study.syscall(name) else {
+                eprintln!("unknown syscall {name:?}");
+                exit(1)
+            };
+            for p in metrics.dependents(api).iter().take(15) {
+                println!("{:<28} installed on {:>6.2}%", p.name, 100.0 * p.prob);
+            }
+        }
+        "suggest" => {
+            let Some(path) = rest.first() else { usage() };
+            let supported = read_syscall_list(&study, path);
+            let completeness = metrics.syscall_completeness(&supported);
+            println!(
+                "supported: {} syscalls, weighted completeness {:.2}%",
+                supported.len(),
+                100.0 * completeness,
+            );
+            println!("\nmost valuable additions:");
+            let ranking = metrics.importance_ranking(ApiKind::Syscall);
+            let mut shown = 0;
+            for (api, imp) in ranking {
+                let apistudy::catalog::Api::Syscall(nr) = api else { continue };
+                if supported.contains(&nr) {
+                    continue;
+                }
+                let def = study.data().catalog.syscalls.by_number(nr).unwrap();
+                let mut grown: HashSet<u32> = supported.clone();
+                grown.insert(nr);
+                let gain = metrics.syscall_completeness(&grown) - completeness;
+                println!(
+                    "  {:<20} importance {:>6.2}%  completeness +{:.2}%",
+                    def.name,
+                    100.0 * imp,
+                    100.0 * gain,
+                );
+                shown += 1;
+                if shown >= 10 {
+                    break;
+                }
+            }
+        }
+        "completeness" => {
+            let Some(path) = rest.first() else { usage() };
+            let supported = read_syscall_list(&study, path);
+            println!(
+                "{:.4}",
+                metrics.syscall_completeness(&supported),
+            );
+        }
+        "workloads" => {
+            if rest.is_empty() {
+                usage();
+            }
+            let apis: Vec<apistudy::catalog::Api> = rest
+                .iter()
+                .map(|name| {
+                    study.syscall(name).unwrap_or_else(|| {
+                        eprintln!("unknown syscall {name:?}");
+                        exit(1)
+                    })
+                })
+                .collect();
+            use apistudy::core::workloads::{exercised_mass, workloads_for, Match};
+            let hits = workloads_for(&metrics, &apis, Match::All);
+            println!(
+                "packages exercising all of [{}] ({:.1}% of installed mass):",
+                rest.join(", "),
+                100.0 * exercised_mass(&metrics, &apis, Match::All),
+            );
+            for p in hits.iter().take(15) {
+                println!("  {:<28} installed on {:>6.2}%", p.name, 100.0 * p.prob);
+            }
+        }
+        "seccomp" => {
+            let Some(pkg) = rest.first() else { usage() };
+            let Some(profile) = footprints::seccomp_profile(study.data(), pkg)
+            else {
+                eprintln!("unknown package {pkg:?}");
+                exit(1)
+            };
+            println!("# {} allowed syscalls", profile.len());
+            for name in &profile {
+                println!("allow {name}");
+            }
+            let filter = seccomp_filter(study.data(), pkg).expect("package exists");
+            eprintln!(
+                "BPF filter: {} instructions ({} bytes), arch pin {AUDIT_ARCH_X86_64:#x}",
+                filter.len(),
+                filter.to_bytes().len(),
+            );
+        }
+        "export" => {
+            let Some(path) = rest.first() else { usage() };
+            let ds = Dataset::from_study(study.data());
+            let text = ds.to_csv();
+            std::fs::write(path, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!("wrote {} rows ({} bytes) to {path}", ds.rows.len(), text.len());
+        }
+        "summary" => {
+            let ranking = metrics.importance_ranking(ApiKind::Syscall);
+            let indispensable =
+                ranking.iter().filter(|&&(_, v)| v >= 0.9995).count();
+            let unused = ranking.iter().filter(|&&(_, v)| v == 0.0).count();
+            let curve = CompletenessCurve::compute(&metrics);
+            let stats = footprints::uniqueness(study.data());
+            println!("packages measured:        {}", study.data().packages.len());
+            println!("indispensable syscalls:   {indispensable}");
+            println!("unused syscalls:          {unused}");
+            println!("syscalls for 50% support: {}", curve.calls_needed(0.5));
+            println!("syscalls for 90% support: {}", curve.calls_needed(0.9));
+            println!(
+                "distinct footprints:      {} ({} unique)",
+                stats.distinct, stats.unique
+            );
+        }
+        _ => usage(),
+    }
+}

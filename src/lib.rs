@@ -1,0 +1,44 @@
+//! # apistudy
+//!
+//! A production-quality Rust reproduction of *"A Study of Modern Linux API
+//! Usage and Compatibility: What to Support When You're Supporting"*
+//! (EuroSys 2016): a static-analysis framework over a calibrated synthetic
+//! Ubuntu-like corpus, the paper's compatibility metrics, and a harness
+//! regenerating every table and figure.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`catalog`] — Linux API inventories (syscalls, ioctl/fcntl/prctl
+//!   opcodes, pseudo-files, the glibc 2.21 symbol inventory);
+//! - [`elf`] — ELF64 parser and writer;
+//! - [`x86`] — x86-64 decoder and assembler;
+//! - [`analysis`] — per-binary static analysis and the cross-binary linker;
+//! - [`corpus`] — the calibrated synthetic repository generator;
+//! - [`core`] — the measurement pipeline and the metrics (API importance,
+//!   weighted completeness);
+//! - [`compat`] — system and libc compatibility profiles (Tables 6–7);
+//! - [`report`] — table/series rendering.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use apistudy::core::Study;
+//! use apistudy::corpus::Scale;
+//!
+//! let study = Study::run(Scale::test(), 42);
+//! let metrics = study.metrics();
+//! let read = study.syscall("read").unwrap();
+//! println!("read importance: {:.1}%", 100.0 * metrics.importance(read));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apistudy_analysis as analysis;
+pub use apistudy_catalog as catalog;
+pub use apistudy_compat as compat;
+pub use apistudy_core as core;
+pub use apistudy_corpus as corpus;
+pub use apistudy_elf as elf;
+pub use apistudy_report as report;
+pub use apistudy_x86 as x86;

@@ -1,0 +1,315 @@
+//! End-to-end integration: generate a corpus, run the full pipeline, and
+//! assert the headline shapes of every experiment family — the cross-crate
+//! contract the `repro` harness and EXPERIMENTS.md rely on.
+
+use std::collections::HashSet;
+
+use apistudy::catalog::{Api, ApiKind, SyscallStatus};
+use apistudy::compat;
+use apistudy::core::{
+    footprints, libc_restructure::restructure, planner::CompletenessCurve,
+    Metrics, Study,
+};
+use apistudy::corpus::Scale;
+
+fn study() -> Study {
+    Study::run(Scale { packages: 600, installations: 100_000 }, 2016)
+}
+
+#[test]
+fn headline_shapes_hold_end_to_end() {
+    let study = study();
+    let metrics = study.metrics();
+    let data = study.data();
+
+    // ---- Figure 2: the importance bands over system calls -------------
+    let ranking = metrics.importance_ranking(ApiKind::Syscall);
+    let values: Vec<f64> = ranking.iter().map(|&(_, v)| v).collect();
+    let indispensable = values.iter().filter(|&&v| v >= 0.9995).count();
+    let above10 = values.iter().filter(|&&v| v >= 0.10).count();
+    let unused = values.iter().filter(|&&v| v == 0.0).count();
+    assert!(
+        (214..=234).contains(&indispensable),
+        "indispensable {indispensable} (paper: 224)"
+    );
+    assert!((245..=270).contains(&above10), "above 10% {above10} (paper: 257)");
+    assert_eq!(unused, 18, "unused (paper: 18)");
+
+    // ---- Table 3: the unused calls are exactly the paper's ------------
+    for name in ["sysfs", "remap_file_pages", "mq_notify", "lookup_dcookie",
+                 "restart_syscall", "move_pages", "get_robust_list",
+                 "rt_tgsigqueueinfo"] {
+        let nr = data.catalog.syscalls.number_of(name).unwrap();
+        assert_eq!(
+            metrics.importance(Api::Syscall(nr)),
+            0.0,
+            "{name} must be unused"
+        );
+    }
+    // Retired calls are still attempted (non-zero importance).
+    for def in data.catalog.syscalls.iter() {
+        if def.status == SyscallStatus::Retired {
+            assert!(
+                metrics.importance(Api::Syscall(def.number)) > 0.0,
+                "{} retired but should still be attempted",
+                def.name
+            );
+        }
+    }
+
+    // ---- Table 1/2 pins ------------------------------------------------
+    let mbind = study.syscall("mbind").unwrap();
+    let imp = metrics.importance(mbind);
+    assert!((0.30..0.45).contains(&imp), "mbind {imp} (paper: 36%)");
+    let names: Vec<String> = metrics
+        .dependents(mbind)
+        .iter()
+        .take(2)
+        .map(|p| p.name.clone())
+        .collect();
+    assert!(names.contains(&"libnuma".to_owned()), "mbind via {names:?}");
+
+    let kexec = study.syscall("kexec_load").unwrap();
+    let imp = metrics.importance(kexec);
+    assert!((0.005..0.05).contains(&imp), "kexec_load {imp} (paper: 1%)");
+
+    // ---- Figure 3: completeness curve knees -----------------------------
+    let curve = CompletenessCurve::compute(&metrics);
+    assert!(curve.at(30) < 0.01, "nothing runs below ~40 calls");
+    let at81 = curve.at(81);
+    let at145 = curve.at(145);
+    let at202 = curve.at(202);
+    assert!((0.03..0.25).contains(&at81), "at 81: {at81} (paper 10.7%)");
+    assert!((0.35..0.65).contains(&at145), "at 145: {at145} (paper 50.1%)");
+    assert!(at202 > 0.70, "at 202: {at202} (paper 90.6%)");
+    assert!((curve.at(323) - 1.0).abs() < 1e-9);
+
+    // ---- Figures 4/5: vectored opcodes ---------------------------------
+    let ioctl_vals: Vec<f64> = metrics
+        .importance_ranking(ApiKind::Ioctl)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let ioctl_universal = ioctl_vals.iter().filter(|&&v| v >= 0.97).count();
+    let ioctl_used = ioctl_vals.iter().filter(|&&v| v > 0.0).count();
+    assert!(
+        (40..=70).contains(&ioctl_universal),
+        "universal ioctls {ioctl_universal} (paper: 52)"
+    );
+    assert!(
+        (240..=320).contains(&ioctl_used),
+        "used ioctls {ioctl_used} (paper: 280)"
+    );
+    assert_eq!(ioctl_vals.len(), 635, "defined ioctls (paper: 635)");
+
+    let fcntl_universal = metrics
+        .importance_ranking(ApiKind::Fcntl)
+        .into_iter()
+        .filter(|&(_, v)| v >= 0.97)
+        .count();
+    assert!(
+        (8..=14).contains(&fcntl_universal),
+        "universal fcntl {fcntl_universal} (paper: 11)"
+    );
+
+    // ---- Figure 7: libc symbol bands ------------------------------------
+    let libc_vals: Vec<f64> = metrics
+        .importance_ranking(ApiKind::LibcSymbol)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let n = libc_vals.len() as f64;
+    assert_eq!(libc_vals.len(), 1274);
+    let at100 = libc_vals.iter().filter(|&&v| v >= 0.97).count() as f64 / n;
+    let below1 = libc_vals.iter().filter(|&&v| v < 0.01).count() as f64 / n;
+    assert!((0.35..0.55).contains(&at100), "libc @100%: {at100} (paper 42.8%)");
+    assert!((0.30..0.50).contains(&below1), "libc <1%: {below1} (paper 39.7%)");
+
+    // ---- §3.5: restructuring -------------------------------------------
+    let report = restructure(&metrics, 0.90);
+    assert!(
+        (500..=1000).contains(&report.retained),
+        "retained {} (paper: 889)",
+        report.retained
+    );
+    assert!(
+        (0.40..0.85).contains(&report.size_fraction),
+        "size {} (paper: 63%)",
+        report.size_fraction
+    );
+    assert!(
+        report.completeness > 0.5,
+        "stripped completeness {} (paper: 90.7%)",
+        report.completeness
+    );
+
+    // ---- Table 6 ---------------------------------------------------------
+    let uml = compat::user_mode_linux(&metrics).completeness(&metrics);
+    let l4 = compat::l4linux(&metrics).completeness(&metrics);
+    let bsd = compat::freebsd_emulation(&metrics).completeness(&metrics);
+    let gra = compat::graphene(&metrics);
+    let gra_base = gra.completeness(&metrics);
+    let gra_plus = gra
+        .with_added(&metrics, &["sched_setscheduler", "sched_setparam"])
+        .completeness(&metrics);
+    assert!(uml > 0.85, "UML {uml} (paper 93.1%)");
+    assert!(l4 > uml, "L4Linux {l4} above UML (paper 99.3%)");
+    assert!((0.45..0.85).contains(&bsd), "FreeBSD {bsd} (paper 62.3%)");
+    assert!(gra_base < 0.05, "Graphene {gra_base} (paper 0.42%)");
+    assert!(
+        gra_plus > gra_base + 0.05,
+        "Graphene jump {gra_base} -> {gra_plus} (paper 0.42% -> 21.1%)"
+    );
+
+    // ---- Table 7 ----------------------------------------------------------
+    let eglibc = compat::eglibc(&metrics);
+    assert!((eglibc.completeness(&metrics, false) - 1.0).abs() < 1e-9);
+    for v in [compat::uclibc(&metrics), compat::musl(&metrics)] {
+        let raw = v.completeness(&metrics, false);
+        let norm = v.completeness(&metrics, true);
+        assert!(raw < 0.10, "{} raw {raw} (paper 1.1%)", v.name);
+        assert!(
+            (0.20..0.80).contains(&norm),
+            "{} normalized {norm} (paper ~42%)",
+            v.name
+        );
+    }
+    let diet = compat::dietlibc(&metrics);
+    assert!(diet.completeness(&metrics, true) < 0.02, "dietlibc (paper 0%)");
+
+    // ---- Figure 8 ----------------------------------------------------------
+    let mut unweighted: Vec<f64> = data
+        .catalog
+        .syscalls
+        .iter()
+        .map(|d| metrics.unweighted_importance(Api::Syscall(d.number)))
+        .collect();
+    unweighted.sort_by(|a, b| b.total_cmp(a));
+    let by_all = unweighted.iter().filter(|&&v| v >= 0.95).count();
+    let above10 = unweighted.iter().filter(|&&v| v >= 0.10).count();
+    assert!((38..=60).contains(&by_all), "by-all {by_all} (paper: 40)");
+    assert!((110..=200).contains(&above10), "≥10% {above10} (paper: 130)");
+
+    // ---- Tables 8–11: every pair keeps the paper's winner ----------------
+    let u = |name: &str| {
+        metrics.unweighted_importance(study.syscall(name).unwrap())
+    };
+    assert!(u("setresuid") > u("setuid"), "Table 8 id-management");
+    assert!(u("access") > u("faccessat"), "Table 8 TOCTTOU");
+    assert!(u("mkdir") > u("mkdirat"));
+    assert!(u("getdents") > u("getdents64"), "Table 9");
+    assert!(u("clone") > u("fork"));
+    assert!(u("wait4") > u("waitid"));
+    assert!(u("readv") > u("preadv"), "Table 10");
+    assert!(u("poll") > u("ppoll"));
+    assert!(u("recvmsg") > u("recvmmsg"));
+    assert!(u("read") > u("pread64"), "Table 11");
+    assert!(u("dup2") > u("dup3"));
+    assert!(u("select") > u("pselect6"));
+    assert!(u("chdir") > u("fchdir"));
+
+    // ---- §6: uniqueness ----------------------------------------------------
+    let stats = footprints::uniqueness(data);
+    assert_eq!(stats.applications, 600);
+    assert!(
+        stats.distinct as f64 >= 0.25 * stats.applications as f64,
+        "distinct {} (paper: ~37%)",
+        stats.distinct
+    );
+    assert!(
+        stats.distinct < stats.applications,
+        "templates must create duplicate footprints"
+    );
+    assert!(stats.unique > 0 && stats.unique <= stats.distinct);
+
+    // ---- §2.4: unresolved sites stay rare ----------------------------------
+    let total = data.unresolved_syscall_sites + data.resolved_syscall_sites;
+    let ratio = data.unresolved_syscall_sites as f64 / total.max(1) as f64;
+    assert!(ratio < 0.08, "unresolved ratio {ratio} (paper: 4%)");
+}
+
+#[test]
+fn qemu_is_the_most_demanding_application() {
+    let study = study();
+    let data = study.data();
+    let qemu = data.package("qemu").expect("qemu exists");
+    let qemu_calls = qemu.footprint.syscalls().count();
+    assert!(
+        (250..=290).contains(&qemu_calls),
+        "qemu footprint {qemu_calls} (paper: 270)"
+    );
+    let max_other = data
+        .packages
+        .iter()
+        .filter(|p| p.name != "qemu")
+        .map(|p| p.footprint.syscalls().count())
+        .max()
+        .unwrap();
+    assert!(qemu_calls >= max_other);
+}
+
+#[test]
+fn seccomp_profiles_are_sound() {
+    let study = study();
+    let data = study.data();
+    // Every generated profile is sorted, deduplicated, and contains the
+    // startup set for dynamically linked packages.
+    for name in ["coreutils", "dash", "qemu", "kexec-tools"] {
+        let profile = footprints::seccomp_profile(data, name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        assert!(!profile.is_empty(), "{name} profile empty");
+        assert!(profile.windows(2).all(|w| w[0] < w[1]), "{name} not sorted");
+        assert!(profile.contains(&"exit_group"), "{name} lacks exit_group");
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let a = study();
+    let b = study();
+    let ma = Metrics::new(a.data());
+    let mb = Metrics::new(b.data());
+    for name in ["read", "mbind", "access", "nfsservctl"] {
+        let api_a = a.syscall(name).unwrap();
+        let api_b = b.syscall(name).unwrap();
+        assert_eq!(ma.importance(api_a), mb.importance(api_b), "{name}");
+        assert_eq!(
+            ma.unweighted_importance(api_a),
+            mb.unweighted_importance(api_b),
+            "{name}"
+        );
+    }
+    let ca = CompletenessCurve::compute(&ma);
+    let cb = CompletenessCurve::compute(&mb);
+    assert_eq!(ca.ranking, cb.ranking);
+    assert_eq!(ca.points, cb.points);
+}
+
+#[test]
+fn interpreter_inheritance_gates_script_packages() {
+    let study = study();
+    let data = study.data();
+    let metrics = Metrics::new(data);
+    // A package with Python scripts cannot be more complete than the
+    // Python interpreter itself: if the interpreter breaks, so does it.
+    let python = data.package("python2.7").expect("interpreter");
+    let python_fp: HashSet<u32> = python.footprint.syscalls().collect();
+    let consumer = data
+        .packages
+        .iter()
+        .find(|p| {
+            p.script_interpreters.iter().any(|i| i == "python2.7")
+                && p.name != "python2.7"
+        })
+        .expect("some package ships python scripts");
+    let consumer_fp: HashSet<u32> = consumer.footprint.syscalls().collect();
+    assert!(
+        python_fp.is_subset(&consumer_fp),
+        "script package must inherit the interpreter footprint"
+    );
+    // And supporting everything except one python-only call must break it.
+    let missing = *python_fp.iter().max().unwrap();
+    let supported: HashSet<u32> = (0..400).filter(|&n| n != missing).collect();
+    let c = metrics.syscall_completeness(&supported);
+    assert!(c < 1.0, "missing interpreter call must cost completeness");
+}

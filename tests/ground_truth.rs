@@ -1,0 +1,247 @@
+//! Analyzer-vs-ground-truth validation: the footprints the pipeline
+//! *measures* must contain exactly what the generator *planned* — the
+//! static analysis is honest, not a pass-through of generator data.
+
+use std::collections::BTreeSet;
+
+use apistudy::analysis::BinaryAnalysis;
+use apistudy::catalog::{wrappers::wrapped_syscalls, Api, Catalog};
+use apistudy::core::StudyData;
+use apistudy::corpus::{CalibrationSpec, PackageFile, Scale, SynthRepo};
+use apistudy::elf::ElfFile;
+
+fn repo() -> SynthRepo {
+    SynthRepo::new(
+        Scale { packages: 300, installations: 50_000 },
+        CalibrationSpec::default(),
+        77,
+    )
+}
+
+/// The planned per-package syscall ground truth: direct syscalls, wrapped
+/// libc calls, vectored parents, plus the ubiquitous startup/ld.so sets
+/// for dynamically linked packages.
+fn expected_syscalls(
+    catalog: &Catalog,
+    repo: &SynthRepo,
+    pkg_index: usize,
+) -> BTreeSet<u32> {
+    let plan = &repo.plan.packages[pkg_index];
+    let nr = |name: &str| catalog.syscalls.number_of(name).unwrap();
+    let mut out = BTreeSet::new();
+    let mut any_dynamic = false;
+    // A libc call contributes its own wrapped syscalls plus those of the
+    // functions it calls internally (the analyzer follows libc's internal
+    // call graph), transitively.
+    let add_call = |out: &mut BTreeSet<u32>, call: &str| {
+        let mut stack = vec![call.to_owned()];
+        let mut seen = BTreeSet::new();
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f.clone()) {
+                continue;
+            }
+            for s in wrapped_syscalls(&f) {
+                out.insert(nr(s));
+            }
+            for &(from, to) in apistudy::corpus::libc_gen::INTERNAL_CALLS {
+                if from == f {
+                    stack.push(to.to_owned());
+                }
+            }
+        }
+    };
+    for e in &plan.execs {
+        out.extend(e.direct_syscalls.iter().copied());
+        if !e.is_static {
+            any_dynamic = true;
+            for call in &e.libc_calls {
+                add_call(&mut out, call);
+            }
+            if !e.ioctl_codes.is_empty() {
+                out.insert(nr("ioctl"));
+            }
+            if !e.fcntl_codes.is_empty() {
+                out.insert(nr("fcntl"));
+            }
+            if !e.prctl_codes.is_empty() {
+                out.insert(nr("prctl"));
+            }
+        }
+    }
+    for l in &plan.libs {
+        for x in &l.exports {
+            out.extend(x.direct_syscalls.iter().copied());
+            for call in &x.libc_calls {
+                add_call(&mut out, call);
+            }
+        }
+    }
+    if any_dynamic {
+        for call in wrapped_syscalls("__libc_start_main") {
+            out.insert(nr(call));
+        }
+        for call in wrapped_syscalls("__stack_chk_fail") {
+            out.insert(nr(call));
+        }
+    }
+    out
+}
+
+#[test]
+fn measured_footprints_cover_planned_facts() {
+    let repo = repo();
+    let data = StudyData::from_synth(&repo);
+    let catalog = Catalog::linux_3_19();
+    let mut checked = 0;
+    for (i, plan) in repo.plan.packages.iter().enumerate() {
+        // Skip script-bearing packages: interpreter inheritance adds the
+        // interpreter's footprint on top of the package's own facts.
+        if !plan.scripts.is_empty() {
+            continue;
+        }
+        let record = data.package(&plan.name).expect("record");
+        let measured: BTreeSet<u32> = record.footprint.syscalls().collect();
+        let expected = expected_syscalls(&catalog, &repo, i);
+        for nr in &expected {
+            assert!(
+                measured.contains(nr),
+                "{}: planned syscall {} ({:?}) missing from measured footprint",
+                plan.name,
+                nr,
+                catalog.syscalls.by_number(*nr).map(|d| d.name)
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 15, "only {checked} packages were script-free");
+}
+
+#[test]
+fn measured_footprints_add_nothing_beyond_planned_facts() {
+    // For script-free packages the measured set must be a subset of the
+    // planned set too: the analyzer must not invent usage.
+    let repo = repo();
+    let data = StudyData::from_synth(&repo);
+    let catalog = Catalog::linux_3_19();
+    let mut checked = 0;
+    for (i, plan) in repo.plan.packages.iter().enumerate() {
+        if !plan.scripts.is_empty() || plan.name == "libc6" {
+            continue;
+        }
+        let record = data.package(&plan.name).expect("record");
+        let measured: BTreeSet<u32> = record.footprint.syscalls().collect();
+        let expected = expected_syscalls(&catalog, &repo, i);
+        for nr in &measured {
+            assert!(
+                expected.contains(nr),
+                "{}: analyzer invented syscall {} ({:?})",
+                plan.name,
+                nr,
+                catalog.syscalls.by_number(*nr).map(|d| d.name)
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 15);
+}
+
+#[test]
+fn planned_vectored_codes_are_recovered() {
+    let repo = repo();
+    let data = StudyData::from_synth(&repo);
+    let catalog = Catalog::linux_3_19();
+    let mut ioctl_checked = 0;
+    for plan in &repo.plan.packages {
+        let record = data.package(&plan.name).expect("record");
+        for e in &plan.execs {
+            for &(code, _) in &e.ioctl_codes {
+                if let Some(api) = catalog.ioctl_by_code(code) {
+                    assert!(
+                        record.footprint.contains(api),
+                        "{}: planned ioctl {code:#x} missing",
+                        plan.name
+                    );
+                    ioctl_checked += 1;
+                }
+            }
+            for &(code, _) in &e.prctl_codes {
+                if let Some(api) = catalog.prctl_by_code(code) {
+                    assert!(
+                        record.footprint.contains(api),
+                        "{}: planned prctl {code} missing",
+                        plan.name
+                    );
+                }
+            }
+        }
+    }
+    assert!(ioctl_checked > 50, "only {ioctl_checked} ioctl codes checked");
+}
+
+#[test]
+fn planned_paths_are_recovered() {
+    let repo = repo();
+    let data = StudyData::from_synth(&repo);
+    let catalog = Catalog::linux_3_19();
+    let mut checked = 0;
+    for plan in &repo.plan.packages {
+        let record = data.package(&plan.name).expect("record");
+        for e in &plan.execs {
+            for path in &e.paths {
+                if let Some(api) = catalog.pseudo_file(path) {
+                    assert!(
+                        record.footprint.contains(api),
+                        "{}: planned path {path} missing",
+                        plan.name
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 30, "only {checked} paths checked");
+}
+
+#[test]
+fn every_binary_in_the_corpus_analyzes_cleanly() {
+    let repo = repo();
+    for i in 0..repo.package_count() {
+        let pkg = repo.package(i);
+        for f in &pkg.files {
+            if let PackageFile::Elf { name, bytes } = f {
+                let elf = ElfFile::parse(bytes)
+                    .unwrap_or_else(|e| panic!("{}: {name}: {e}", pkg.name));
+                BinaryAnalysis::analyze(&elf)
+                    .unwrap_or_else(|e| panic!("{}: {name}: {e}", pkg.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn libc_symbol_usage_matches_planned_imports() {
+    // Package libc-symbol footprints must include every planned libc call.
+    let repo = repo();
+    let data = StudyData::from_synth(&repo);
+    let catalog = Catalog::linux_3_19();
+    let mut checked = 0;
+    for plan in &repo.plan.packages {
+        let record = data.package(&plan.name).expect("record");
+        for e in &plan.execs {
+            if e.is_static {
+                continue;
+            }
+            for call in &e.libc_calls {
+                if let Some(id) = catalog.libc.id_of(call) {
+                    assert!(
+                        record.footprint.contains(Api::LibcSymbol(id)),
+                        "{}: planned libc call {call} missing",
+                        plan.name
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 500, "only {checked} libc calls checked");
+}

@@ -1,0 +1,359 @@
+//! Property-based tests on the substrates and the metric algebra.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use apistudy::catalog::Api;
+use apistudy::core::{Metrics, Study, StudyData};
+use apistudy::corpus::codegen::{
+    generate_executable, generate_library, ExecSpec, ExportSpec, LibSpec,
+    VectoredVia,
+};
+use apistudy::corpus::Scale;
+use apistudy::elf::ElfFile;
+use apistudy::x86::{decode, Asm, Decoder, Insn, Reg};
+
+// ---------------------------------------------------------------------
+// x86: the decoder never panics and always makes progress.
+// ---------------------------------------------------------------------
+proptest! {
+    #[test]
+    fn decoder_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut consumed = 0usize;
+        for d in Decoder::new(&bytes, 0x1000) {
+            prop_assert!(d.len >= 1, "decoder must make progress");
+            consumed += d.len;
+        }
+        prop_assert_eq!(consumed, bytes.len(), "decoder must consume everything");
+    }
+
+    // Encoder output decodes back to the same semantics.
+    #[test]
+    fn mov_imm_roundtrip(reg in 0u8..12, imm in any::<u32>()) {
+        let mut a = Asm::new(0x4000);
+        a.mov_imm32(Reg(reg), imm);
+        let code = a.finish();
+        let d = decode(&code, 0x4000);
+        prop_assert_eq!(d.insn, Insn::MovImm { reg: Reg(reg), imm: u64::from(imm) });
+        prop_assert_eq!(d.len, code.len());
+    }
+
+    #[test]
+    fn call_roundtrip(base in 0x1000u64..0x10_0000, off in -200_000i64..200_000) {
+        let target = base.wrapping_add(off as u64);
+        let mut a = Asm::new(base);
+        a.call(target);
+        let code = a.finish();
+        let d = decode(&code, base);
+        prop_assert_eq!(d.insn, Insn::CallRel { target });
+    }
+
+    #[test]
+    fn lea_roundtrip(base in 0x10_000u64..0x20_000, reg in 0u8..12, off in -30_000i64..30_000) {
+        let target = base.wrapping_add(off as u64);
+        let mut a = Asm::new(base);
+        a.lea_rip(Reg(reg), target);
+        let code = a.finish();
+        let d = decode(&code, base);
+        prop_assert_eq!(d.insn, Insn::LeaRip { reg: Reg(reg), target });
+    }
+
+    // Mixed emission streams decode with no Unknown instructions.
+    #[test]
+    fn emitted_streams_have_no_unknown(ops in proptest::collection::vec(0u8..8, 1..64)) {
+        let mut a = Asm::new(0x7000);
+        for op in &ops {
+            match op {
+                0 => a.mov_imm32(Reg::RAX, 7),
+                1 => a.syscall(),
+                2 => a.push_rbp(),
+                3 => a.pop_rbp(),
+                4 => a.xor_self(Reg::RDI),
+                5 => a.sub_rsp(16),
+                6 => a.nops(3),
+                _ => a.ret(),
+            }
+        }
+        let code = a.finish();
+        for d in Decoder::new(&code, 0x7000) {
+            prop_assert!(d.insn != Insn::Unknown, "emitted byte stream must decode");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ELF + codegen: generated objects always parse, and footprint-relevant
+// content round-trips.
+// ---------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn generated_executables_roundtrip(
+        seed in any::<u64>(),
+        n_calls in 0usize..20,
+        n_syscalls in 0usize..20,
+        helpers in 1u32..6,
+        is_static in any::<bool>(),
+    ) {
+        let spec = ExecSpec {
+            is_static,
+            needed: if is_static { vec![] } else { vec!["libc.so.6".into()] },
+            libc_calls: if is_static {
+                vec![]
+            } else {
+                (0..n_calls).map(|i| format!("fn_{i}")).collect()
+            },
+            direct_syscalls: (0..n_syscalls as u32).collect(),
+            ioctl_codes: vec![(0x5401, VectoredVia::Inline)],
+            paths: vec!["/dev/null".into()],
+            helpers,
+            seed,
+            ..Default::default()
+        };
+        let bytes = generate_executable(&spec);
+        let elf = ElfFile::parse(&bytes).expect("generated ELF parses");
+        let ba = apistudy::analysis::BinaryAnalysis::analyze(&elf).expect("analyzes");
+        let fp = ba.entry_facts();
+        for nr in 0..n_syscalls as u32 {
+            let have = fp.syscalls.contains(&nr);
+            prop_assert!(have, "syscall {} lost", nr);
+        }
+        prop_assert!(fp.ioctl_codes.contains(&0x5401));
+        prop_assert!(fp.paths.contains("/dev/null"));
+        if !is_static {
+            for i in 0..n_calls {
+                let name = format!("fn_{i}");
+                prop_assert!(fp.imports.contains(&name));
+            }
+        }
+        prop_assert_eq!(fp.unresolved_syscall_sites, 0);
+    }
+
+    #[test]
+    fn generated_libraries_roundtrip(
+        n_exports in 1usize..12,
+        n_syscalls in 0u32..8,
+    ) {
+        let spec = LibSpec {
+            soname: "libprop.so.1".into(),
+            needed: vec![],
+            exports: (0..n_exports)
+                .map(|i| ExportSpec {
+                    name: format!("export_{i}"),
+                    direct_syscalls: (0..n_syscalls).collect(),
+                    pad_to: 64 * (i as u32 % 4),
+                    ..Default::default()
+                })
+                .collect(),
+        };
+        let bytes = generate_library(&spec);
+        let elf = ElfFile::parse(&bytes).expect("parses");
+        let ba = apistudy::analysis::BinaryAnalysis::analyze(&elf).expect("analyzes");
+        for i in 0..n_exports {
+            let idx = ba.export(&format!("export_{i}")).expect("export found");
+            let fp = ba.reachable_facts([idx]);
+            prop_assert_eq!(fp.syscalls.len(), n_syscalls as usize);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metric algebra over a real (small) study.
+// ---------------------------------------------------------------------
+
+fn small_study() -> &'static StudyData {
+    use std::sync::OnceLock;
+    static STUDY: OnceLock<Box<Study>> = OnceLock::new();
+    STUDY
+        .get_or_init(|| {
+            Box::new(Study::run(
+                Scale { packages: 120, installations: 20_000 },
+                9,
+            ))
+        })
+        .data()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Weighted completeness is monotone under adding supported APIs.
+    #[test]
+    fn completeness_monotone(mut supported in proptest::collection::hash_set(0u32..323, 0..200),
+                             extra in 0u32..323) {
+        let data = small_study();
+        let metrics = Metrics::new(data);
+        let before = metrics.syscall_completeness(&supported);
+        supported.insert(extra);
+        let after = metrics.syscall_completeness(&supported);
+        prop_assert!(after >= before - 1e-12);
+    }
+
+    // Importance is bounded and consistent with dependents.
+    #[test]
+    fn importance_bounds(nr in 0u32..323) {
+        let data = small_study();
+        let metrics = Metrics::new(data);
+        let api = Api::Syscall(nr);
+        let imp = metrics.importance(api);
+        prop_assert!((0.0..=1.0).contains(&imp));
+        let deps = metrics.dependents(api);
+        if deps.is_empty() {
+            prop_assert_eq!(imp, 0.0);
+        } else {
+            // Importance is at least the best single dependent's probability.
+            let best = deps.iter().map(|p| p.prob).fold(0.0, f64::max);
+            prop_assert!(imp >= best - 1e-12);
+        }
+        let unweighted = metrics.unweighted_importance(api);
+        prop_assert!((0.0..=1.0).contains(&unweighted));
+        prop_assert_eq!(
+            unweighted == 0.0,
+            imp == 0.0,
+            "weighted and unweighted agree on zero"
+        );
+    }
+}
+
+#[test]
+fn full_and_empty_support_bound_the_metric() {
+    let data = small_study();
+    let metrics = Metrics::new(data);
+    let all: HashSet<u32> = (0..400).collect();
+    assert!((metrics.syscall_completeness(&all) - 1.0).abs() < 1e-9);
+    let none: HashSet<u32> = HashSet::new();
+    let c = metrics.syscall_completeness(&none);
+    assert!(c < 0.05, "no syscalls -> (almost) nothing works: {c}");
+}
+
+// ---------------------------------------------------------------------
+// ELF robustness: the parser is total over corrupted inputs — it returns
+// an error or a harmless parse, never panics (the paper's trust-the-
+// disassembler assumption must not extend to trusting the container).
+// ---------------------------------------------------------------------
+
+fn valid_elf_bytes() -> Vec<u8> {
+    let spec = ExecSpec {
+        needed: vec!["libc.so.6".into()],
+        libc_calls: vec!["printf".into(), "open".into()],
+        direct_syscalls: vec![0, 1, 2],
+        paths: vec!["/dev/null".into()],
+        helpers: 2,
+        seed: 5,
+        ..Default::default()
+    };
+    generate_executable(&spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_survives_truncation(cut in 0usize..4096) {
+        let bytes = valid_elf_bytes();
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..cut];
+        // Must not panic; errors are fine. A successful parse must also
+        // survive the full analysis path.
+        if let Ok(elf) = ElfFile::parse(truncated) {
+            let _ = apistudy::analysis::BinaryAnalysis::analyze(&elf);
+        }
+    }
+
+    #[test]
+    fn parser_survives_byte_flips(
+        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16)
+    ) {
+        let mut bytes = valid_elf_bytes();
+        for (pos, val) in flips {
+            let n = bytes.len();
+            bytes[pos % n] = val;
+        }
+        if let Ok(elf) = ElfFile::parse(&bytes) {
+            let _ = elf.symtab();
+            let _ = elf.dynsym();
+            let _ = elf.needed_libraries();
+            let _ = elf.plt_map();
+            let _ = apistudy::analysis::BinaryAnalysis::analyze(&elf);
+        }
+    }
+
+    #[test]
+    fn parser_survives_random_header_fields(
+        words in proptest::collection::vec(any::<u8>(), 64..256)
+    ) {
+        let mut bytes = words;
+        bytes[0..4].copy_from_slice(&[0x7f, b'E', b'L', b'F']);
+        bytes[4] = 2;
+        bytes[5] = 1;
+        bytes[18] = 62; // EM_X86_64
+        bytes[19] = 0;
+        if let Ok(elf) = ElfFile::parse(&bytes) {
+            let _ = apistudy::analysis::BinaryAnalysis::analyze(&elf);
+        }
+    }
+}
+
+#[test]
+fn legacy_int80_binaries_are_analyzed() {
+    // A legacy binary issuing syscalls through `int $0x80` is measured
+    // exactly like one using the `syscall` instruction.
+    use apistudy::elf::ElfBuilder;
+    let mut b = ElfBuilder::static_executable();
+    let emit = |base: u64| {
+        let mut a = Asm::new(base);
+        a.mov_imm32(Reg::RAX, 1);
+        a.int80();
+        a.mov_imm32(Reg::RAX, 60);
+        a.int80();
+        a.ret();
+        a.finish()
+    };
+    let probe = emit(0);
+    let layout = b.layout(probe.len() as u64, 0);
+    let code = emit(layout.text_addr);
+    let len = code.len() as u64;
+    b.set_text(code);
+    b.set_entry(0);
+    b.local_symbol("main", 0, len);
+    let bytes = b.build().unwrap();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    let ba = apistudy::analysis::BinaryAnalysis::analyze(&elf).unwrap();
+    let fp = ba.entry_facts();
+    assert!(fp.syscalls.contains(&1));
+    assert!(fp.syscalls.contains(&60));
+}
+
+// ---------------------------------------------------------------------
+// seccomp-BPF: for arbitrary allow-sets, the assembled filter agrees with
+// set membership for every syscall number.
+// ---------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn bpf_filter_matches_set_semantics(
+        allow in proptest::collection::btree_set(0u32..330, 0..120)
+    ) {
+        use apistudy::core::seccomp_bpf::{
+            run_filter, BpfProgram, SeccompData, AUDIT_ARCH_X86_64,
+            RET_ALLOW, RET_KILL,
+        };
+        let sorted: Vec<u32> = allow.iter().copied().collect();
+        let program = BpfProgram::allow_list(&sorted);
+        for nr in 0..340u32 {
+            let verdict = run_filter(
+                &program,
+                SeccompData { nr, arch: AUDIT_ARCH_X86_64 },
+            );
+            let expected = if allow.contains(&nr) { RET_ALLOW } else { RET_KILL };
+            prop_assert_eq!(verdict, Some(expected), "nr {}", nr);
+        }
+        // Wrong architecture is always killed.
+        let foreign = run_filter(
+            &program,
+            SeccompData { nr: sorted.first().copied().unwrap_or(0), arch: 1 },
+        );
+        prop_assert_eq!(foreign, Some(RET_KILL));
+    }
+}
