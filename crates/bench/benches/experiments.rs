@@ -12,7 +12,7 @@ fn bench_artifacts(c: &mut Criterion) {
     let ctx = Ctx::new(&study);
     let mut group = c.benchmark_group("artifacts");
     for id in ARTIFACT_IDS {
-        group.bench_function(*id, |b| {
+        group.bench_function(id, |b| {
             b.iter(|| render(&ctx, std::hint::black_box(id)).expect("known id"))
         });
     }

@@ -5,10 +5,12 @@
 //! (§7, Table 12); these benches record what the native reimplementation
 //! costs per stage.
 
+use std::collections::BTreeSet;
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use apistudy_analysis::{BinaryAnalysis, Linker};
-use apistudy_catalog::Catalog;
+use apistudy_catalog::{Api, ApiSet, Catalog};
 use apistudy_core::{Metrics, StudyData};
 use apistudy_corpus::{
     codegen::{generate_executable, ExecSpec, VectoredVia},
@@ -119,9 +121,105 @@ fn bench_study(c: &mut Criterion) {
     });
 }
 
+/// The dependency-closure fixed point over `BTreeSet<Api>` — the
+/// representation the interned bitset replaced. Kept (bench-only) so the
+/// `metrics_closure` group records the win against a live baseline rather
+/// than a number from an old commit.
+fn btreeset_closure(data: &StudyData) -> Vec<BTreeSet<Api>> {
+    let dep_indices: Vec<Vec<usize>> = data
+        .packages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            p.depends
+                .iter()
+                .filter_map(|dep| data.by_name.get(dep).copied())
+                .filter(|&d| d != i)
+                .collect()
+        })
+        .collect();
+    let mut closed: Vec<BTreeSet<Api>> = data
+        .packages
+        .iter()
+        .map(|p| p.footprint.apis.iter().collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..closed.len() {
+            for &d in &dep_indices[i] {
+                if d == i {
+                    continue;
+                }
+                let add: Vec<Api> = closed[d]
+                    .iter()
+                    .filter(|a| !closed[i].contains(*a))
+                    .copied()
+                    .collect();
+                if !add.is_empty() {
+                    closed[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    closed
+}
+
+/// The bitset representation against its `BTreeSet` predecessor on the two
+/// hot paths the interner was built for: the `Metrics::new`
+/// dependency-closure fixed point and whole-corpus footprint merging.
+fn bench_representation(c: &mut Criterion) {
+    let scales = [
+        ("150", Scale { packages: 150, installations: 50_000 }),
+        ("600", Scale { packages: 600, installations: 100_000 }),
+    ];
+    for (label, scale) in scales {
+        let repo = SynthRepo::new(scale, CalibrationSpec::default(), 5);
+        let data = StudyData::from_synth(&repo);
+
+        let mut group = c.benchmark_group("metrics_closure");
+        group.bench_function(&format!("bitset_{label}"), |b| {
+            b.iter(|| Metrics::new(std::hint::black_box(&data)))
+        });
+        group.bench_function(&format!("btreeset_{label}"), |b| {
+            b.iter(|| btreeset_closure(std::hint::black_box(&data)))
+        });
+        group.finish();
+
+        let tree_footprints: Vec<BTreeSet<Api>> = data
+            .packages
+            .iter()
+            .map(|p| p.footprint.apis.iter().collect())
+            .collect();
+        let mut group = c.benchmark_group("footprint_merge");
+        group.bench_function(&format!("bitset_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = ApiSet::new();
+                for p in &data.packages {
+                    acc.union_with(std::hint::black_box(&p.footprint.apis));
+                }
+                acc
+            })
+        });
+        group.bench_function(&format!("btreeset_{label}"), |b| {
+            b.iter(|| {
+                let mut acc: BTreeSet<Api> = BTreeSet::new();
+                for fp in &tree_footprints {
+                    acc.extend(std::hint::black_box(fp).iter().copied());
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_substrates, bench_study
+    targets = bench_substrates, bench_study, bench_representation
 }
 criterion_main!(benches);

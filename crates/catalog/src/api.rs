@@ -102,6 +102,12 @@ impl Catalog {
         }
     }
 
+    /// The dense `Api → u32` interning table over this catalog's fixed
+    /// universe (shared process-wide; see [`crate::interner::ApiInterner`]).
+    pub fn interner(&self) -> &'static std::sync::Arc<crate::interner::ApiInterner> {
+        crate::interner::ApiInterner::global()
+    }
+
     /// Human-readable name of an API (e.g. `read`, `ioctl:TCGETS`,
     /// `/proc/cpuinfo`, `libc:printf`).
     pub fn name(&self, api: Api) -> String {

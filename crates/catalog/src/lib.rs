@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod interner;
 pub mod libc_symbols;
 pub mod pseudofiles;
 pub mod syscalls;
@@ -30,6 +31,7 @@ pub mod vectored;
 pub mod wrappers;
 
 pub use api::{Api, ApiKind, Catalog};
+pub use interner::{ApiInterner, ApiSet};
 pub use libc_symbols::{LibcInventory, LibcSymbol, GLIBC_2_21_SYMBOL_COUNT};
 pub use pseudofiles::{PseudoFileSet, PseudoFs};
 pub use syscalls::{SyscallDef, SyscallStatus, SyscallTable, SYSCALLS};

@@ -5,17 +5,21 @@
 //! [`Api`] identifiers. [`ApiFootprint`] is that resolved set, with
 //! bookkeeping for values that did not resolve (unknown ioctl codes,
 //! imports outside the libc inventory).
-
-use std::collections::BTreeSet;
+//!
+//! The API set is a word-packed [`ApiSet`] over the catalog's interned
+//! universe: merging footprints is a word-wise OR and membership a single
+//! bit test, which is what makes the corpus-scale aggregation passes and
+//! the metrics closure cheap. Iteration order is identical to the
+//! `BTreeSet<Api>` representation this replaced.
 
 use apistudy_analysis::Footprint;
-use apistudy_catalog::{Api, ApiKind, Catalog};
+use apistudy_catalog::{Api, ApiKind, ApiSet, Catalog};
 
 /// A catalog-resolved API footprint.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ApiFootprint {
-    /// The resolved APIs.
-    pub apis: BTreeSet<Api>,
+    /// The resolved APIs, bit-packed over the interned catalog universe.
+    pub apis: ApiSet,
     /// Raw values that did not match any catalog entry (ioctl codes from
     /// out-of-inventory drivers, imports that are not libc symbols, paths
     /// outside the tracked inventory).
@@ -25,7 +29,7 @@ pub struct ApiFootprint {
 impl ApiFootprint {
     /// Resolves an analysis-level footprint against the catalog.
     pub fn resolve(catalog: &Catalog, raw: &Footprint) -> Self {
-        let mut apis = BTreeSet::new();
+        let mut apis = ApiSet::new();
         let mut unresolved = 0u32;
         for &nr in &raw.syscalls {
             if catalog.syscalls.by_number(nr).is_some() {
@@ -77,26 +81,32 @@ impl ApiFootprint {
         Self { apis, unresolved }
     }
 
-    /// Whether the footprint contains an API.
+    /// Whether the footprint contains an API (one bit test).
     pub fn contains(&self, api: Api) -> bool {
-        self.apis.contains(&api)
+        self.apis.contains(api)
     }
 
-    /// Unions another footprint into this one.
+    /// Unions another footprint into this one (word-wise OR).
     pub fn merge(&mut self, other: &ApiFootprint) {
-        self.apis.extend(other.apis.iter().copied());
+        self.apis.union_with(&other.apis);
         self.unresolved += other.unresolved;
+    }
+
+    /// Like [`merge`](Self::merge), but reports whether any new API
+    /// appeared — the signal inheritance/closure passes iterate on.
+    pub fn merge_apis(&mut self, other: &ApiFootprint) -> bool {
+        self.apis.union_with(&other.apis)
     }
 
     /// Iterates the APIs of one kind.
     pub fn of_kind(&self, kind: ApiKind) -> impl Iterator<Item = Api> + '_ {
-        self.apis.iter().copied().filter(move |a| a.kind() == kind)
+        self.apis.iter().filter(move |a| a.kind() == kind)
     }
 
     /// The syscall numbers in the footprint.
     pub fn syscalls(&self) -> impl Iterator<Item = u32> + '_ {
         self.apis.iter().filter_map(|a| match a {
-            Api::Syscall(n) => Some(*n),
+            Api::Syscall(n) => Some(n),
             _ => None,
         })
     }
@@ -163,5 +173,6 @@ mod tests {
         let b = ApiFootprint::resolve(&catalog, &other_raw);
         a.merge(&b);
         assert_eq!(a.len(), before + 1);
+        assert!(!a.clone().merge_apis(&b), "b is now a subset");
     }
 }

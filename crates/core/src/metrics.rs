@@ -11,86 +11,113 @@
 //!   `Σ_supported p / Σ_all p`, with APT dependency closure (a package
 //!   whose dependency is unsupported is unsupported too) (A.2).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use apistudy_catalog::{Api, ApiKind};
+use apistudy_catalog::{Api, ApiInterner, ApiKind, ApiSet};
 
 use crate::pipeline::{PackageRecord, StudyData};
 
+/// ORs `closed[src]` into `closed[dst]`, reporting growth.
+///
+/// `split_at_mut` lets us hold `&mut closed[dst]` and `&closed[src]`
+/// simultaneously without cloning either set.
+fn or_into(closed: &mut [ApiSet], dst: usize, src: usize) -> bool {
+    if dst == src {
+        return false;
+    }
+    let (dst_set, src_set) = if dst < src {
+        let (lo, hi) = closed.split_at_mut(src);
+        (&mut lo[dst], &hi[0])
+    } else {
+        let (lo, hi) = closed.split_at_mut(dst);
+        (&mut hi[0], &lo[src])
+    };
+    dst_set.union_with(src_set)
+}
+
 /// Metric engine over a [`StudyData`] set.
 ///
-/// Construction indexes dependent packages per API once; queries are then
-/// cheap enough to sweep every API in the catalog.
+/// Construction indexes dependent packages per interned API id once;
+/// queries are then cheap enough to sweep every API in the catalog. The
+/// dependency-closure fixed point runs on word-packed [`ApiSet`]s — each
+/// propagation step is a word-wise OR rather than per-element set
+/// insertion.
 pub struct Metrics<'a> {
     data: &'a StudyData,
-    dependents: HashMap<Api, Vec<usize>>,
-    /// How many packages *transitively* need each API: a package needs its
-    /// dependencies' APIs too (you cannot run anything without libc6's and
-    /// the dynamic linker's calls). Used to order ties among the many APIs
-    /// whose importance is exactly 1 (the paper's Figure 3 greedy order).
-    closure_users: HashMap<Api, usize>,
+    /// Dependent package indices, indexed by interned API id.
+    dependents: Vec<Vec<usize>>,
+    /// How many packages *transitively* need each API (by interned id): a
+    /// package needs its dependencies' APIs too (you cannot run anything
+    /// without libc6's and the dynamic linker's calls). Used to order ties
+    /// among the many APIs whose importance is exactly 1 (the paper's
+    /// Figure 3 greedy order).
+    closure_users: Vec<u32>,
+    /// Resolved `depends` edges (package index → dependency indices).
+    dep_indices: Vec<Vec<usize>>,
     total_mass: f64,
 }
 
 impl<'a> Metrics<'a> {
     /// Builds the per-API dependent index.
     pub fn new(data: &'a StudyData) -> Self {
-        let mut dependents: HashMap<Api, Vec<usize>> = HashMap::new();
+        let interner = ApiInterner::global();
+        let universe = interner.universe();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); universe];
         for (i, p) in data.packages.iter().enumerate() {
-            for &api in &p.footprint.apis {
-                dependents.entry(api).or_default().push(i);
+            for id in p.footprint.apis.ids() {
+                dependents[id as usize].push(i);
             }
         }
-        // Dependency-closed footprints, by fixed point over the dep graph.
-        let n = data.packages.len();
-        let mut closed: Vec<std::collections::BTreeSet<Api>> = data
+        let dep_indices: Vec<Vec<usize>> = data
             .packages
             .iter()
-            .map(|p| p.footprint.apis.iter().copied().collect())
+            .enumerate()
+            .map(|(i, p)| {
+                p.depends
+                    .iter()
+                    .filter_map(|dep| data.by_name.get(dep).copied())
+                    .filter(|&d| d != i)
+                    .collect()
+            })
+            .collect();
+        // Dependency-closed footprints, by fixed point over the dep graph:
+        // OR dependency sets into dependents until nothing grows.
+        let mut closed: Vec<ApiSet> = data
+            .packages
+            .iter()
+            .map(|p| p.footprint.apis.clone())
             .collect();
         loop {
             let mut changed = false;
-            for i in 0..n {
-                let mut additions: Vec<Api> = Vec::new();
-                for dep in &data.packages[i].depends {
-                    if let Some(&d) = data.by_name.get(dep) {
-                        if d == i {
-                            continue;
-                        }
-                        for &api in &closed[d] {
-                            if !closed[i].contains(&api) {
-                                additions.push(api);
-                            }
-                        }
-                    }
-                }
-                if !additions.is_empty() {
-                    closed[i].extend(additions);
-                    changed = true;
+            for (i, deps) in dep_indices.iter().enumerate() {
+                for &d in deps {
+                    changed |= or_into(&mut closed, i, d);
                 }
             }
             if !changed {
                 break;
             }
         }
-        let mut closure_users: HashMap<Api, usize> = HashMap::new();
+        let mut closure_users = vec![0u32; universe];
         for set in &closed {
-            for &api in set {
-                *closure_users.entry(api).or_insert(0) += 1;
+            for id in set.ids() {
+                closure_users[id as usize] += 1;
             }
         }
         let total_mass = data.total_mass();
-        Self { data, dependents, closure_users, total_mass }
+        Self { data, dependents, closure_users, dep_indices, total_mass }
     }
 
     /// Fraction of packages that transitively need an API (their own
     /// footprint or any dependency's).
     pub fn closure_unweighted_importance(&self, api: Api) -> f64 {
-        let users = self.closure_users.get(&api).copied().unwrap_or(0);
+        let users = ApiInterner::global()
+            .intern(api)
+            .map_or(0, |id| self.closure_users[id as usize]);
         if self.data.packages.is_empty() {
             return 0.0;
         }
-        users as f64 / self.data.packages.len() as f64
+        f64::from(users) / self.data.packages.len() as f64
     }
 
     /// The underlying data set.
@@ -98,23 +125,30 @@ impl<'a> Metrics<'a> {
         self.data
     }
 
+    /// The dependent-package slice for an API (empty when unused or
+    /// outside the interned universe).
+    fn dependent_indices(&self, api: Api) -> &[usize] {
+        ApiInterner::global()
+            .intern(api)
+            .map_or(&[][..], |id| &self.dependents[id as usize])
+    }
+
     /// API importance (Appendix A.1).
     pub fn importance(&self, api: Api) -> f64 {
-        match self.dependents.get(&api) {
-            None => 0.0,
-            Some(pkgs) => {
-                let miss: f64 = pkgs
-                    .iter()
-                    .map(|&i| 1.0 - self.data.packages[i].prob)
-                    .product();
-                1.0 - miss
-            }
+        let pkgs = self.dependent_indices(api);
+        if pkgs.is_empty() {
+            return 0.0;
         }
+        let miss: f64 = pkgs
+            .iter()
+            .map(|&i| 1.0 - self.data.packages[i].prob)
+            .product();
+        1.0 - miss
     }
 
     /// Unweighted API importance (§5): fraction of packages using the API.
     pub fn unweighted_importance(&self, api: Api) -> f64 {
-        let users = self.dependents.get(&api).map_or(0, Vec::len);
+        let users = self.dependent_indices(api).len();
         if self.data.packages.is_empty() {
             return 0.0;
         }
@@ -124,10 +158,8 @@ impl<'a> Metrics<'a> {
     /// The packages whose footprint requires an API, most-installed first.
     pub fn dependents(&self, api: Api) -> Vec<&PackageRecord> {
         let mut out: Vec<&PackageRecord> = self
-            .dependents
-            .get(&api)
-            .into_iter()
-            .flatten()
+            .dependent_indices(api)
+            .iter()
             .map(|&i| &self.data.packages[i])
             .collect();
         out.sort_by(|a, b| b.prob.total_cmp(&a.prob).then(a.name.cmp(&b.name)));
@@ -194,32 +226,34 @@ impl<'a> Metrics<'a> {
         if self.total_mass == 0.0 {
             return 0.0;
         }
-        let n = self.data.packages.len();
-        let mut ok = vec![true; n];
-        for (i, p) in self.data.packages.iter().enumerate() {
-            for &api in &p.footprint.apis {
-                if scope(api) && !supported.contains(&api) {
-                    ok[i] = false;
-                    break;
-                }
+        // One pass over the (small, fixed) API universe builds the mask of
+        // in-scope unsupported APIs; each package check is then a word-wise
+        // intersection test instead of a per-element scope/lookup loop.
+        let interner = ApiInterner::global();
+        let mut unsupported = ApiSet::new();
+        for id in 0..interner.universe() as u32 {
+            let api = interner.resolve(id);
+            if scope(api) && !supported.contains(&api) {
+                unsupported.insert(api);
             }
         }
+        let mut ok: Vec<bool> = self
+            .data
+            .packages
+            .iter()
+            .map(|p| !p.footprint.apis.intersects(&unsupported))
+            .collect();
         // Dependency closure: failure propagates to dependents until
         // fixed point.
         loop {
             let mut changed = false;
-            for (i, p) in self.data.packages.iter().enumerate() {
+            for i in 0..ok.len() {
                 if !ok[i] {
                     continue;
                 }
-                for dep in &p.depends {
-                    if let Some(&d) = self.data.by_name.get(dep) {
-                        if !ok[d] {
-                            ok[i] = false;
-                            changed = true;
-                            break;
-                        }
-                    }
+                if self.dep_indices[i].iter().any(|&d| !ok[d]) {
+                    ok[i] = false;
+                    changed = true;
                 }
             }
             if !changed {

@@ -8,11 +8,18 @@
 //! package's footprint for scripts, §2.3); the popularity survey attaches
 //! installation counts.
 //!
+//! Both corpus-wide phases run in parallel: per-package binary analysis,
+//! and — once the linker is sealed and read-only — per-package footprint
+//! resolution. Workers pull indices from a shared cursor and send results
+//! through a channel keyed by package index, so no locks are held while
+//! analyzing.
+//!
 //! The result, [`StudyData`], is the in-memory replacement for the paper's
 //! 428-million-row Postgres database.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use apistudy_analysis::{AnalysisOptions, BinaryAnalysis, Linker};
 use apistudy_catalog::Catalog;
@@ -20,7 +27,6 @@ use apistudy_corpus::{
     Interpreter, MixCensus, Package, PackageFile, SynthRepo,
 };
 use apistudy_elf::{BinaryClass, ElfFile};
-use parking_lot::Mutex;
 
 use crate::footprint::ApiFootprint;
 
@@ -47,12 +53,15 @@ pub struct PackageRecord {
 
 /// Which binaries contain *direct* call sites for each system call — the
 /// paper's library-attribution signal (Tables 1, 2, 5).
+///
+/// Binary file names are interned as `Arc<str>`: a library that uses 100
+/// syscalls appears in 100 users-sets but its name is allocated once.
 #[derive(Debug, Clone, Default)]
 pub struct Attribution {
     /// Syscall number → binary file names with direct call sites.
-    pub direct_users: HashMap<u32, BTreeSet<String>>,
+    pub direct_users: HashMap<u32, BTreeSet<Arc<str>>>,
     /// Binary file name → owning package.
-    pub binary_package: HashMap<String, String>,
+    pub binary_package: HashMap<Arc<str>, Arc<str>>,
 }
 
 impl Attribution {
@@ -62,7 +71,7 @@ impl Attribution {
             .get(&nr)
             .into_iter()
             .flatten()
-            .map(String::as_str)
+            .map(|s| &**s)
     }
 }
 
@@ -87,6 +96,51 @@ pub struct StudyData {
     pub resolved_syscall_sites: u64,
 }
 
+/// Runs `f(0..n)` across a scoped worker pool and returns the results in
+/// index order. Workers pull the next index from an atomic cursor and send
+/// `(index, value)` pairs down a channel — no lock is held around `f`.
+fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16)
+        .min(n);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
 struct PkgIntermediate {
     /// Index into the repository plan (kept for deterministic ordering).
     #[allow(dead_code)]
@@ -94,6 +148,10 @@ struct PkgIntermediate {
     package: Package,
     libs: Vec<(String, BinaryAnalysis)>,
     execs: Vec<BinaryAnalysis>,
+    /// `libs.len()` before the analyses are moved into the linker.
+    lib_count: usize,
+    /// Whether this package ships the dynamic linker.
+    ships_ldso: bool,
     unresolved: u32,
     resolved: u64,
 }
@@ -122,7 +180,35 @@ fn analyze_package(
             _ => execs.push(ba),
         }
     }
-    PkgIntermediate { index, package, libs, execs, unresolved, resolved }
+    let lib_count = libs.len();
+    let ships_ldso = libs
+        .iter()
+        .any(|(name, _)| name == apistudy_corpus::libc_gen::LDSO_SONAME);
+    PkgIntermediate {
+        index,
+        package,
+        libs,
+        execs,
+        lib_count,
+        ships_ldso,
+        unresolved,
+        resolved,
+    }
+}
+
+/// ORs `packages[src]`'s APIs into `packages[dst]`'s, reporting growth.
+fn inherit_apis(packages: &mut [PackageRecord], dst: usize, src: usize) -> bool {
+    if dst == src {
+        return false;
+    }
+    let (dst_rec, src_rec) = if dst < src {
+        let (lo, hi) = packages.split_at_mut(src);
+        (&mut lo[dst], &hi[0])
+    } else {
+        let (lo, hi) = packages.split_at_mut(dst);
+        (&mut hi[0], &lo[src])
+    };
+    dst_rec.footprint.merge_apis(&src_rec.footprint)
 }
 
 impl StudyData {
@@ -136,73 +222,51 @@ impl StudyData {
     /// corpus-wide ablation entry point: every metric downstream reflects
     /// the chosen analyzer behaviour.
     pub fn from_synth_with(repo: &SynthRepo, options: AnalysisOptions) -> Self {
-        let n = repo.package_count();
-        let slots: Mutex<Vec<Option<PkgIntermediate>>> =
-            Mutex::new((0..n).map(|_| None).collect());
-        let cursor = AtomicUsize::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(16);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let pkg = repo.package(i);
-                    let inter = analyze_package(i, pkg, options);
-                    slots.lock()[i] = Some(inter);
-                });
-            }
-        })
-        .expect("analysis workers");
-        let inters: Vec<PkgIntermediate> = slots
-            .into_inner()
-            .into_iter()
-            .map(|s| s.expect("every package analyzed"))
-            .collect();
+        let inters = par_map_indexed(repo.package_count(), |i| {
+            analyze_package(i, repo.package(i), options)
+        });
         Self::assemble(repo, inters)
     }
 
-    fn assemble(repo: &SynthRepo, inters: Vec<PkgIntermediate>) -> Self {
+    fn assemble(repo: &SynthRepo, mut inters: Vec<PkgIntermediate>) -> Self {
         let catalog = Catalog::linux_3_19();
         let census = MixCensus::scan(inters.iter().map(|i| &i.package));
 
-        // Register every shared library; build attribution as we go.
+        // Register every shared library, moving each analysis into the
+        // linker (it is not needed twice); build attribution as we go.
         let mut linker = Linker::new();
         let mut attribution = Attribution::default();
         let mut unresolved_total = 0u64;
         let mut resolved_total = 0u64;
-        for inter in &inters {
+        for inter in &mut inters {
             unresolved_total += u64::from(inter.unresolved);
             resolved_total += inter.resolved;
-            for (name, ba) in &inter.libs {
+            let pkg: Arc<str> = Arc::from(inter.package.name.as_str());
+            for (name, ba) in inter.libs.drain(..) {
+                let file: Arc<str> = Arc::from(name.as_str());
                 for nr in ba.direct_syscalls() {
                     attribution
                         .direct_users
                         .entry(nr)
                         .or_default()
-                        .insert(name.clone());
+                        .insert(Arc::clone(&file));
                 }
                 attribution
                     .binary_package
-                    .insert(name.clone(), inter.package.name.clone());
-                linker.add_library(name, ba.clone());
+                    .insert(Arc::clone(&file), Arc::clone(&pkg));
+                linker.add_library(&name, ba);
             }
             for (ei, ba) in inter.execs.iter().enumerate() {
-                let file = format!("{}/exec{ei}", inter.package.name);
+                let file: Arc<str> =
+                    Arc::from(format!("{}/exec{ei}", inter.package.name));
                 for nr in ba.direct_syscalls() {
                     attribution
                         .direct_users
                         .entry(nr)
                         .or_default()
-                        .insert(file.clone());
+                        .insert(Arc::clone(&file));
                 }
-                attribution
-                    .binary_package
-                    .insert(file, inter.package.name.clone());
+                attribution.binary_package.insert(file, Arc::clone(&pkg));
             }
         }
         linker.seal();
@@ -215,50 +279,53 @@ impl StudyData {
         let ldso_fp = linker
             .resolve_whole_library(apistudy_corpus::libc_gen::LDSO_SONAME)
             .unwrap_or_default();
+        let ldso_resolved = ApiFootprint::resolve(&catalog, &ldso_fp);
 
-        // Per-package closed footprints.
-        let mut packages: Vec<PackageRecord> = Vec::with_capacity(inters.len());
-        for inter in &inters {
-            let mut fp = ApiFootprint::default();
-            let ships_ldso = inter.libs.iter().any(|(name, _)| {
-                name == apistudy_corpus::libc_gen::LDSO_SONAME
-            });
-            if ships_ldso {
-                fp.merge(&ApiFootprint::resolve(&catalog, &ldso_fp));
-            }
-            for ba in &inter.execs {
-                let raw = linker.resolve_executable(ba);
-                fp.merge(&ApiFootprint::resolve(&catalog, &raw));
-            }
-            let script_interpreters: Vec<String> = inter
-                .package
-                .files
-                .iter()
-                .filter_map(|f| match f {
-                    PackageFile::Script { shebang, .. } => Some(
-                        Interpreter::classify(shebang)
-                            .providing_package()
-                            .to_owned(),
-                    ),
-                    PackageFile::Elf { .. } => None,
-                })
-                .collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect();
-            let n_scripts = inter.package.files.len()
-                - inter.execs.len()
-                - inter.libs.len();
-            packages.push(PackageRecord {
-                name: inter.package.name.clone(),
-                prob: repo.plan.popcon.probability(&inter.package.name),
-                install_count: repo.plan.popcon.count(&inter.package.name),
-                depends: inter.package.depends.clone(),
-                footprint: fp,
-                script_interpreters,
-                file_counts: (inter.execs.len(), inter.libs.len(), n_scripts),
-                unresolved_syscall_sites: inter.unresolved,
-            });
-        }
+        // Per-package closed footprints. The sealed linker is read-only,
+        // so every package resolves independently in parallel.
+        let mut packages: Vec<PackageRecord> = {
+            let (linker, catalog, ldso, inters) =
+                (&linker, &catalog, &ldso_resolved, &inters);
+            par_map_indexed(inters.len(), move |i| {
+                let inter = &inters[i];
+                let mut fp = ApiFootprint::default();
+                if inter.ships_ldso {
+                    fp.merge(ldso);
+                }
+                for ba in &inter.execs {
+                    let raw = linker.resolve_executable(ba);
+                    fp.merge(&ApiFootprint::resolve(catalog, &raw));
+                }
+                let script_interpreters: Vec<String> = inter
+                    .package
+                    .files
+                    .iter()
+                    .filter_map(|f| match f {
+                        PackageFile::Script { shebang, .. } => Some(
+                            Interpreter::classify(shebang)
+                                .providing_package()
+                                .to_owned(),
+                        ),
+                        PackageFile::Elf { .. } => None,
+                    })
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let n_scripts = inter.package.files.len()
+                    - inter.execs.len()
+                    - inter.lib_count;
+                PackageRecord {
+                    name: inter.package.name.clone(),
+                    prob: repo.plan.popcon.probability(&inter.package.name),
+                    install_count: repo.plan.popcon.count(&inter.package.name),
+                    depends: inter.package.depends.clone(),
+                    footprint: fp,
+                    script_interpreters,
+                    file_counts: (inter.execs.len(), inter.lib_count, n_scripts),
+                    unresolved_syscall_sites: inter.unresolved,
+                }
+            })
+        };
         let by_name: HashMap<String, usize> = packages
             .iter()
             .enumerate()
@@ -266,20 +333,28 @@ impl StudyData {
             .collect();
 
         // Script packages inherit the interpreter package's footprint
-        // (§2.3: the interpreter over-approximates the script). Two passes
-        // settle interpreter-of-interpreter chains.
-        for _ in 0..2 {
-            let snapshot: Vec<ApiFootprint> =
-                packages.iter().map(|p| p.footprint.clone()).collect();
-            for p in packages.iter_mut() {
-                for provider in p.script_interpreters.clone() {
-                    if provider == p.name {
-                        continue;
-                    }
-                    if let Some(&i) = by_name.get(&provider) {
-                        p.footprint.merge(&snapshot[i]);
-                    }
+        // (§2.3: the interpreter over-approximates the script). Word-OR
+        // to a fixed point: interpreter-of-interpreter chains settle at
+        // any depth with no per-pass snapshot of every footprint.
+        let providers: Vec<Vec<usize>> = packages
+            .iter()
+            .map(|p| {
+                p.script_interpreters
+                    .iter()
+                    .filter(|provider| **provider != p.name)
+                    .filter_map(|provider| by_name.get(provider).copied())
+                    .collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for (i, provs) in providers.iter().enumerate() {
+                for &src in provs {
+                    changed |= inherit_apis(&mut packages, i, src);
                 }
+            }
+            if !changed {
+                break;
             }
         }
 
@@ -505,5 +580,13 @@ mod tests {
         assert!(total > 0);
         let ratio = data.unresolved_syscall_sites as f64 / total as f64;
         assert!(ratio < 0.10, "unresolved ratio {ratio}");
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let out = par_map_indexed(1000, |i| i * 3);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        assert!(par_map_indexed(0, |i| i).is_empty());
     }
 }

@@ -1047,18 +1047,39 @@ impl RepoPlan {
                     guard += 1;
                     let cursor = core_cycle.next().copied().unwrap_or(0);
                     let idx = pick_core(&mut packages, cursor, rank);
-                    match wrapper {
-                        Some(w) => {
-                            if !acc[idx].libc_calls.insert(w.clone()) {
-                                continue;
+                    let inserted = match wrapper {
+                        Some(w) => acc[idx].libc_calls.insert(w.clone()),
+                        None => acc[idx].direct.insert(nr),
+                    };
+                    let idx = if inserted {
+                        idx
+                    } else {
+                        // Every core wide enough for this rank already
+                        // carries the call. Widen a spare core so the
+                        // combined importance keeps rising instead of
+                        // stalling below the indispensable threshold; always
+                        // scanning from the pool head keeps the set of wide
+                        // cores small, which preserves the Figure 3 knees.
+                        let mut chosen = None;
+                        for &widen in &core_pool {
+                            let fresh = match wrapper {
+                                Some(w) => acc[widen].libc_calls.insert(w.clone()),
+                                None => acc[widen].direct.insert(nr),
+                            };
+                            if fresh {
+                                if packages[widen].breadth <= rank {
+                                    packages[widen].breadth = rank + 1;
+                                }
+                                chosen = Some(widen);
+                                break;
                             }
                         }
-                        None => {
-                            if !acc[idx].direct.insert(nr) {
-                                continue;
-                            }
+                        match chosen {
+                            Some(widened) => widened,
+                            // Every core already carries the call.
+                            None => break,
                         }
-                    }
+                    };
                     m *= 1.0 - packages[idx].prob;
                 }
             }

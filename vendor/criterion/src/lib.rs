@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion 0.5 this workspace uses:
+//! `Criterion::default().sample_size(..)`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `benchmark_group`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a
+//! short calibration to choose an iteration count (~10 ms per sample),
+//! collects `sample_size` samples, and prints the median as ns/iter with
+//! min/max bounds. Passing `--test` (as `cargo test --benches` does) runs
+//! every routine once without timing.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (mirror of criterion's enum;
+/// the stub runs one routine call per setup regardless of variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per measurement).
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Drives timing loops inside a `bench_function` closure.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Self { sample_size: 100, test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                test_mode: true,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return self;
+        }
+
+        // Calibrate: grow the iteration count until one sample takes ~10 ms,
+        // so cheap routines aren't dominated by timer quantization.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                test_mode: false,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                test_mode: false,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named set of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Overrides the sample count for the remaining benches in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+mod macros {
+    /// Mirror of `criterion::criterion_group!` (both the struct-ish and
+    /// positional forms).
+    #[macro_export]
+    macro_rules! criterion_group {
+        (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+            pub fn $name() {
+                let mut criterion: $crate::Criterion = $config;
+                $($target(&mut criterion);)+
+            }
+        };
+        ($name:ident, $($target:path),+ $(,)?) => {
+            $crate::criterion_group! {
+                name = $name;
+                config = $crate::Criterion::default();
+                targets = $($target),+
+            }
+        };
+    }
+
+    /// Mirror of `criterion::criterion_main!`.
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:path),+ $(,)?) => {
+            fn main() {
+                $($group();)+
+            }
+        };
+    }
+}
+
+/// Mirror of `criterion::black_box` (prefer `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("batched_vec", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("inner", |b| b.iter(|| 2u64 * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn runs_in_test_mode() {
+        let mut c = Criterion { sample_size: 2, test_mode: true, filter: None };
+        trivial(&mut c);
+    }
+
+    #[test]
+    fn runs_timed_with_tiny_samples() {
+        let mut c = Criterion { sample_size: 2, test_mode: false, filter: None };
+        // Keep calibration fast: sample_size(2) and a cheap routine.
+        c.bench_function("fast", |b| b.iter(|| std::hint::black_box(3u32).wrapping_mul(7)));
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x this workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `any::<T>()`, integer-range strategies, tuple strategies, the
+//! `collection::{vec, hash_set, btree_set}` combinators, and the
+//! `prop_assert!` / `prop_assert_eq!` failure macros. Cases are generated
+//! from a deterministic per-test splitmix64 stream, so failures reproduce
+//! exactly across runs; there is no shrinking — the failing case's seed
+//! index is reported instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Runner configuration and failure plumbing.
+
+    /// Mirror of `proptest::test_runner::Config` (the fields we use).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Constructs a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic case-generation stream (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The stream for one test case: test name hash × case index.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Widening-multiply map; bias is irrelevant for case generation.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of values for one property parameter.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Full-domain strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Mirror of `proptest::arbitrary::any::<T>()`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for collections built from `n in size` element draws.
+    pub struct CollectionStrategy<S: Strategy, C> {
+        element: S,
+        size: Range<usize>,
+        build: fn(Vec<S::Value>) -> C,
+    }
+
+    impl<S: Strategy, C> Strategy for CollectionStrategy<S, C> {
+        type Value = C;
+        fn sample(&self, rng: &mut TestRng) -> C {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            let items = (0..len).map(|_| self.element.sample(rng)).collect();
+            (self.build)(items)
+        }
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: Range<usize>,
+    ) -> CollectionStrategy<S, Vec<S::Value>> {
+        CollectionStrategy { element, size, build: |v| v }
+    }
+
+    /// Mirror of `proptest::collection::hash_set`.
+    pub fn hash_set<S>(
+        element: S,
+        size: Range<usize>,
+    ) -> CollectionStrategy<S, HashSet<S::Value>>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        CollectionStrategy { element, size, build: |v| v.into_iter().collect() }
+    }
+
+    /// Mirror of `proptest::collection::btree_set`.
+    pub fn btree_set<S>(
+        element: S,
+        size: Range<usize>,
+    ) -> CollectionStrategy<S, BTreeSet<S::Value>>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        CollectionStrategy { element, size, build: |v| v.into_iter().collect() }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Mirror of `proptest::proptest!`: each `#[test] fn name(pat in strategy,
+/// ...)` item becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {case} of {} failed: {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!("assertion failed: {}", stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}",
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(any::<u8>(), 2..9),
+            s in crate::collection::hash_set(0u32..1000, 0..50),
+            b in crate::collection::btree_set((0usize..10, any::<bool>()), 1..6),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(s.len() < 50);
+            prop_assert!(!b.is_empty() || b.is_empty());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
