@@ -103,6 +103,14 @@ pub struct AnalysisOptions {
     pub tail_call_edges: bool,
     /// Recover `ioctl`/`fcntl`/`prctl` operand constants at call sites.
     pub track_vectored: bool,
+    /// Resource guard: maximum number of call-graph nodes (discovered
+    /// functions) per binary. A hostile symbol table claiming millions of
+    /// functions degrades into a classified
+    /// [`ElfError::ResourceLimit`] skip instead of an unbounded scan.
+    pub max_functions: u32,
+    /// Resource guard: maximum instructions decoded per binary. Bounds the
+    /// disassembly work a single pathological `.text` can demand.
+    pub decode_budget: u64,
 }
 
 impl Default for AnalysisOptions {
@@ -111,6 +119,11 @@ impl Default for AnalysisOptions {
             function_pointer_edges: true,
             tail_call_edges: true,
             track_vectored: true,
+            // Far above anything the corpus generates (the paper's largest
+            // binaries hold a few thousand functions), low enough that a
+            // hostile input cannot run away with the worker.
+            max_functions: 1 << 16,
+            decode_budget: 1 << 24,
         }
     }
 }
@@ -161,6 +174,13 @@ impl BinaryAnalysis {
         }
         starts.sort_by_key(|&(a, _, _)| a);
         starts.dedup_by_key(|e| e.0);
+        if starts.len() as u64 > u64::from(options.max_functions) {
+            return Err(ElfError::ResourceLimit {
+                what: "call-graph nodes",
+                limit: u64::from(options.max_functions),
+                actual: starts.len() as u64,
+            });
+        }
         // Fix zero/overlapping sizes: clamp each function to the next start.
         let ends: Vec<u64> = starts
             .iter()
@@ -246,8 +266,12 @@ impl BinaryAnalysis {
                 }
             };
 
-            for d in Decoder::new(body, addr) {
-                instructions += 1;
+            let mut decoder = Decoder::with_insn_limit(
+                body,
+                addr,
+                options.decode_budget.saturating_sub(instructions),
+            );
+            for d in decoder.by_ref() {
                 match d.insn {
                     Insn::MovImm { reg, imm } => {
                         regs.insert(reg.0, imm);
@@ -350,6 +374,14 @@ impl BinaryAnalysis {
                         regs.clear();
                     }
                 }
+            }
+            instructions += decoder.decoded();
+            if decoder.hit_limit() {
+                return Err(ElfError::ResourceLimit {
+                    what: "decoded instructions",
+                    limit: options.decode_budget,
+                    actual: instructions + 1,
+                });
             }
 
             funcs.push(FuncInfo {
@@ -729,6 +761,39 @@ mod tests {
         // Default options recover the opcode.
         let ba = BinaryAnalysis::analyze(&elf).unwrap();
         assert!(ba.entry_facts().ioctl_codes.contains(&0x5401));
+    }
+
+    #[test]
+    fn resource_guards_classify_pathological_binaries() {
+        let bytes = build_sample();
+        let elf = ElfFile::parse(&bytes).unwrap();
+
+        // The sample has 3 functions; a 2-node cap trips the guard.
+        let opts = AnalysisOptions {
+            max_functions: 2,
+            ..AnalysisOptions::default()
+        };
+        let err = BinaryAnalysis::analyze_with(&elf, opts).unwrap_err();
+        assert_eq!(err.kind(), apistudy_elf::ErrorKind::ResourceLimit);
+        assert!(matches!(
+            err,
+            ElfError::ResourceLimit { what: "call-graph nodes", .. }
+        ));
+
+        // A tiny decode budget trips the instruction guard.
+        let opts = AnalysisOptions {
+            decode_budget: 3,
+            ..AnalysisOptions::default()
+        };
+        let err = BinaryAnalysis::analyze_with(&elf, opts).unwrap_err();
+        assert!(matches!(
+            err,
+            ElfError::ResourceLimit { what: "decoded instructions", limit: 3, .. }
+        ));
+
+        // Default budgets analyze the same binary untouched.
+        let ba = BinaryAnalysis::analyze(&elf).unwrap();
+        assert_eq!(ba.funcs.len(), 3);
     }
 
     #[test]

@@ -64,6 +64,12 @@ impl Linker {
         self.by_soname.get(soname).map(|&i| &self.libs[i])
     }
 
+    /// Iterates every registered `(soname, analysis)` pair (the pipeline's
+    /// degradation-taint propagation walks `DT_NEEDED` edges through this).
+    pub fn libraries_iter(&self) -> impl Iterator<Item = (&str, &BinaryAnalysis)> {
+        self.by_soname.iter().map(|(name, &i)| (name.as_str(), &self.libs[i]))
+    }
+
     /// BFS over `DT_NEEDED` starting from the given sonames, returning
     /// library indices in search order.
     fn needed_closure(&self, roots: &[String]) -> Vec<usize> {

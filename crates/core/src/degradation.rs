@@ -1,0 +1,189 @@
+//! The corruption-degradation sweep: how the study's headline numbers
+//! shift as the corpus decays.
+//!
+//! The paper's pipeline measured a pristine package mirror; a real-world
+//! rerun would face bit-rot, truncated downloads, and hostile inputs.
+//! [`corruption_sweep`] reruns the full pipeline over the same repository
+//! at increasing injected-corruption rates (same fault seed, so the
+//! injection sets are nested — see [`apistudy_corpus::fault`]) and
+//! records, per rate, both the robustness ledger (injections, skips,
+//! partial packages) and the metrics the paper reports (distinct syscalls
+//! observed, weighted completeness of a fixed support set). The sweep
+//! quantifies *graceful* degradation: metrics must move smoothly and
+//! monotonically with the corruption rate, never abort, and stay
+//! bit-identical at rate zero.
+
+use std::collections::HashSet;
+
+use apistudy_analysis::AnalysisOptions;
+use apistudy_catalog::ApiKind;
+use apistudy_corpus::{FaultPlan, SynthRepo};
+use apistudy_report::{pct, Align, TextTable};
+
+use crate::{metrics::Metrics, pipeline::StudyData};
+
+/// How many of the clean baseline's top-ranked syscalls form the fixed
+/// support set whose weighted completeness the sweep tracks (the paper's
+/// "most important N" framing, §4).
+pub const SWEEP_SUPPORT_TOP_N: usize = 100;
+
+/// One measured point of the corruption sweep.
+#[derive(Debug, Clone)]
+pub struct DegradationPoint {
+    /// Injected corruption rate (fraction of ELF files).
+    pub rate: f64,
+    /// Faults injected at this rate.
+    pub injected: u32,
+    /// Injected faults that must quarantine their binary.
+    pub injected_fatal: u32,
+    /// Binaries the pipeline skipped (classified quarantines).
+    pub skipped_binaries: u32,
+    /// Packages flagged with a partial footprint.
+    pub partial_packages: u32,
+    /// Packages abandoned wholesale after double panics.
+    pub quarantined_packages: u32,
+    /// Distinct syscalls observed across all package footprints.
+    pub distinct_syscalls: usize,
+    /// Weighted completeness of the clean baseline's top-N syscall set
+    /// against this run's footprints.
+    pub completeness_top: f64,
+}
+
+/// Reruns the pipeline at each corruption rate and measures the fallout.
+///
+/// The support set for the completeness column is fixed once, from the
+/// *clean* baseline's importance ranking, so the column isolates how
+/// corruption moves the metric rather than how it moves the ranking.
+pub fn corruption_sweep(
+    repo: &SynthRepo,
+    options: AnalysisOptions,
+    fault_seed: u64,
+    rates: &[f64],
+) -> Vec<DegradationPoint> {
+    let baseline = StudyData::from_synth_with(repo, options);
+    let supported: HashSet<u32> = Metrics::new(&baseline)
+        .importance_ranking(ApiKind::Syscall)
+        .into_iter()
+        .take(SWEEP_SUPPORT_TOP_N)
+        .filter_map(|(api, _)| match api {
+            apistudy_catalog::Api::Syscall(nr) => Some(nr),
+            _ => None,
+        })
+        .collect();
+    rates
+        .iter()
+        .map(|&rate| {
+            let plan = FaultPlan::new(fault_seed, rate);
+            let data = StudyData::from_synth_faulted(repo, options, &plan);
+            measure(rate, &data, &supported)
+        })
+        .collect()
+}
+
+fn measure(rate: f64, data: &StudyData, supported: &HashSet<u32>) -> DegradationPoint {
+    let distinct: HashSet<u32> = data
+        .packages
+        .iter()
+        .flat_map(|p| p.footprint.syscalls())
+        .collect();
+    let d = &data.diagnostics;
+    DegradationPoint {
+        rate,
+        injected: d.injected.len() as u32,
+        injected_fatal: d.injected.iter().filter(|r| r.fatal).count() as u32,
+        skipped_binaries: d.total_skipped() as u32,
+        partial_packages: data
+            .packages
+            .iter()
+            .filter(|p| p.partial_footprint)
+            .count() as u32,
+        quarantined_packages: d.quarantined_packages,
+        distinct_syscalls: distinct.len(),
+        completeness_top: Metrics::new(data).syscall_completeness(supported),
+    }
+}
+
+/// Renders a sweep as the report's degradation table.
+pub fn degradation_table(points: &[DegradationPoint]) -> TextTable {
+    let mut table = TextTable::new(
+        "Degradation under injected corruption (nested fault plans)",
+        &[
+            "rate",
+            "injected",
+            "fatal",
+            "skipped",
+            "partial pkgs",
+            "quarantined pkgs",
+            "distinct syscalls",
+            "top-100 completeness",
+        ],
+    )
+    .aligns(&[
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for p in points {
+        table.row(&[
+            format!("{:.1}%", p.rate * 100.0),
+            p.injected.to_string(),
+            p.injected_fatal.to_string(),
+            p.skipped_binaries.to_string(),
+            p.partial_packages.to_string(),
+            p.quarantined_packages.to_string(),
+            p.distinct_syscalls.to_string(),
+            pct(p.completeness_top),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apistudy_corpus::{CalibrationSpec, Scale};
+
+    #[test]
+    fn sweep_is_monotone_and_clean_at_zero() {
+        let repo = SynthRepo::new(
+            Scale { packages: 120, installations: 10_000 },
+            CalibrationSpec::default(),
+            0xBEEF,
+        );
+        let points = corruption_sweep(
+            &repo,
+            AnalysisOptions::default(),
+            0xFA11,
+            &[0.0, 0.03, 0.08],
+        );
+        assert_eq!(points.len(), 3);
+        let zero = &points[0];
+        assert_eq!(zero.injected, 0);
+        assert_eq!(zero.skipped_binaries, 0);
+        assert_eq!(zero.partial_packages, 0);
+        for pair in points.windows(2) {
+            assert!(pair[1].injected >= pair[0].injected, "nested plans");
+            assert!(
+                pair[1].skipped_binaries >= pair[0].skipped_binaries,
+                "skips grow with rate"
+            );
+            assert!(
+                pair[1].distinct_syscalls <= pair[0].distinct_syscalls,
+                "coverage can only shrink"
+            );
+        }
+        assert!(
+            points[2].skipped_binaries > 0,
+            "8% corruption must quarantine something"
+        );
+        let table = degradation_table(&points);
+        assert_eq!(table.len(), 3);
+        let text = table.render();
+        assert!(text.contains("8.0%"), "table:\n{text}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Degradation accounting: what the pipeline skipped, contained, or
+//! quarantined, and why.
+//!
+//! The study's credibility rests on knowing what it did *not* measure: a
+//! corpus scan that silently drops unparseable binaries reports footprints
+//! that look complete but are not. [`RunDiagnostics`] is the structured
+//! ledger attached to every [`crate::StudyData`]: each binary the pipeline
+//! could not analyze is recorded as a [`SkippedBinary`] classified by
+//! pipeline stage and [`ErrorKind`], injected faults carry their
+//! ground-truth [`FaultRecord`]s, and contained panics are counted so a
+//! "green" run that quietly recovered a worker is distinguishable from a
+//! genuinely clean one.
+
+use std::collections::BTreeMap;
+
+use apistudy_corpus::FaultRecord;
+use apistudy_elf::ErrorKind;
+
+/// Which pipeline stage rejected a binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SkipStage {
+    /// `ElfFile::parse` failed: the bytes are not a loadable x86-64 ELF.
+    Parse,
+    /// Parsing succeeded but static analysis failed (bad symbol tables,
+    /// out-of-range section data, a tripped resource guard, ...).
+    Analyze,
+    /// Analysis panicked twice; the binary was abandoned after the retry.
+    Panic,
+}
+
+impl SkipStage {
+    /// A short stable label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            SkipStage::Parse => "parse",
+            SkipStage::Analyze => "analyze",
+            SkipStage::Panic => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for SkipStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One binary the pipeline could not analyze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedBinary {
+    /// Owning package name.
+    pub package: String,
+    /// File name within the package.
+    pub file: String,
+    /// The stage that rejected it.
+    pub stage: SkipStage,
+    /// Error taxonomy bucket ([`None`] for panics, which carry no
+    /// structured error).
+    pub kind: Option<ErrorKind>,
+    /// Human-readable detail (the error's display form, or the panic
+    /// message).
+    pub detail: String,
+}
+
+/// Corpus-wide robustness accounting for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct RunDiagnostics {
+    /// Binaries successfully parsed *and* analyzed.
+    pub analyzed_binaries: u64,
+    /// Every binary the pipeline had to skip, with its classification.
+    pub skipped: Vec<SkippedBinary>,
+    /// Ground truth of injected faults (empty for un-faulted runs).
+    pub injected: Vec<FaultRecord>,
+    /// Worker or binary-level panics that were caught instead of aborting
+    /// the run.
+    pub panics_contained: u64,
+    /// Panicking work items whose single retry then succeeded (transient
+    /// faults; deterministic panics fail twice and are quarantined).
+    pub retries_recovered: u64,
+    /// Packages whose analysis was abandoned entirely (both attempts
+    /// panicked at package granularity); their records carry an empty
+    /// footprint and the partial-footprint flag.
+    pub quarantined_packages: u32,
+}
+
+impl RunDiagnostics {
+    /// Skip counts bucketed by [`ErrorKind`] (panics, which have no kind,
+    /// are excluded — see [`Self::panicked`]).
+    pub fn skipped_by_kind(&self) -> BTreeMap<ErrorKind, u64> {
+        let mut out = BTreeMap::new();
+        for s in &self.skipped {
+            if let Some(kind) = s.kind {
+                *out.entry(kind).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Skip counts bucketed by pipeline stage.
+    pub fn skipped_by_stage(&self) -> BTreeMap<SkipStage, u64> {
+        let mut out = BTreeMap::new();
+        for s in &self.skipped {
+            *out.entry(s.stage).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Binaries abandoned because analysis panicked twice.
+    pub fn panicked(&self) -> u64 {
+        self.skipped
+            .iter()
+            .filter(|s| s.stage == SkipStage::Panic)
+            .count() as u64
+    }
+
+    /// Total skipped binaries.
+    pub fn total_skipped(&self) -> u64 {
+        self.skipped.len() as u64
+    }
+
+    /// True when nothing was skipped, injected, contained, or
+    /// quarantined — the run measured every binary it saw.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+            && self.injected.is_empty()
+            && self.panics_contained == 0
+            && self.quarantined_packages == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skip(stage: SkipStage, kind: Option<ErrorKind>) -> SkippedBinary {
+        SkippedBinary {
+            package: "pkg".into(),
+            file: "bin".into(),
+            stage,
+            kind,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn aggregation_buckets_and_cleanliness() {
+        let mut d = RunDiagnostics::default();
+        assert!(d.is_clean());
+        d.skipped.push(skip(SkipStage::Parse, Some(ErrorKind::Truncated)));
+        d.skipped.push(skip(SkipStage::Parse, Some(ErrorKind::Truncated)));
+        d.skipped.push(skip(SkipStage::Analyze, Some(ErrorKind::BadString)));
+        d.skipped.push(skip(SkipStage::Panic, None));
+        assert!(!d.is_clean());
+        assert_eq!(d.total_skipped(), 4);
+        assert_eq!(d.panicked(), 1);
+        let by_kind = d.skipped_by_kind();
+        assert_eq!(by_kind[&ErrorKind::Truncated], 2);
+        assert_eq!(by_kind[&ErrorKind::BadString], 1);
+        assert_eq!(by_kind.values().sum::<u64>(), 3, "panics carry no kind");
+        let by_stage = d.skipped_by_stage();
+        assert_eq!(by_stage[&SkipStage::Parse], 2);
+        assert_eq!(by_stage[&SkipStage::Panic], 1);
+    }
+
+    #[test]
+    fn contained_panic_alone_is_not_clean() {
+        let d = RunDiagnostics { panics_contained: 1, ..Default::default() };
+        assert!(!d.is_clean());
+    }
+}

@@ -16,6 +16,10 @@
 //! - [`seccomp_bpf`] — classic-BPF seccomp filter assembly (with an
 //!   in-process interpreter for verification);
 //! - [`dataset`] — CSV export/import of the measured dataset;
+//! - [`diagnostics`] — degradation accounting: skipped binaries,
+//!   contained panics, quarantined packages, injected-fault ground truth;
+//! - [`degradation`] — the corruption sweep: rerunning the pipeline at
+//!   rising injected-corruption rates and tabulating the metric fallout;
 //! - [`diff`] — study-to-study comparison (releases / what-if scenarios);
 //! - [`workloads`] — evaluation-workload matching for modified APIs;
 //! - [`study::Study`] — the one-call facade.
@@ -24,6 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod degradation;
+pub mod diagnostics;
 pub mod diff;
 pub mod footprint;
 pub mod footprints;
@@ -36,6 +42,10 @@ pub mod study;
 pub mod workloads;
 
 pub use dataset::{Dataset, DatasetRow};
+pub use degradation::{
+    corruption_sweep, degradation_table, DegradationPoint,
+};
+pub use diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
 pub use diff::{ApiShift, StudyDiff};
 pub use footprint::ApiFootprint;
 pub use footprints::{seccomp_profile, uniqueness, UniquenessStats};

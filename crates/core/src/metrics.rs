@@ -305,6 +305,8 @@ mod tests {
                 script_interpreters: vec![],
                 file_counts: (1, 0, 0),
                 unresolved_syscall_sites: 0,
+                skipped_binaries: 0,
+                partial_footprint: false,
             }
         };
         let packages = vec![
@@ -327,6 +329,7 @@ mod tests {
             attribution: Attribution::default(),
             unresolved_syscall_sites: 0,
             resolved_syscall_sites: 100,
+            diagnostics: crate::diagnostics::RunDiagnostics::default(),
         }
     }
 

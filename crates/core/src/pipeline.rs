@@ -17,17 +17,19 @@
 //! The result, [`StudyData`], is the in-memory replacement for the paper's
 //! 428-million-row Postgres database.
 
-use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use apistudy_analysis::{AnalysisOptions, BinaryAnalysis, Linker};
 use apistudy_catalog::Catalog;
 use apistudy_corpus::{
-    Interpreter, MixCensus, Package, PackageFile, SynthRepo,
+    FaultPlan, Interpreter, MixCensus, Package, PackageFile, SynthRepo,
 };
-use apistudy_elf::{BinaryClass, ElfFile};
+use apistudy_elf::{BinaryClass, ElfError, ElfFile, ErrorKind};
 
+use crate::diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
 use crate::footprint::ApiFootprint;
 
 /// Everything the study knows about one package.
@@ -49,6 +51,13 @@ pub struct PackageRecord {
     pub file_counts: (usize, usize, usize),
     /// Unresolved syscall sites observed while analyzing this package.
     pub unresolved_syscall_sites: u32,
+    /// Binaries of this package the pipeline could not analyze.
+    pub skipped_binaries: u32,
+    /// True when the footprint is known to under-count: a shipped binary
+    /// was skipped or quarantined, a library this package's executables
+    /// (transitively) link against was, or an interpreter package it
+    /// inherits from is itself partial.
+    pub partial_footprint: bool,
 }
 
 /// Which binaries contain *direct* call sites for each system call — the
@@ -94,37 +103,102 @@ pub struct StudyData {
     pub unresolved_syscall_sites: u64,
     /// Total syscall sites resolved (for the unresolved ratio).
     pub resolved_syscall_sites: u64,
+    /// Robustness accounting: skips, contained panics, injected faults.
+    pub diagnostics: RunDiagnostics,
+}
+
+/// Containment counters from one [`par_map_indexed`] run.
+#[derive(Debug, Clone, Copy, Default)]
+struct ParStats {
+    /// Work items whose first execution panicked.
+    panics_contained: u64,
+    /// Panicked items whose single retry then succeeded.
+    retries_recovered: u64,
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The worker count for [`par_map_indexed`]: the `APISTUDY_THREADS`
+/// environment variable when set to a positive integer (capped at 128),
+/// otherwise the machine's available parallelism capped at 16; always
+/// clamped to the number of work items.
+fn worker_count(n: usize) -> usize {
+    let from_env = std::env::var("APISTUDY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .map(|t| t.min(128));
+    from_env
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .min(16)
+        })
+        .min(n)
 }
 
 /// Runs `f(0..n)` across a scoped worker pool and returns the results in
 /// index order. Workers pull the next index from an atomic cursor and send
 /// `(index, value)` pairs down a channel — no lock is held around `f`.
-fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+///
+/// Panic containment: a panicking `f(i)` is caught (the worker thread
+/// survives) and retried once — deterministic panics fail again, and the
+/// item's result is produced by `recover(i, message)` instead, so one
+/// pathological work item degrades into one quarantined result rather
+/// than aborting the corpus scan.
+fn par_map_indexed<T, F, R>(n: usize, f: F, recover: R) -> (Vec<T>, ParStats)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
+    R: Fn(usize, String) -> T + Sync,
 {
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), ParStats::default());
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(16)
-        .min(n);
+    let workers = worker_count(n);
     let cursor = AtomicUsize::new(0);
+    let panics = AtomicU64::new(0);
+    let recovered = AtomicU64::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
+            let panics = &panics;
+            let recovered = &recovered;
             let f = &f;
+            let recover = &recover;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                if tx.send((i, f(i))).is_err() {
+                let value = match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => {
+                                recovered.fetch_add(1, Ordering::Relaxed);
+                                v
+                            }
+                            Err(payload) => {
+                                recover(i, panic_message(payload.as_ref()))
+                            }
+                        }
+                    }
+                };
+                if tx.send((i, value)).is_err() {
                     break;
                 }
             });
@@ -135,10 +209,17 @@ where
     for (i, v) in rx {
         slots[i] = Some(v);
     }
-    slots
+    let out = slots
         .into_iter()
         .map(|s| s.expect("every index produced"))
-        .collect()
+        .collect();
+    (
+        out,
+        ParStats {
+            panics_contained: panics.load(Ordering::Relaxed),
+            retries_recovered: recovered.load(Ordering::Relaxed),
+        },
+    )
 }
 
 struct PkgIntermediate {
@@ -154,6 +235,99 @@ struct PkgIntermediate {
     ships_ldso: bool,
     unresolved: u32,
     resolved: u64,
+    /// Binaries this package shipped that could not be analyzed.
+    skipped: Vec<SkippedBinary>,
+    /// Faults injected into this package (ground truth, faulted runs only).
+    injected: Vec<apistudy_corpus::FaultRecord>,
+    /// Binary-level panics caught during this package's analysis.
+    panics_contained: u64,
+    /// Caught panics whose retry succeeded.
+    retries_recovered: u64,
+    /// True when the whole package was abandoned (package-level double
+    /// panic): no binary was analyzed, the record is a placeholder.
+    quarantined: bool,
+}
+
+impl PkgIntermediate {
+    /// A placeholder for a package whose analysis panicked twice: name and
+    /// dependencies come from the plan, the footprint stays empty, and
+    /// every planned binary is recorded as skipped. Library skips are
+    /// keyed by soname so dependent packages' footprints get flagged as
+    /// partial through the linker taint pass.
+    fn quarantined(index: usize, repo: &SynthRepo, detail: String) -> Self {
+        let p = &repo.plan.packages[index];
+        let mut skipped: Vec<SkippedBinary> = p
+            .libs
+            .iter()
+            .map(|l| l.soname.clone())
+            .chain(p.execs.iter().map(|e| e.file.clone()))
+            .map(|file| SkippedBinary {
+                package: p.name.clone(),
+                file,
+                stage: SkipStage::Panic,
+                kind: None,
+                detail: detail.clone(),
+            })
+            .collect();
+        if skipped.is_empty() {
+            skipped.push(SkippedBinary {
+                package: p.name.clone(),
+                file: "<package>".to_owned(),
+                stage: SkipStage::Panic,
+                kind: None,
+                detail,
+            });
+        }
+        Self {
+            index,
+            package: Package {
+                name: p.name.clone(),
+                depends: p.depends.clone(),
+                files: Vec::new(),
+            },
+            libs: Vec::new(),
+            execs: Vec::new(),
+            lib_count: 0,
+            ships_ldso: false,
+            unresolved: 0,
+            resolved: 0,
+            skipped,
+            injected: Vec::new(),
+            panics_contained: 0,
+            retries_recovered: 0,
+            quarantined: true,
+        }
+    }
+}
+
+/// Why one binary was dropped: pipeline stage, taxonomy kind (absent for
+/// panics), and the human-readable detail.
+type SkipReason = (SkipStage, Option<ErrorKind>, String);
+
+/// Parses and analyzes one ELF image, containing panics: a panicking
+/// attempt is retried once, and a second panic becomes a classified
+/// [`SkipStage::Panic`] skip. Returns the analysis plus the number of
+/// panics caught (0, 1 with a successful retry, or 2).
+fn analyze_binary(
+    bytes: &[u8],
+    options: AnalysisOptions,
+) -> (Result<BinaryAnalysis, SkipReason>, u64) {
+    let attempt = || -> Result<BinaryAnalysis, SkipReason> {
+        let elf = ElfFile::parse(bytes)
+            .map_err(|e: ElfError| (SkipStage::Parse, Some(e.kind()), e.to_string()))?;
+        BinaryAnalysis::analyze_with(&elf, options)
+            .map_err(|e| (SkipStage::Analyze, Some(e.kind()), e.to_string()))
+    };
+    match catch_unwind(AssertUnwindSafe(attempt)) {
+        Ok(r) => (r, 0),
+        Err(_) => match catch_unwind(AssertUnwindSafe(attempt)) {
+            Ok(r) => (r, 1),
+            Err(payload) => (
+                Err((SkipStage::Panic, None, panic_message(payload.as_ref()))),
+                2,
+            ),
+        },
+    }
 }
 
 fn analyze_package(
@@ -165,11 +339,28 @@ fn analyze_package(
     let mut execs = Vec::new();
     let mut unresolved = 0u32;
     let mut resolved = 0u64;
+    let mut skipped = Vec::new();
+    let mut panics_contained = 0u64;
+    let mut retries_recovered = 0u64;
     for file in &package.files {
         let PackageFile::Elf { name, bytes } = file else { continue };
-        let Ok(elf) = ElfFile::parse(bytes) else { continue };
-        let Ok(ba) = BinaryAnalysis::analyze_with(&elf, options) else {
-            continue;
+        let (result, panics) = analyze_binary(bytes, options);
+        panics_contained += panics.min(1);
+        if panics == 1 {
+            retries_recovered += 1;
+        }
+        let ba = match result {
+            Ok(ba) => ba,
+            Err((stage, kind, detail)) => {
+                skipped.push(SkippedBinary {
+                    package: package.name.clone(),
+                    file: name.clone(),
+                    stage,
+                    kind,
+                    detail,
+                });
+                continue;
+            }
         };
         for f in &ba.funcs {
             unresolved += f.facts.unresolved_syscall_sites;
@@ -193,6 +384,11 @@ fn analyze_package(
         ships_ldso,
         unresolved,
         resolved,
+        skipped,
+        injected: Vec::new(),
+        panics_contained,
+        retries_recovered,
+        quarantined: false,
     }
 }
 
@@ -211,6 +407,17 @@ fn inherit_apis(packages: &mut [PackageRecord], dst: usize, src: usize) -> bool 
     dst_rec.footprint.merge_apis(&src_rec.footprint)
 }
 
+/// Propagates `src`'s partial-footprint flag to `dst`: a package that
+/// inherits an interpreter's footprint inherits its incompleteness too.
+fn inherit_partial(packages: &mut [PackageRecord], dst: usize, src: usize) -> bool {
+    if dst == src || packages[dst].partial_footprint || !packages[src].partial_footprint
+    {
+        return false;
+    }
+    packages[dst].partial_footprint = true;
+    true
+}
+
 impl StudyData {
     /// Runs the full pipeline over a synthetic repository with the
     /// paper's default analysis choices.
@@ -222,13 +429,44 @@ impl StudyData {
     /// corpus-wide ablation entry point: every metric downstream reflects
     /// the chosen analyzer behaviour.
     pub fn from_synth_with(repo: &SynthRepo, options: AnalysisOptions) -> Self {
-        let inters = par_map_indexed(repo.package_count(), |i| {
-            analyze_package(i, repo.package(i), options)
-        });
-        Self::assemble(repo, inters)
+        let (inters, stats) = par_map_indexed(
+            repo.package_count(),
+            |i| analyze_package(i, repo.package(i), options),
+            |i, detail| PkgIntermediate::quarantined(i, repo, detail),
+        );
+        Self::assemble(repo, inters, stats)
     }
 
-    fn assemble(repo: &SynthRepo, mut inters: Vec<PkgIntermediate>) -> Self {
+    /// Runs the full pipeline over a *corrupted* copy of the repository:
+    /// each package is materialized, the [`FaultPlan`] mutates the ELF
+    /// files it selects, and the pipeline analyzes the result. The
+    /// injection ledger lands in [`RunDiagnostics::injected`] so tests and
+    /// the degradation report can verify quarantining against ground
+    /// truth. With a rate of zero this is exactly [`Self::from_synth_with`].
+    pub fn from_synth_faulted(
+        repo: &SynthRepo,
+        options: AnalysisOptions,
+        plan: &FaultPlan,
+    ) -> Self {
+        let (inters, stats) = par_map_indexed(
+            repo.package_count(),
+            |i| {
+                let mut package = repo.package(i);
+                let injected = plan.corrupt_package(i, &mut package);
+                let mut inter = analyze_package(i, package, options);
+                inter.injected = injected;
+                inter
+            },
+            |i, detail| PkgIntermediate::quarantined(i, repo, detail),
+        );
+        Self::assemble(repo, inters, stats)
+    }
+
+    fn assemble(
+        repo: &SynthRepo,
+        mut inters: Vec<PkgIntermediate>,
+        par_stats: ParStats,
+    ) -> Self {
         let catalog = Catalog::linux_3_19();
         let census = MixCensus::scan(inters.iter().map(|i| &i.package));
 
@@ -238,9 +476,12 @@ impl StudyData {
         let mut attribution = Attribution::default();
         let mut unresolved_total = 0u64;
         let mut resolved_total = 0u64;
+        let mut lib_names: Vec<Vec<String>> = Vec::with_capacity(inters.len());
         for inter in &mut inters {
             unresolved_total += u64::from(inter.unresolved);
             resolved_total += inter.resolved;
+            lib_names
+                .push(inter.libs.iter().map(|(n, _)| n.clone()).collect());
             let pkg: Arc<str> = Arc::from(inter.package.name.as_str());
             for (name, ba) in inter.libs.drain(..) {
                 let file: Arc<str> = Arc::from(name.as_str());
@@ -271,6 +512,41 @@ impl StudyData {
         }
         linker.seal();
 
+        // Fault isolation: every binary the pipeline skipped taints its
+        // file name (for libraries the file name *is* the soname, by
+        // corpus convention), as does every fatally-injected file. The
+        // taint then spreads over the sealed linker's DT_NEEDED edges to a
+        // fixed point, so a package whose executables link — directly or
+        // transitively — against a missing library is flagged as carrying
+        // a partial footprint rather than silently under-reporting.
+        let mut tainted: HashSet<String> = HashSet::new();
+        for inter in &inters {
+            for s in &inter.skipped {
+                tainted.insert(s.file.clone());
+            }
+            for rec in &inter.injected {
+                if rec.fatal {
+                    tainted.insert(rec.file.clone());
+                }
+            }
+        }
+        if !tainted.is_empty() {
+            loop {
+                let mut changed = false;
+                for (name, ba) in linker.libraries_iter() {
+                    if !tainted.contains(name)
+                        && ba.needed.iter().any(|n| tainted.contains(n))
+                    {
+                        tainted.insert(name.to_owned());
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
         // The dynamic linker's own footprint belongs to the package that
         // ships it (libc6): applications do not import from ld.so, so its
         // calls (`access`, `arch_prctl`, ...) keep 100% weighted importance
@@ -283,48 +559,94 @@ impl StudyData {
 
         // Per-package closed footprints. The sealed linker is read-only,
         // so every package resolves independently in parallel.
-        let mut packages: Vec<PackageRecord> = {
-            let (linker, catalog, ldso, inters) =
-                (&linker, &catalog, &ldso_resolved, &inters);
-            par_map_indexed(inters.len(), move |i| {
-                let inter = &inters[i];
-                let mut fp = ApiFootprint::default();
-                if inter.ships_ldso {
-                    fp.merge(ldso);
-                }
-                for ba in &inter.execs {
-                    let raw = linker.resolve_executable(ba);
-                    fp.merge(&ApiFootprint::resolve(catalog, &raw));
-                }
-                let script_interpreters: Vec<String> = inter
-                    .package
-                    .files
-                    .iter()
-                    .filter_map(|f| match f {
-                        PackageFile::Script { shebang, .. } => Some(
-                            Interpreter::classify(shebang)
-                                .providing_package()
-                                .to_owned(),
+        let (mut packages, resolve_stats): (Vec<PackageRecord>, ParStats) = {
+            let (linker, catalog, ldso, inters, tainted, lib_names) = (
+                &linker,
+                &catalog,
+                &ldso_resolved,
+                &inters,
+                &tainted,
+                &lib_names,
+            );
+            par_map_indexed(
+                inters.len(),
+                move |i| {
+                    let inter = &inters[i];
+                    let mut fp = ApiFootprint::default();
+                    if inter.ships_ldso {
+                        fp.merge(ldso);
+                    }
+                    for ba in &inter.execs {
+                        let raw = linker.resolve_executable(ba);
+                        fp.merge(&ApiFootprint::resolve(catalog, &raw));
+                    }
+                    let script_interpreters: Vec<String> = inter
+                        .package
+                        .files
+                        .iter()
+                        .filter_map(|f| match f {
+                            PackageFile::Script { shebang, .. } => Some(
+                                Interpreter::classify(shebang)
+                                    .providing_package()
+                                    .to_owned(),
+                            ),
+                            PackageFile::Elf { .. } => None,
+                        })
+                        .collect::<BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
+                    let n_scripts = inter
+                        .package
+                        .files
+                        .iter()
+                        .filter(|f| matches!(f, PackageFile::Script { .. }))
+                        .count();
+                    // Partial when a shipped binary was skipped, or when
+                    // anything this package links against is tainted.
+                    let partial = inter.quarantined
+                        || !inter.skipped.is_empty()
+                        || inter.execs.iter().any(|ba| {
+                            ba.needed.iter().any(|n| tainted.contains(n))
+                        })
+                        || lib_names[i].iter().any(|n| tainted.contains(n));
+                    PackageRecord {
+                        name: inter.package.name.clone(),
+                        prob: repo.plan.popcon.probability(&inter.package.name),
+                        install_count: repo
+                            .plan
+                            .popcon
+                            .count(&inter.package.name),
+                        depends: inter.package.depends.clone(),
+                        footprint: fp,
+                        script_interpreters,
+                        file_counts: (
+                            inter.execs.len(),
+                            inter.lib_count,
+                            n_scripts,
                         ),
-                        PackageFile::Elf { .. } => None,
-                    })
-                    .collect::<BTreeSet<_>>()
-                    .into_iter()
-                    .collect();
-                let n_scripts = inter.package.files.len()
-                    - inter.execs.len()
-                    - inter.lib_count;
-                PackageRecord {
-                    name: inter.package.name.clone(),
-                    prob: repo.plan.popcon.probability(&inter.package.name),
-                    install_count: repo.plan.popcon.count(&inter.package.name),
-                    depends: inter.package.depends.clone(),
-                    footprint: fp,
-                    script_interpreters,
-                    file_counts: (inter.execs.len(), inter.lib_count, n_scripts),
-                    unresolved_syscall_sites: inter.unresolved,
-                }
-            })
+                        unresolved_syscall_sites: inter.unresolved,
+                        skipped_binaries: inter.skipped.len() as u32,
+                        partial_footprint: partial,
+                    }
+                },
+                // A package whose *resolution* panics twice degrades into
+                // an empty, flagged record instead of aborting the run.
+                move |i, _detail| PackageRecord {
+                    name: inters[i].package.name.clone(),
+                    prob: repo.plan.popcon.probability(&inters[i].package.name),
+                    install_count: repo
+                        .plan
+                        .popcon
+                        .count(&inters[i].package.name),
+                    depends: inters[i].package.depends.clone(),
+                    footprint: ApiFootprint::default(),
+                    script_interpreters: Vec::new(),
+                    file_counts: (0, 0, 0),
+                    unresolved_syscall_sites: 0,
+                    skipped_binaries: inters[i].skipped.len() as u32,
+                    partial_footprint: true,
+                },
+            )
         };
         let by_name: HashMap<String, usize> = packages
             .iter()
@@ -351,11 +673,31 @@ impl StudyData {
             for (i, provs) in providers.iter().enumerate() {
                 for &src in provs {
                     changed |= inherit_apis(&mut packages, i, src);
+                    // A script package inheriting from a partial
+                    // interpreter is itself partial.
+                    changed |= inherit_partial(&mut packages, i, src);
                 }
             }
             if !changed {
                 break;
             }
+        }
+
+        let mut diagnostics = RunDiagnostics {
+            panics_contained: par_stats.panics_contained
+                + resolve_stats.panics_contained,
+            retries_recovered: par_stats.retries_recovered
+                + resolve_stats.retries_recovered,
+            ..RunDiagnostics::default()
+        };
+        for inter in &mut inters {
+            diagnostics.analyzed_binaries +=
+                (inter.lib_count + inter.execs.len()) as u64;
+            diagnostics.panics_contained += inter.panics_contained;
+            diagnostics.retries_recovered += inter.retries_recovered;
+            diagnostics.quarantined_packages += u32::from(inter.quarantined);
+            diagnostics.skipped.append(&mut inter.skipped);
+            diagnostics.injected.append(&mut inter.injected);
         }
 
         Self {
@@ -367,6 +709,7 @@ impl StudyData {
             attribution,
             unresolved_syscall_sites: unresolved_total,
             resolved_syscall_sites: resolved_total,
+            diagnostics,
         }
     }
 
@@ -416,6 +759,8 @@ impl StudyData {
                     script_interpreters: Vec::new(),
                     file_counts: (0, 0, 0),
                     unresolved_syscall_sites: 0,
+                    skipped_binaries: 0,
+                    partial_footprint: false,
                 }
             })
             .collect();
@@ -433,6 +778,7 @@ impl StudyData {
             attribution: Attribution::default(),
             unresolved_syscall_sites: 0,
             resolved_syscall_sites: 0,
+            diagnostics: RunDiagnostics::default(),
         }
     }
 
@@ -584,9 +930,85 @@ mod tests {
 
     #[test]
     fn par_map_preserves_index_order() {
-        let out = par_map_indexed(1000, |i| i * 3);
+        let never = |_: usize, _: String| unreachable!("no panics expected");
+        let (out, stats) = par_map_indexed(1000, |i| i * 3, never);
         assert_eq!(out.len(), 1000);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
-        assert!(par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(stats.panics_contained, 0);
+        assert_eq!(stats.retries_recovered, 0);
+        let (empty, _) = par_map_indexed(0, |i| i, never);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn par_map_contains_deterministic_panics() {
+        // Item 7 panics on every attempt: it must be recovered, not abort
+        // the scope, and every other item must be unaffected.
+        let (out, stats) = par_map_indexed(
+            64,
+            |i| {
+                if i == 7 {
+                    panic!("poison item");
+                }
+                i as i64
+            },
+            |i, detail| {
+                assert!(detail.contains("poison item"), "got: {detail}");
+                -(i as i64)
+            },
+        );
+        assert_eq!(out[7], -7);
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| if i == 7 { v == -7 } else { v == i as i64 }));
+        assert_eq!(stats.panics_contained, 1);
+        assert_eq!(stats.retries_recovered, 0);
+    }
+
+    #[test]
+    fn par_map_retry_recovers_transient_panics() {
+        use std::sync::Mutex;
+        // Item 3 panics only on its first attempt (a transient fault):
+        // the retry must recover it without invoking the recover closure.
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let (out, stats) = par_map_indexed(
+            16,
+            |i| {
+                if i == 3 && seen.lock().unwrap().insert(3) {
+                    panic!("transient");
+                }
+                i
+            },
+            |_, _| usize::MAX,
+        );
+        assert_eq!(out[3], 3);
+        assert_eq!(stats.panics_contained, 1);
+        assert_eq!(stats.retries_recovered, 1);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_items() {
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(10_000) <= 128);
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn threads_env_override_is_respected() {
+        // Runs in-process, so keep every assertion valid under any value
+        // other tests might observe concurrently (worker_count is pure
+        // apart from this variable).
+        std::env::set_var("APISTUDY_THREADS", "3");
+        assert_eq!(worker_count(10), 3);
+        assert_eq!(worker_count(2), 2, "still clamped to the item count");
+        std::env::set_var("APISTUDY_THREADS", "999999");
+        assert_eq!(worker_count(usize::MAX), 128, "hard cap");
+        for junk in ["0", "-4", "banana", ""] {
+            std::env::set_var("APISTUDY_THREADS", junk);
+            let w = worker_count(10_000);
+            assert!((1..=16).contains(&w), "junk {junk:?} must fall back");
+        }
+        std::env::remove_var("APISTUDY_THREADS");
     }
 }

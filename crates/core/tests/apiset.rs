@@ -46,6 +46,8 @@ fn study_data(specs: &[(Vec<u32>, u32, u32)]) -> StudyData {
                 script_interpreters: vec![],
                 file_counts: (1, 0, 0),
                 unresolved_syscall_sites: 0,
+                skipped_binaries: 0,
+                partial_footprint: false,
             }
         })
         .collect();
@@ -63,6 +65,7 @@ fn study_data(specs: &[(Vec<u32>, u32, u32)]) -> StudyData {
         attribution: Attribution::default(),
         unresolved_syscall_sites: 0,
         resolved_syscall_sites: 100,
+        diagnostics: apistudy_core::diagnostics::RunDiagnostics::default(),
     }
 }
 

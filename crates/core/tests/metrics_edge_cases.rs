@@ -19,6 +19,8 @@ fn record(name: &str, prob: f64, apis: &[Api], deps: &[&str]) -> PackageRecord {
         script_interpreters: vec![],
         file_counts: (1, 0, 0),
         unresolved_syscall_sites: 0,
+        skipped_binaries: 0,
+        partial_footprint: false,
     }
 }
 
@@ -37,6 +39,7 @@ fn dataset(packages: Vec<PackageRecord>) -> StudyData {
         attribution: Attribution::default(),
         unresolved_syscall_sites: 0,
         resolved_syscall_sites: 1,
+        diagnostics: apistudy_core::diagnostics::RunDiagnostics::default(),
     }
 }
 

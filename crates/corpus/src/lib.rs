@@ -14,13 +14,16 @@
 //! - [`plan`] — the repository planner (tiers, carriers, adoption,
 //!   buckets, coverage) whose output doubles as ground truth;
 //! - [`generate`] — lazy materialization of plans into packages;
-//! - [`scan`] — the Figure 1 executable-type census.
+//! - [`scan`] — the Figure 1 executable-type census;
+//! - [`fault`] — deterministic corrupt-binary injection for the
+//!   robustness and degradation experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibration;
 pub mod codegen;
+pub mod fault;
 pub mod generate;
 pub mod libc_gen;
 pub mod model;
@@ -28,6 +31,7 @@ pub mod plan;
 pub mod scan;
 
 pub use calibration::{CalibrationSpec, Scale};
+pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use generate::SynthRepo;
 pub use model::{Interpreter, Package, PackageFile, Popcon};
 pub use plan::{PackagePlan, RepoPlan, Ranking, Tier};

@@ -31,6 +31,92 @@ pub enum ElfError {
     BadSectionIndex(usize),
     /// A structural invariant is violated (described by the message).
     Malformed(&'static str),
+    /// A resource guard tripped: the object is structurally valid but asks
+    /// for more work than the analysis budget allows (pathological inputs
+    /// must degrade into a classified skip, not an unbounded computation).
+    ResourceLimit {
+        /// Which budget was exceeded.
+        what: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// The observed demand.
+        actual: u64,
+    },
+}
+
+/// Coarse classification of [`ElfError`] values — the quarantine taxonomy
+/// the pipeline aggregates over (every skipped binary is counted under
+/// exactly one kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// A read ran past the end of the buffer ([`ElfError::Truncated`]).
+    Truncated,
+    /// Not an ELF file at all ([`ElfError::BadMagic`]).
+    BadMagic,
+    /// ELF, but not 64-bit little-endian x86-64
+    /// ([`ElfError::UnsupportedClass`] / [`ElfError::UnsupportedMachine`]).
+    Unsupported,
+    /// A string-table reference is out of range or unterminated
+    /// ([`ElfError::BadString`]).
+    BadString,
+    /// A section header index is out of range
+    /// ([`ElfError::BadSectionIndex`]).
+    BadSectionIndex,
+    /// Some other structural invariant is violated
+    /// ([`ElfError::Malformed`]).
+    Malformed,
+    /// An analysis resource budget was exceeded
+    /// ([`ElfError::ResourceLimit`]).
+    ResourceLimit,
+}
+
+impl ErrorKind {
+    /// Every kind, in display order (for stable aggregation tables).
+    pub const ALL: [ErrorKind; 7] = [
+        ErrorKind::Truncated,
+        ErrorKind::BadMagic,
+        ErrorKind::Unsupported,
+        ErrorKind::BadString,
+        ErrorKind::BadSectionIndex,
+        ErrorKind::Malformed,
+        ErrorKind::ResourceLimit,
+    ];
+
+    /// A short stable label (used as a table/CSV column key).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Truncated => "truncated",
+            ErrorKind::BadMagic => "bad-magic",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::BadString => "bad-string",
+            ErrorKind::BadSectionIndex => "bad-section-index",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::ResourceLimit => "resource-limit",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ElfError {
+    /// The coarse [`ErrorKind`] this error falls under.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ElfError::Truncated { .. } => ErrorKind::Truncated,
+            ElfError::BadMagic => ErrorKind::BadMagic,
+            ElfError::UnsupportedClass | ElfError::UnsupportedMachine(_) => {
+                ErrorKind::Unsupported
+            }
+            ElfError::BadString { .. } => ErrorKind::BadString,
+            ElfError::BadSectionIndex(_) => ErrorKind::BadSectionIndex,
+            ElfError::Malformed(_) => ErrorKind::Malformed,
+            ElfError::ResourceLimit { .. } => ErrorKind::ResourceLimit,
+        }
+    }
 }
 
 impl fmt::Display for ElfError {
@@ -54,6 +140,10 @@ impl fmt::Display for ElfError {
                 write!(f, "section index {i} out of range")
             }
             ElfError::Malformed(msg) => write!(f, "malformed ELF: {msg}"),
+            ElfError::ResourceLimit { what, limit, actual } => write!(
+                f,
+                "resource limit exceeded: {what} {actual} over budget {limit}"
+            ),
         }
     }
 }

@@ -23,6 +23,6 @@ pub mod parse;
 pub mod types;
 
 pub use build::{ElfBuilder, Layout, DEFAULT_INTERP, EXEC_BASE, PLT_STUB_SIZE};
-pub use error::{ElfError, Result};
+pub use error::{ElfError, ErrorKind, Result};
 pub use parse::{BinaryClass, ElfFile, Header, ProgramHeader, Rela, Section, Symbol};
 pub use types::{ElfType, SectionType, SymBinding, SymType};

@@ -109,3 +109,143 @@ fn bytes_roundtrip_identity() {
     let elf = ElfFile::parse(&bytes).unwrap();
     assert_eq!(elf.bytes(), &bytes[..]);
 }
+
+// ---------------------------------------------------------------------
+// Robustness: the parser is total over corrupted images, and every error
+// classifies under exactly one ErrorKind bucket of the quarantine
+// taxonomy.
+// ---------------------------------------------------------------------
+
+use apistudy_elf::{ElfError, ErrorKind};
+
+fn small_library_bytes() -> Vec<u8> {
+    let mut b = ElfBuilder::shared_library("libedge.so");
+    let f = b.declare_export("f");
+    b.declare_import("read");
+    b.needed("libc.so.6");
+    let _ = b.layout(8, 4);
+    b.set_text(vec![0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0xc3]);
+    b.set_rodata(vec![b'/', b'x', 0, 0]);
+    b.bind_export(f, 0, 8);
+    b.build().unwrap()
+}
+
+/// Drives every accessor the pipeline uses; any of them may error on a
+/// corrupt image, none may panic.
+fn exercise(bytes: &[u8]) -> Result<(), ElfError> {
+    let elf = ElfFile::parse(bytes)?;
+    elf.symtab()?;
+    elf.dynsym()?;
+    elf.dynamic_entries()?;
+    elf.needed_libraries()?;
+    elf.soname()?;
+    elf.plt_map()?;
+    elf.classify();
+    for sec in elf.sections.clone() {
+        elf.section_data(&sec)?;
+    }
+    Ok(())
+}
+
+#[test]
+fn exhaustive_truncation_sweep_never_panics() {
+    // Every possible truncation point of a real object: the parser and
+    // every accessor must return (Ok or Err), never panic. The full image
+    // at the end must still pass.
+    let bytes = small_library_bytes();
+    let mut failures = 0usize;
+    for cut in 0..bytes.len() {
+        if let Err(e) = exercise(&bytes[..cut]) {
+            // Truncation produces Truncated or BadString (a string table
+            // cut mid-entry), nothing else.
+            assert!(
+                matches!(
+                    e.kind(),
+                    ErrorKind::Truncated | ErrorKind::BadString
+                ),
+                "cut {cut}: unexpected {e} ({:?})",
+                e.kind()
+            );
+            failures += 1;
+        }
+    }
+    assert!(failures > bytes.len() / 2, "most cuts must fail: {failures}");
+    exercise(&bytes).expect("untruncated image is clean");
+}
+
+#[test]
+fn error_kind_taxonomy_is_total_and_stable() {
+    let samples = [
+        (
+            ElfError::Truncated { what: "x", offset: 0, need: 4, have: 0 },
+            ErrorKind::Truncated,
+            "truncated",
+        ),
+        (ElfError::BadMagic, ErrorKind::BadMagic, "bad-magic"),
+        (ElfError::UnsupportedClass, ErrorKind::Unsupported, "unsupported"),
+        (
+            ElfError::UnsupportedMachine(3),
+            ErrorKind::Unsupported,
+            "unsupported",
+        ),
+        (
+            ElfError::BadString { offset: 9 },
+            ErrorKind::BadString,
+            "bad-string",
+        ),
+        (
+            ElfError::BadSectionIndex(7),
+            ErrorKind::BadSectionIndex,
+            "bad-section-index",
+        ),
+        (
+            ElfError::Malformed("nope"),
+            ErrorKind::Malformed,
+            "malformed",
+        ),
+        (
+            ElfError::ResourceLimit { what: "nodes", limit: 1, actual: 2 },
+            ErrorKind::ResourceLimit,
+            "resource-limit",
+        ),
+    ];
+    for (err, kind, label) in samples {
+        assert_eq!(err.kind(), kind, "{err}");
+        assert_eq!(kind.label(), label);
+        assert_eq!(kind.to_string(), label);
+    }
+    // ALL covers every kind exactly once, in display order.
+    let mut seen = std::collections::BTreeSet::new();
+    for k in ErrorKind::ALL {
+        assert!(seen.insert(k), "duplicate {k}");
+    }
+    assert_eq!(seen.len(), ErrorKind::ALL.len());
+}
+
+#[test]
+fn patched_images_classify_under_the_expected_kinds() {
+    let bytes = small_library_bytes();
+
+    // Bad magic.
+    let mut m = bytes.clone();
+    m[1] ^= 0x40;
+    assert_eq!(exercise(&m).unwrap_err().kind(), ErrorKind::BadMagic);
+
+    // Wrong class.
+    let mut c = bytes.clone();
+    c[4] = 1;
+    assert_eq!(exercise(&c).unwrap_err().kind(), ErrorKind::Unsupported);
+
+    // Wrong machine.
+    let mut mach = bytes.clone();
+    mach[18] = 40; // EM_ARM
+    assert_eq!(exercise(&mach).unwrap_err().kind(), ErrorKind::Unsupported);
+
+    // Section-name string table index out of range.
+    let mut shstr = bytes.clone();
+    shstr[62..64].copy_from_slice(&u16::MAX.to_le_bytes()); // e_shstrndx
+    assert_eq!(
+        exercise(&shstr).unwrap_err().kind(),
+        ErrorKind::BadSectionIndex
+    );
+}

@@ -466,13 +466,35 @@ pub struct Decoder<'a> {
     bytes: &'a [u8],
     addr: u64,
     pos: usize,
+    emitted: u64,
+    limit: u64,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `bytes`, which begin at virtual address
     /// `addr`.
     pub fn new(bytes: &'a [u8], addr: u64) -> Self {
-        Self { bytes, addr, pos: 0 }
+        Self { bytes, addr, pos: 0, emitted: 0, limit: u64::MAX }
+    }
+
+    /// Like [`Decoder::new`], but stops after at most `limit` instructions
+    /// — a resource guard for hostile inputs, so a pathological byte
+    /// stream can never hold a scan loop hostage. Use
+    /// [`Decoder::hit_limit`] afterwards to tell a budget stop from a
+    /// normal end of input.
+    pub fn with_insn_limit(bytes: &'a [u8], addr: u64, limit: u64) -> Self {
+        Self { bytes, addr, pos: 0, emitted: 0, limit }
+    }
+
+    /// True when iteration stopped because the instruction budget ran out
+    /// while input remained.
+    pub fn hit_limit(&self) -> bool {
+        self.emitted >= self.limit && self.pos < self.bytes.len()
+    }
+
+    /// Instructions decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.emitted
     }
 }
 
@@ -480,11 +502,12 @@ impl Iterator for Decoder<'_> {
     type Item = Decoded;
 
     fn next(&mut self) -> Option<Decoded> {
-        if self.pos >= self.bytes.len() {
+        if self.pos >= self.bytes.len() || self.emitted >= self.limit {
             return None;
         }
         let d = decode(&self.bytes[self.pos..], self.addr + self.pos as u64);
         self.pos += d.len;
+        self.emitted += 1;
         Some(d)
     }
 }
@@ -690,5 +713,29 @@ mod tests {
         // mov rax, [rax+disp32] → 48 8B 80 44 33 22 11
         let d = one(&[0x48, 0x8b, 0x80, 0x44, 0x33, 0x22, 0x11]);
         assert_eq!(d.len, 7);
+    }
+
+    #[test]
+    fn insn_limit_stops_iteration() {
+        // Four instructions; a budget of two yields exactly two and
+        // reports the budget stop.
+        let code = [
+            0xb8, 1, 0, 0, 0, //
+            0xbf, 2, 0, 0, 0, //
+            0x0f, 0x05, //
+            0xc3,
+        ];
+        let mut d = Decoder::with_insn_limit(&code, 0x4000, 2);
+        assert!(d.next().is_some());
+        assert!(d.next().is_some());
+        assert!(d.next().is_none(), "budget exhausted");
+        assert!(d.hit_limit(), "input remained when the budget ran out");
+        assert_eq!(d.decoded(), 2);
+
+        // A budget larger than the stream never reports a limit stop.
+        let mut d = Decoder::with_insn_limit(&code, 0x4000, 100);
+        assert_eq!(d.by_ref().count(), 4);
+        assert!(!d.hit_limit());
+        assert_eq!(d.decoded(), 4);
     }
 }

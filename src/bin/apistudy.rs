@@ -13,6 +13,7 @@
 //!   seccomp <package>        seccomp allow-list + BPF filter for a package
 //!   export <path>            write the measured dataset as CSV
 //!   summary                  headline numbers (Figures 2/3/7)
+//!   faults [fault-seed]      corruption-degradation sweep (0% → 10%)
 //! ```
 
 use std::collections::HashSet;
@@ -32,7 +33,8 @@ fn usage() -> ! {
         "usage: apistudy [--scale test|medium|paper] [--seed N] <command>\n\
          commands: importance <api>... | dependents <api> | suggest <file>\n\
          \x20         | completeness <file> | workloads <api>...\n\
-         \x20         | seccomp <pkg> | export <path> | summary"
+         \x20         | seccomp <pkg> | export <path> | summary\n\
+         \x20         | faults [fault-seed]"
     );
     exit(2)
 }
@@ -218,6 +220,25 @@ fn main() {
                 exit(1)
             });
             eprintln!("wrote {} rows ({} bytes) to {path}", ds.rows.len(), text.len());
+        }
+        "faults" => {
+            use apistudy::analysis::AnalysisOptions;
+            use apistudy::core::{corruption_sweep, degradation_table};
+            let fault_seed = rest
+                .first()
+                .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(0x5EED);
+            let rates = [0.0, 0.01, 0.02, 0.05, 0.10];
+            eprintln!(
+                "sweeping injected corruption (fault seed {fault_seed:#x})..."
+            );
+            let points = corruption_sweep(
+                study.repo(),
+                AnalysisOptions::default(),
+                fault_seed,
+                &rates,
+            );
+            println!("{}", degradation_table(&points).render());
         }
         "summary" => {
             let ranking = metrics.importance_ranking(ApiKind::Syscall);

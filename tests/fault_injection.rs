@@ -1,0 +1,183 @@
+//! Fault-isolation contract: a corpus with deterministically injected
+//! corruption must be measured, not aborted — every corrupt binary
+//! quarantined and accounted for, every unaffected package bit-identical
+//! to the clean run, and the degradation curve monotone in the corruption
+//! rate.
+
+use std::collections::HashSet;
+
+use apistudy::analysis::AnalysisOptions;
+use apistudy::core::{corruption_sweep, StudyData};
+use apistudy::corpus::{CalibrationSpec, FaultPlan, Scale, SynthRepo};
+
+const FAULT_SEED: u64 = 0x5EED;
+
+fn repo() -> SynthRepo {
+    SynthRepo::new(
+        Scale { packages: 150, installations: 50_000 },
+        CalibrationSpec::default(),
+        0xBEEF,
+    )
+}
+
+#[test]
+fn corruption_at_5_percent_quarantines_exactly_the_injected_set() {
+    let repo = repo();
+    let clean = StudyData::from_synth(&repo);
+    assert!(clean.diagnostics.is_clean(), "pristine corpus must run clean");
+
+    let plan = FaultPlan::new(FAULT_SEED, 0.05);
+    let faulted =
+        StudyData::from_synth_faulted(&repo, AnalysisOptions::default(), &plan);
+    let diag = &faulted.diagnostics;
+    assert!(!diag.injected.is_empty(), "5% of ~150 packages must inject");
+    assert_eq!(
+        diag.quarantined_packages, 0,
+        "corrupt binaries must not take whole packages down"
+    );
+
+    // Every fatal injection is quarantined as a classified skip, keyed by
+    // (package name, file name) against the injection ledger...
+    let pkg_name = |idx: usize| repo.plan.packages[idx].name.as_str();
+    let fatal: HashSet<(String, String)> = diag
+        .injected
+        .iter()
+        .filter(|r| r.fatal)
+        .map(|r| (pkg_name(r.package_index).to_owned(), r.file.clone()))
+        .collect();
+    let skipped: HashSet<(String, String)> = diag
+        .skipped
+        .iter()
+        .map(|s| (s.package.clone(), s.file.clone()))
+        .collect();
+    assert!(!fatal.is_empty(), "the mix of kinds must include fatal ones");
+    for key in &fatal {
+        assert!(skipped.contains(key), "injected-corrupt {key:?} not skipped");
+    }
+    // ...and nothing else was skipped: the rest of the corpus is pristine.
+    for key in &skipped {
+        assert!(fatal.contains(key), "unexpected skip {key:?}");
+    }
+    // Every skip is classified under the error taxonomy (corrupt bytes
+    // fail with structured errors, not panics).
+    for s in &diag.skipped {
+        assert!(s.kind.is_some(), "unclassified skip: {s:?}");
+    }
+    assert_eq!(diag.panics_contained, 0, "no analysis panics expected");
+
+    // Packages shipping a fatal injection are flagged, and their skip
+    // counters match the ledger.
+    for r in diag.injected.iter().filter(|r| r.fatal) {
+        let rec = faulted.package(pkg_name(r.package_index)).unwrap();
+        assert!(rec.partial_footprint, "{} not flagged partial", rec.name);
+        assert!(rec.skipped_binaries > 0);
+    }
+}
+
+#[test]
+fn unaffected_packages_are_bit_identical_to_the_clean_run() {
+    let repo = repo();
+    let clean = StudyData::from_synth(&repo);
+    let plan = FaultPlan::new(FAULT_SEED, 0.05);
+    let faulted =
+        StudyData::from_synth_faulted(&repo, AnalysisOptions::default(), &plan);
+
+    // Packages that received a *fatal* injection, per ground truth.
+    let fatally_injected: HashSet<&str> = faulted
+        .diagnostics
+        .injected
+        .iter()
+        .filter(|r| r.fatal)
+        .map(|r| repo.plan.packages[r.package_index].name.as_str())
+        .collect();
+
+    let mut compared = 0;
+    for (clean_rec, faulted_rec) in clean.packages.iter().zip(&faulted.packages) {
+        assert_eq!(clean_rec.name, faulted_rec.name);
+        if faulted_rec.partial_footprint
+            || faulted_rec.skipped_binaries > 0
+            || fatally_injected.contains(faulted_rec.name.as_str())
+        {
+            continue;
+        }
+        // Unaffected (including packages whose only injection was the
+        // survivable dependency cycle): metrics must be bit-identical.
+        assert_eq!(
+            clean_rec.footprint, faulted_rec.footprint,
+            "{} footprint drifted without any recorded fault",
+            clean_rec.name
+        );
+        assert_eq!(clean_rec.file_counts, faulted_rec.file_counts);
+        assert_eq!(
+            clean_rec.unresolved_syscall_sites,
+            faulted_rec.unresolved_syscall_sites
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 100,
+        "only {compared}/150 packages unaffected at a 5% rate"
+    );
+}
+
+#[test]
+fn rate_zero_is_exactly_the_clean_run_and_reruns_are_deterministic() {
+    let repo = repo();
+    let clean = StudyData::from_synth(&repo);
+    let zero = StudyData::from_synth_faulted(
+        &repo,
+        AnalysisOptions::default(),
+        &FaultPlan::new(FAULT_SEED, 0.0),
+    );
+    assert!(zero.diagnostics.is_clean());
+    for (a, b) in clean.packages.iter().zip(&zero.packages) {
+        assert_eq!(a.footprint, b.footprint, "{}", a.name);
+        assert!(!b.partial_footprint);
+    }
+
+    let plan = FaultPlan::new(FAULT_SEED, 0.05);
+    let run1 =
+        StudyData::from_synth_faulted(&repo, AnalysisOptions::default(), &plan);
+    let run2 =
+        StudyData::from_synth_faulted(&repo, AnalysisOptions::default(), &plan);
+    assert_eq!(run1.diagnostics.injected, run2.diagnostics.injected);
+    assert_eq!(
+        run1.diagnostics.skipped.len(),
+        run2.diagnostics.skipped.len()
+    );
+    for (a, b) in run1.packages.iter().zip(&run2.packages) {
+        assert_eq!(a.footprint, b.footprint, "{}", a.name);
+        assert_eq!(a.partial_footprint, b.partial_footprint);
+        assert_eq!(a.skipped_binaries, b.skipped_binaries);
+    }
+}
+
+#[test]
+fn degradation_sweep_is_monotone_from_0_to_10_percent() {
+    let repo = repo();
+    let rates = [0.0, 0.02, 0.05, 0.10];
+    let points = corruption_sweep(
+        &repo,
+        AnalysisOptions::default(),
+        FAULT_SEED,
+        &rates,
+    );
+    assert_eq!(points.len(), rates.len());
+    assert_eq!(points[0].injected, 0);
+    assert_eq!(points[0].skipped_binaries, 0);
+    for pair in points.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        assert!(hi.injected >= lo.injected, "nested plans grow");
+        assert!(hi.injected_fatal >= lo.injected_fatal);
+        assert!(hi.skipped_binaries >= lo.skipped_binaries);
+        assert!(hi.partial_packages >= lo.partial_packages);
+        assert!(
+            hi.distinct_syscalls <= lo.distinct_syscalls,
+            "observed API coverage can only shrink as corruption rises"
+        );
+    }
+    assert!(
+        points.last().unwrap().skipped_binaries > 0,
+        "10% corruption must quarantine something"
+    );
+}

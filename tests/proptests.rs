@@ -293,6 +293,52 @@ proptest! {
             let _ = apistudy::analysis::BinaryAnalysis::analyze(&elf);
         }
     }
+
+    // The fault corruptor's own mutations are a biased sampler of exactly
+    // the corruption the robustness pipeline must absorb: no kind, salt,
+    // or kind-combination may panic the parser, the analyzer, or the
+    // decoder underneath them.
+    #[test]
+    fn injected_faults_never_panic_parse_or_analysis(
+        kinds in proptest::collection::vec(0usize..8, 1..4),
+        salt in any::<u64>(),
+    ) {
+        use apistudy::corpus::fault::{inject, FaultKind};
+        let mut bytes = valid_elf_bytes();
+        for k in kinds {
+            let _ = inject(FaultKind::ALL[k], salt, &mut bytes);
+        }
+        if let Ok(elf) = ElfFile::parse(&bytes) {
+            let _ = elf.symtab();
+            let _ = elf.dynsym();
+            let _ = elf.needed_libraries();
+            let _ = elf.plt_map();
+            let _ = apistudy::analysis::BinaryAnalysis::analyze(&elf);
+        }
+    }
+
+    // Resource guards are total: arbitrarily tiny budgets classify the
+    // binary (ResourceLimit errors), never panic or hang.
+    #[test]
+    fn tiny_resource_budgets_never_panic(
+        max_functions in 0u32..8,
+        decode_budget in 0u64..16,
+    ) {
+        let bytes = valid_elf_bytes();
+        let elf = ElfFile::parse(&bytes).expect("pristine ELF parses");
+        let options = apistudy::analysis::AnalysisOptions {
+            max_functions,
+            decode_budget,
+            ..Default::default()
+        };
+        match apistudy::analysis::BinaryAnalysis::analyze_with(&elf, options) {
+            Ok(ba) => prop_assert!(ba.instructions <= decode_budget),
+            Err(e) => prop_assert_eq!(
+                e.kind(),
+                apistudy::elf::ErrorKind::ResourceLimit
+            ),
+        }
+    }
 }
 
 #[test]
