@@ -31,7 +31,7 @@ const SYS_FCNTL: u64 = 72;
 const SYS_PRCTL: u64 = 157;
 
 /// One analyzed function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuncInfo {
     /// Symbol name (synthetic `sub_<addr>` when unnamed).
     pub name: String,
@@ -46,7 +46,7 @@ pub struct FuncInfo {
 }
 
 /// The analysis result for one ELF binary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinaryAnalysis {
     /// Figure 1 classification.
     pub class: BinaryClass,
@@ -90,6 +90,46 @@ fn read_cstr_at(data: &[u8], base: u64, addr: u64) -> Option<String> {
 /// Registers clobbered by a call under the System V AMD64 ABI.
 const CALLER_SAVED: [u8; 9] = [0, 1, 2, 6, 7, 8, 9, 10, 11];
 
+/// Stable 64-bit content hash over a binary's bytes — the identity half of
+/// the incremental-analysis cache key (the other half is
+/// [`AnalysisOptions::fingerprint`]).
+///
+/// xxhash-style word-at-a-time mixing with a splitmix finalizer: no
+/// dependencies, deterministic across processes and platforms (the input
+/// is read little-endian), and every single-bit change to the input — the
+/// smallest mutation the fault injector performs — avalanches through the
+/// final multiply-shift rounds. This is an integrity fingerprint for
+/// dedup, not a cryptographic hash: collisions are astronomically unlikely
+/// for corpus-sized inputs but an adversary could manufacture one.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    const PRIME_1: u64 = 0x9E37_79B1_85EB_CA87;
+    const PRIME_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    const SEED: u64 = 0x27D4_EB2F_1656_67C5;
+    let mut h = SEED ^ (bytes.len() as u64).wrapping_mul(PRIME_1);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h ^= word.wrapping_mul(PRIME_2);
+        h = h.rotate_left(31).wrapping_mul(PRIME_1);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = 0u64;
+        for (i, &b) in tail.iter().enumerate() {
+            word |= u64::from(b) << (8 * i);
+        }
+        // Mix the tail length in so "3 trailing bytes" and "3 trailing
+        // bytes followed by removed zeros" cannot collide trivially.
+        h ^= word.wrapping_mul(PRIME_2) ^ (tail.len() as u64);
+        h = h.rotate_left(27).wrapping_mul(PRIME_1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 32)
+}
+
 /// Tunable analysis choices — the knobs behind the paper's §7 design
 /// decisions, exposed so their effect can be measured (ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +165,32 @@ impl Default for AnalysisOptions {
             max_functions: 1 << 16,
             decode_budget: 1 << 24,
         }
+    }
+}
+
+impl AnalysisOptions {
+    /// Stable 64-bit fingerprint of every option that can change an
+    /// analysis result — the configuration half of the incremental cache
+    /// key. Two option sets with equal fingerprints must produce identical
+    /// [`BinaryAnalysis`] values for the same input bytes, so every field
+    /// is folded in; adding a field to this struct without extending this
+    /// method is a cache-poisoning bug (the `fingerprint_covers_all_fields`
+    /// test destructures the struct to force the compile error).
+    pub fn fingerprint(&self) -> u64 {
+        let Self {
+            function_pointer_edges,
+            tail_call_edges,
+            track_vectored,
+            max_functions,
+            decode_budget,
+        } = *self;
+        let mut bytes = [0u8; 16];
+        bytes[0] = u8::from(function_pointer_edges);
+        bytes[1] = u8::from(tail_call_edges);
+        bytes[2] = u8::from(track_vectored);
+        bytes[4..8].copy_from_slice(&max_functions.to_le_bytes());
+        bytes[8..16].copy_from_slice(&decode_budget.to_le_bytes());
+        content_hash(&bytes)
     }
 }
 

@@ -24,6 +24,6 @@ pub mod binary;
 pub mod facts;
 pub mod linker;
 
-pub use binary::{AnalysisOptions, BinaryAnalysis, FuncInfo};
+pub use binary::{content_hash, AnalysisOptions, BinaryAnalysis, FuncInfo};
 pub use facts::Footprint;
 pub use linker::Linker;

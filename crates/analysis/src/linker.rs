@@ -27,7 +27,7 @@ type Node = u32;
 /// [`Linker::resolve_export`] any number of times.
 #[derive(Debug, Default)]
 pub struct Linker {
-    libs: Vec<BinaryAnalysis>,
+    libs: Vec<Arc<BinaryAnalysis>>,
     by_soname: HashMap<String, usize>,
     /// Per-library node-id base offset.
     node_base: Vec<u32>,
@@ -43,10 +43,16 @@ impl Linker {
     }
 
     /// Registers a shared library by its `DT_SONAME` (falling back to the
-    /// given name when the binary has none). Must be called before
-    /// [`Linker::seal`].
-    pub fn add_library(&mut self, name_fallback: &str, ba: BinaryAnalysis) -> usize {
+    /// given name when the binary has none). Accepts either an owned
+    /// analysis or a shared `Arc` (the incremental cache hands out the
+    /// latter). Must be called before [`Linker::seal`].
+    pub fn add_library(
+        &mut self,
+        name_fallback: &str,
+        ba: impl Into<Arc<BinaryAnalysis>>,
+    ) -> usize {
         assert!(!self.sealed, "cannot add libraries after seal()");
+        let ba = ba.into();
         let name = ba.soname.clone().unwrap_or_else(|| name_fallback.to_owned());
         let idx = self.libs.len();
         self.libs.push(ba);
@@ -61,18 +67,23 @@ impl Linker {
 
     /// The analysis of a registered library, by soname.
     pub fn library(&self, soname: &str) -> Option<&BinaryAnalysis> {
-        self.by_soname.get(soname).map(|&i| &self.libs[i])
+        self.by_soname.get(soname).map(|&i| &*self.libs[i])
     }
 
     /// Iterates every registered `(soname, analysis)` pair (the pipeline's
     /// degradation-taint propagation walks `DT_NEEDED` edges through this).
     pub fn libraries_iter(&self) -> impl Iterator<Item = (&str, &BinaryAnalysis)> {
-        self.by_soname.iter().map(|(name, &i)| (name.as_str(), &self.libs[i]))
+        self.by_soname.iter().map(|(name, &i)| (name.as_str(), &*self.libs[i]))
     }
 
     /// BFS over `DT_NEEDED` starting from the given sonames, returning
-    /// library indices in search order.
-    fn needed_closure(&self, roots: &[String]) -> Vec<usize> {
+    /// library indices (as handed out by [`Linker::add_library`]) in
+    /// search order. Unknown sonames are skipped. This is the exact
+    /// closure [`Linker::resolve_executable`] resolves symbols through,
+    /// which is why the incremental footprint cache derives its keys from
+    /// it: a resolved footprint is a pure function of the executable and
+    /// the libraries this walk visits.
+    pub fn needed_closure(&self, roots: &[String]) -> Vec<usize> {
         let mut order = Vec::new();
         let mut seen = BTreeSet::new();
         let mut queue: Vec<&str> = roots.iter().map(String::as_str).collect();

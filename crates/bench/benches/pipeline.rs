@@ -9,9 +9,11 @@ use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use apistudy_analysis::{BinaryAnalysis, Linker};
+use apistudy_analysis::{AnalysisOptions, BinaryAnalysis, Linker};
 use apistudy_catalog::{Api, ApiSet, Catalog};
-use apistudy_core::{Metrics, StudyData};
+use apistudy_core::{
+    corruption_sweep_with, AnalysisCache, CacheMode, Metrics, StudyData,
+};
 use apistudy_corpus::{
     codegen::{generate_executable, ExecSpec, VectoredVia},
     libc_gen, CalibrationSpec, Scale, SynthRepo,
@@ -118,6 +120,39 @@ fn bench_study(c: &mut Criterion) {
     let supported: std::collections::HashSet<u32> = (0..250).collect();
     c.bench_function("weighted_completeness_250_syscalls", |b| {
         b.iter(|| metrics.syscall_completeness(std::hint::black_box(&supported)))
+    });
+
+    // The incremental-cache win on the CLI's full fault grid: eleven
+    // rates, 0% → 10%, plus the clean baseline. `sweep_cold` rebuilds
+    // every point from scratch; `sweep_cached` shares one warm in-memory
+    // cache across iterations, so it measures the steady-state sweep
+    // (only binaries each FaultPlan mutated re-analyze). The smoke gate
+    // in `cache_smoke` enforces the ratio; these benches record it.
+    let rates: Vec<f64> = (0..=10).map(|i| i as f64 / 100.0).collect();
+    let options = AnalysisOptions::default();
+    c.bench_function("sweep_cold", |b| {
+        b.iter(|| {
+            let cache = AnalysisCache::new(CacheMode::Off);
+            corruption_sweep_with(
+                std::hint::black_box(&repo),
+                options,
+                0x5EED,
+                &rates,
+                &cache,
+            )
+        })
+    });
+    let warm = AnalysisCache::new(CacheMode::Mem);
+    c.bench_function("sweep_cached", |b| {
+        b.iter(|| {
+            corruption_sweep_with(
+                std::hint::black_box(&repo),
+                options,
+                0x5EED,
+                &rates,
+                &warm,
+            )
+        })
     });
 }
 

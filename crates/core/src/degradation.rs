@@ -20,6 +20,7 @@ use apistudy_catalog::ApiKind;
 use apistudy_corpus::{FaultPlan, SynthRepo};
 use apistudy_report::{pct, Align, TextTable};
 
+use crate::cache::{AnalysisCache, CacheMode};
 use crate::{metrics::Metrics, pipeline::StudyData};
 
 /// How many of the clean baseline's top-ranked syscalls form the fixed
@@ -54,13 +55,42 @@ pub struct DegradationPoint {
 /// The support set for the completeness column is fixed once, from the
 /// *clean* baseline's importance ranking, so the column isolates how
 /// corruption moves the metric rather than how it moves the ranking.
+///
+/// One [`AnalysisCache`] (mode from `APISTUDY_CACHE`, default `mem`) is
+/// threaded through the baseline and every rate: the clean run warms it,
+/// and each sweep point then re-analyzes only the binaries its
+/// [`FaultPlan`] actually mutated — everything byte-identical to the
+/// baseline is a cache hit. The measured points are bit-identical to an
+/// un-cached sweep (`APISTUDY_CACHE=off` restores one).
 pub fn corruption_sweep(
     repo: &SynthRepo,
     options: AnalysisOptions,
     fault_seed: u64,
     rates: &[f64],
 ) -> Vec<DegradationPoint> {
-    let baseline = StudyData::from_synth_with(repo, options);
+    let cache = AnalysisCache::new(CacheMode::from_env());
+    corruption_sweep_with(repo, options, fault_seed, rates, &cache)
+}
+
+/// [`corruption_sweep`] with a caller-supplied cache — the CLI passes its
+/// `--cache`-selected (possibly disk-backed) instance and then reads the
+/// traffic counters back for its footer; benches pass `off`/`mem` caches
+/// to measure cold versus warm sweeps.
+pub fn corruption_sweep_with(
+    repo: &SynthRepo,
+    options: AnalysisOptions,
+    fault_seed: u64,
+    rates: &[f64],
+    cache: &AnalysisCache,
+) -> Vec<DegradationPoint> {
+    // Materialize the corpus once and hold it for the sweep's duration:
+    // every point then clones packages (a memcpy of the corpus's bytes)
+    // instead of re-synthesizing them, which costs over an order of
+    // magnitude more. The memory price is the corpus's byte size (a few
+    // MiB at test scale), paid once instead of regenerated per point.
+    let packages = repo.materialize_all();
+    let baseline =
+        StudyData::from_packages_cached(repo, &packages, options, Some(cache));
     let supported: HashSet<u32> = Metrics::new(&baseline)
         .importance_ranking(ApiKind::Syscall)
         .into_iter()
@@ -74,7 +104,13 @@ pub fn corruption_sweep(
         .iter()
         .map(|&rate| {
             let plan = FaultPlan::new(fault_seed, rate);
-            let data = StudyData::from_synth_faulted(repo, options, &plan);
+            let data = StudyData::from_packages_faulted_cached(
+                repo,
+                &packages,
+                options,
+                &plan,
+                Some(cache),
+            );
             measure(rate, &data, &supported)
         })
         .collect()

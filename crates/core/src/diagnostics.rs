@@ -16,6 +16,8 @@ use std::collections::BTreeMap;
 use apistudy_corpus::FaultRecord;
 use apistudy_elf::ErrorKind;
 
+use crate::cache::CacheMode;
+
 /// Which pipeline stage rejected a binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SkipStage {
@@ -81,6 +83,16 @@ pub struct RunDiagnostics {
     /// panicked at package granularity); their records carry an empty
     /// footprint and the partial-footprint flag.
     pub quarantined_packages: u32,
+    /// Binaries whose analysis came straight from the incremental cache
+    /// (see [`crate::cache::AnalysisCache`]): zero for un-cached runs.
+    pub cache_hits: u64,
+    /// Binaries this run looked up in the cache and had to analyze fresh.
+    pub cache_misses: u64,
+    /// Cache entries displaced by the capacity cap during this run.
+    pub cache_evictions: u64,
+    /// Which cache mode the run used ([`CacheMode::Off`] when none was
+    /// attached).
+    pub cache_mode: CacheMode,
 }
 
 impl RunDiagnostics {
@@ -119,7 +131,9 @@ impl RunDiagnostics {
     }
 
     /// True when nothing was skipped, injected, contained, or
-    /// quarantined — the run measured every binary it saw.
+    /// quarantined — the run measured every binary it saw. Cache
+    /// counters are deliberately ignored: a warm-cache run that measured
+    /// everything is exactly as clean as a cold one.
     pub fn is_clean(&self) -> bool {
         self.skipped.is_empty()
             && self.injected.is_empty()
@@ -166,5 +180,17 @@ mod tests {
     fn contained_panic_alone_is_not_clean() {
         let d = RunDiagnostics { panics_contained: 1, ..Default::default() };
         assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn cache_traffic_does_not_affect_cleanliness() {
+        let d = RunDiagnostics {
+            cache_hits: 100,
+            cache_misses: 5,
+            cache_evictions: 2,
+            cache_mode: CacheMode::Mem,
+            ..Default::default()
+        };
+        assert!(d.is_clean(), "a warm-cache run is as clean as a cold one");
     }
 }

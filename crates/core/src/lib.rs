@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dataset;
 pub mod degradation;
 pub mod diagnostics;
@@ -41,9 +42,11 @@ pub mod seccomp_bpf;
 pub mod study;
 pub mod workloads;
 
+pub use cache::{AnalysisCache, CacheKey, CacheMode, CacheStats};
 pub use dataset::{Dataset, DatasetRow};
 pub use degradation::{
-    corruption_sweep, degradation_table, DegradationPoint,
+    corruption_sweep, corruption_sweep_with, degradation_table,
+    DegradationPoint,
 };
 pub use diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
 pub use diff::{ApiShift, StudyDiff};

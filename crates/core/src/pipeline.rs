@@ -29,6 +29,7 @@ use apistudy_corpus::{
 };
 use apistudy_elf::{BinaryClass, ElfError, ElfFile, ErrorKind};
 
+use crate::cache::{fold_hash, AnalysisCache, CacheKey};
 use crate::diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
 use crate::footprint::ApiFootprint;
 
@@ -65,16 +66,40 @@ pub struct PackageRecord {
 ///
 /// Binary file names are interned as `Arc<str>`: a library that uses 100
 /// syscalls appears in 100 users-sets but its name is allocated once.
+///
+/// The per-syscall user index is built once, at `assemble` time: names
+/// are appended as binaries stream by, then [`Attribution::finalize`]
+/// sorts and dedups each list in a single pass. Queries iterate a sorted
+/// slice — no per-query set walk, no tree overhead, and the iteration
+/// order matches the `BTreeSet` the index replaced (lexicographic, since
+/// `Arc<str>` orders by content).
 #[derive(Debug, Clone, Default)]
 pub struct Attribution {
-    /// Syscall number → binary file names with direct call sites.
-    pub direct_users: HashMap<u32, BTreeSet<Arc<str>>>,
+    /// Syscall number → binary file names with direct call sites,
+    /// sorted and deduplicated by [`Attribution::finalize`].
+    pub direct_users: HashMap<u32, Vec<Arc<str>>>,
     /// Binary file name → owning package.
     pub binary_package: HashMap<Arc<str>, Arc<str>>,
 }
 
 impl Attribution {
-    /// Binaries with direct call sites for a syscall.
+    /// Records one binary as a direct user of a syscall (duplicates are
+    /// fine until [`Attribution::finalize`] runs).
+    fn record(&mut self, nr: u32, file: &Arc<str>) {
+        self.direct_users.entry(nr).or_default().push(Arc::clone(file));
+    }
+
+    /// Sorts and dedups every user list; called exactly once after all
+    /// binaries are registered.
+    fn finalize(&mut self) {
+        for users in self.direct_users.values_mut() {
+            users.sort_unstable();
+            users.dedup();
+        }
+    }
+
+    /// Binaries with direct call sites for a syscall, in lexicographic
+    /// order.
     pub fn users_of(&self, nr: u32) -> impl Iterator<Item = &str> {
         self.direct_users
             .get(&nr)
@@ -227,8 +252,12 @@ struct PkgIntermediate {
     #[allow(dead_code)]
     index: usize,
     package: Package,
-    libs: Vec<(String, BinaryAnalysis)>,
-    execs: Vec<BinaryAnalysis>,
+    /// `(file name, content hash, analysis)` per shipped library. The
+    /// hash is 0 when no cache is attached (it is only consumed by the
+    /// footprint-cache key derivation, which is skipped in that case).
+    libs: Vec<(String, u64, Arc<BinaryAnalysis>)>,
+    /// `(content hash, analysis)` per shipped executable.
+    execs: Vec<(u64, Arc<BinaryAnalysis>)>,
     /// `libs.len()` before the analyses are moved into the linker.
     lib_count: usize,
     /// Whether this package ships the dynamic linker.
@@ -243,6 +272,10 @@ struct PkgIntermediate {
     panics_contained: u64,
     /// Caught panics whose retry succeeded.
     retries_recovered: u64,
+    /// Binaries of this package served straight from the analysis cache.
+    cache_hits: u64,
+    /// Binaries looked up in the cache but analyzed fresh.
+    cache_misses: u64,
     /// True when the whole package was abandoned (package-level double
     /// panic): no binary was analyzed, the record is a placeholder.
     quarantined: bool,
@@ -295,6 +328,8 @@ impl PkgIntermediate {
             injected: Vec::new(),
             panics_contained: 0,
             retries_recovered: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             quarantined: true,
         }
     }
@@ -330,10 +365,19 @@ fn analyze_binary(
     }
 }
 
+/// Analyzes every ELF of one package, consulting the incremental cache
+/// when one is attached (`cache` carries the shared [`AnalysisCache`] and
+/// the pre-computed [`AnalysisOptions::fingerprint`] so workers don't
+/// re-derive it per binary). Cache policy: only clean, panic-free
+/// successes are stored — an error (including a `ResourceLimit` skip)
+/// must be re-derived each run so the skip ledger stays exact, and a
+/// result recovered by a panic retry may be transient, so a retryable
+/// panic stays retryable.
 fn analyze_package(
     index: usize,
     package: Package,
     options: AnalysisOptions,
+    cache: Option<(&AnalysisCache, u64)>,
 ) -> PkgIntermediate {
     let mut libs = Vec::new();
     let mut execs = Vec::new();
@@ -342,15 +386,37 @@ fn analyze_package(
     let mut skipped = Vec::new();
     let mut panics_contained = 0u64;
     let mut retries_recovered = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
     for file in &package.files {
         let PackageFile::Elf { name, bytes } = file else { continue };
+        let key = cache
+            .map(|(_, opts_fp)| CacheKey::for_bytes(bytes, opts_fp));
+        let hash = key.map_or(0, |k| k.content);
+        if let (Some((cache, _)), Some(key)) = (cache, key) {
+            if let Some(ba) = cache.get(key) {
+                cache_hits += 1;
+                for f in &ba.funcs {
+                    unresolved += f.facts.unresolved_syscall_sites;
+                    resolved += f.facts.syscalls.len() as u64;
+                }
+                match ba.class {
+                    BinaryClass::SharedLib => {
+                        libs.push((name.clone(), hash, ba))
+                    }
+                    _ => execs.push((hash, ba)),
+                }
+                continue;
+            }
+            cache_misses += 1;
+        }
         let (result, panics) = analyze_binary(bytes, options);
         panics_contained += panics.min(1);
         if panics == 1 {
             retries_recovered += 1;
         }
         let ba = match result {
-            Ok(ba) => ba,
+            Ok(ba) => Arc::new(ba),
             Err((stage, kind, detail)) => {
                 skipped.push(SkippedBinary {
                     package: package.name.clone(),
@@ -362,19 +428,24 @@ fn analyze_package(
                 continue;
             }
         };
+        if panics == 0 {
+            if let (Some((cache, _)), Some(key)) = (cache, key) {
+                cache.insert(key, Arc::clone(&ba));
+            }
+        }
         for f in &ba.funcs {
             unresolved += f.facts.unresolved_syscall_sites;
             resolved += f.facts.syscalls.len() as u64;
         }
         match ba.class {
-            BinaryClass::SharedLib => libs.push((name.clone(), ba)),
-            _ => execs.push(ba),
+            BinaryClass::SharedLib => libs.push((name.clone(), hash, ba)),
+            _ => execs.push((hash, ba)),
         }
     }
     let lib_count = libs.len();
     let ships_ldso = libs
         .iter()
-        .any(|(name, _)| name == apistudy_corpus::libc_gen::LDSO_SONAME);
+        .any(|(name, _, _)| name == apistudy_corpus::libc_gen::LDSO_SONAME);
     PkgIntermediate {
         index,
         package,
@@ -388,6 +459,8 @@ fn analyze_package(
         injected: Vec::new(),
         panics_contained,
         retries_recovered,
+        cache_hits,
+        cache_misses,
         quarantined: false,
     }
 }
@@ -429,12 +502,41 @@ impl StudyData {
     /// corpus-wide ablation entry point: every metric downstream reflects
     /// the chosen analyzer behaviour.
     pub fn from_synth_with(repo: &SynthRepo, options: AnalysisOptions) -> Self {
-        let (inters, stats) = par_map_indexed(
-            repo.package_count(),
-            |i| analyze_package(i, repo.package(i), options),
-            |i, detail| PkgIntermediate::quarantined(i, repo, detail),
-        );
-        Self::assemble(repo, inters, stats)
+        Self::from_synth_cached(repo, options, None)
+    }
+
+    /// [`Self::from_synth_with`] consulting a shared incremental
+    /// [`AnalysisCache`]: binaries whose `(content hash, options
+    /// fingerprint)` key is already resident skip parsing and analysis
+    /// entirely. The result is bit-identical to an un-cached run — the
+    /// cache stores only clean, panic-free successes of a deterministic
+    /// analysis — and the traffic lands in the diagnostics' cache
+    /// counters.
+    pub fn from_synth_cached(
+        repo: &SynthRepo,
+        options: AnalysisOptions,
+        cache: Option<&AnalysisCache>,
+    ) -> Self {
+        Self::run_cached(repo, options, cache, |i| (repo.package(i), Vec::new()))
+    }
+
+    /// [`Self::from_synth_cached`] over a pre-materialized corpus:
+    /// workers clone `packages[i]` instead of regenerating it. Package
+    /// synthesis costs more than an order of magnitude over a memcpy of
+    /// the same bytes, so anything that runs the pipeline repeatedly over
+    /// one repository (the corruption sweep above all) should materialize
+    /// once with [`SynthRepo::materialize_all`] and pay the corpus's byte
+    /// size in memory for the duration.
+    pub fn from_packages_cached(
+        repo: &SynthRepo,
+        packages: &[Package],
+        options: AnalysisOptions,
+        cache: Option<&AnalysisCache>,
+    ) -> Self {
+        assert_eq!(packages.len(), repo.package_count());
+        Self::run_cached(repo, options, cache, |i| {
+            (packages[i].clone(), Vec::new())
+        })
     }
 
     /// Runs the full pipeline over a *corrupted* copy of the repository:
@@ -448,31 +550,97 @@ impl StudyData {
         options: AnalysisOptions,
         plan: &FaultPlan,
     ) -> Self {
+        Self::from_synth_faulted_cached(repo, options, plan, None)
+    }
+
+    /// [`Self::from_synth_faulted`] consulting a shared incremental
+    /// [`AnalysisCache`] — the sweep's workhorse. Corruption is applied
+    /// first and the *mutated* bytes are hashed, so an untouched binary
+    /// hits the clean baseline's entry while a corrupted one looks up its
+    /// own corrupted identity (nested fault plans corrupt a selected file
+    /// identically at every rate that selects it, so survivable
+    /// corruptions hit across sweep points too). Skips, quarantines, and
+    /// panic-retried results are never cached.
+    pub fn from_synth_faulted_cached(
+        repo: &SynthRepo,
+        options: AnalysisOptions,
+        plan: &FaultPlan,
+        cache: Option<&AnalysisCache>,
+    ) -> Self {
+        Self::run_cached(repo, options, cache, |i| {
+            let mut package = repo.package(i);
+            let injected = plan.corrupt_package(i, &mut package);
+            (package, injected)
+        })
+    }
+
+    /// [`Self::from_synth_faulted_cached`] over a pre-materialized
+    /// corpus: each worker clones its (pristine) package and corrupts the
+    /// clone, so the shared materialization stays clean across sweep
+    /// points.
+    pub fn from_packages_faulted_cached(
+        repo: &SynthRepo,
+        packages: &[Package],
+        options: AnalysisOptions,
+        plan: &FaultPlan,
+        cache: Option<&AnalysisCache>,
+    ) -> Self {
+        assert_eq!(packages.len(), repo.package_count());
+        Self::run_cached(repo, options, cache, |i| {
+            let mut package = packages[i].clone();
+            let injected = plan.corrupt_package(i, &mut package);
+            (package, injected)
+        })
+    }
+
+    /// The shared driver: produces each package (lazily generated or
+    /// cloned from a materialization, clean or fault-mutated), analyzes
+    /// the corpus in parallel, assembles, and stamps the run's cache
+    /// accounting into the diagnostics.
+    fn run_cached(
+        repo: &SynthRepo,
+        options: AnalysisOptions,
+        cache: Option<&AnalysisCache>,
+        produce: impl Fn(usize) -> (Package, Vec<apistudy_corpus::FaultRecord>)
+            + Sync,
+    ) -> Self {
+        let with_fp = cache.map(|c| (c, options.fingerprint()));
+        let evictions_before = cache.map_or(0, |c| c.stats().evictions);
         let (inters, stats) = par_map_indexed(
             repo.package_count(),
             |i| {
-                let mut package = repo.package(i);
-                let injected = plan.corrupt_package(i, &mut package);
-                let mut inter = analyze_package(i, package, options);
+                let (package, injected) = produce(i);
+                let mut inter = analyze_package(i, package, options, with_fp);
                 inter.injected = injected;
                 inter
             },
             |i, detail| PkgIntermediate::quarantined(i, repo, detail),
         );
-        Self::assemble(repo, inters, stats)
+        let mut data = Self::assemble(repo, inters, stats, with_fp);
+        if let Some(cache) = cache {
+            data.diagnostics.cache_mode = cache.mode();
+            data.diagnostics.cache_evictions =
+                cache.stats().evictions - evictions_before;
+        }
+        data
     }
 
     fn assemble(
         repo: &SynthRepo,
         mut inters: Vec<PkgIntermediate>,
         par_stats: ParStats,
+        cache: Option<(&AnalysisCache, u64)>,
     ) -> Self {
         let catalog = Catalog::linux_3_19();
         let census = MixCensus::scan(inters.iter().map(|i| &i.package));
 
         // Register every shared library, moving each analysis into the
         // linker (it is not needed twice); build attribution as we go.
+        // `lib_hashes[i]` is the content hash of the library the linker
+        // registered as index `i` — the footprint-cache key derivation
+        // folds these over each executable's DT_NEEDED closure.
         let mut linker = Linker::new();
+        let mut lib_hashes: Vec<u64> = Vec::new();
         let mut attribution = Attribution::default();
         let mut unresolved_total = 0u64;
         let mut resolved_total = 0u64;
@@ -481,35 +649,30 @@ impl StudyData {
             unresolved_total += u64::from(inter.unresolved);
             resolved_total += inter.resolved;
             lib_names
-                .push(inter.libs.iter().map(|(n, _)| n.clone()).collect());
+                .push(inter.libs.iter().map(|(n, _, _)| n.clone()).collect());
             let pkg: Arc<str> = Arc::from(inter.package.name.as_str());
-            for (name, ba) in inter.libs.drain(..) {
+            for (name, hash, ba) in inter.libs.drain(..) {
                 let file: Arc<str> = Arc::from(name.as_str());
                 for nr in ba.direct_syscalls() {
-                    attribution
-                        .direct_users
-                        .entry(nr)
-                        .or_default()
-                        .insert(Arc::clone(&file));
+                    attribution.record(nr, &file);
                 }
                 attribution
                     .binary_package
                     .insert(Arc::clone(&file), Arc::clone(&pkg));
-                linker.add_library(&name, ba);
+                let idx = linker.add_library(&name, ba);
+                debug_assert_eq!(idx, lib_hashes.len());
+                lib_hashes.push(hash);
             }
-            for (ei, ba) in inter.execs.iter().enumerate() {
+            for (ei, (_, ba)) in inter.execs.iter().enumerate() {
                 let file: Arc<str> =
                     Arc::from(format!("{}/exec{ei}", inter.package.name));
                 for nr in ba.direct_syscalls() {
-                    attribution
-                        .direct_users
-                        .entry(nr)
-                        .or_default()
-                        .insert(Arc::clone(&file));
+                    attribution.record(nr, &file);
                 }
                 attribution.binary_package.insert(file, Arc::clone(&pkg));
             }
         }
+        attribution.finalize();
         linker.seal();
 
         // Fault isolation: every binary the pipeline skipped taints its
@@ -547,26 +710,62 @@ impl StudyData {
             }
         }
 
+        // Resolved footprints are a pure function of (binary, closure
+        // libraries, options): when a cache is attached and enabled, key
+        // them by folding the binary's content hash with its closure
+        // libraries' hashes in search order, and skip the cross-binary
+        // resolution entirely on a hit. A sweep point re-resolves only
+        // executables whose own bytes — or whose linked libraries —
+        // actually mutated.
+        let fp_cache = cache.filter(|(c, _)| c.enabled());
+        // Whole-library keys get a fixed seed distinct from any exec's
+        // avalanched content hash (the library's own hash is in its
+        // closure fold, so identity is still captured).
+        const WHOLE_LIB_SEED: u64 = u64::MAX;
+
         // The dynamic linker's own footprint belongs to the package that
         // ships it (libc6): applications do not import from ld.so, so its
         // calls (`access`, `arch_prctl`, ...) keep 100% weighted importance
         // through the always-installed libc package while their unweighted
         // importance stays a per-package property (paper Tables 5 and 8).
-        let ldso_fp = linker
-            .resolve_whole_library(apistudy_corpus::libc_gen::LDSO_SONAME)
-            .unwrap_or_default();
-        let ldso_resolved = ApiFootprint::resolve(&catalog, &ldso_fp);
+        let ldso_roots =
+            [apistudy_corpus::libc_gen::LDSO_SONAME.to_owned()];
+        let ldso_key = fp_cache.map(|(_, opts_fp)| {
+            let mut acc = fold_hash(WHOLE_LIB_SEED, opts_fp);
+            for &li in &linker.needed_closure(&ldso_roots) {
+                acc = fold_hash(acc, lib_hashes[li]);
+            }
+            CacheKey { content: acc, options: opts_fp }
+        });
+        let cached_ldso = match (fp_cache, ldso_key) {
+            (Some((c, _)), Some(key)) => c.get_footprint(key),
+            _ => None,
+        };
+        let ldso_resolved = match cached_ldso {
+            Some(fp) => (*fp).clone(),
+            None => {
+                let raw = linker
+                    .resolve_whole_library(apistudy_corpus::libc_gen::LDSO_SONAME)
+                    .unwrap_or_default();
+                let resolved = ApiFootprint::resolve(&catalog, &raw);
+                if let (Some((c, _)), Some(key)) = (fp_cache, ldso_key) {
+                    c.insert_footprint(key, Arc::new(resolved.clone()));
+                }
+                resolved
+            }
+        };
 
         // Per-package closed footprints. The sealed linker is read-only,
         // so every package resolves independently in parallel.
         let (mut packages, resolve_stats): (Vec<PackageRecord>, ParStats) = {
-            let (linker, catalog, ldso, inters, tainted, lib_names) = (
+            let (linker, catalog, ldso, inters, tainted, lib_names, lib_hashes) = (
                 &linker,
                 &catalog,
                 &ldso_resolved,
                 &inters,
                 &tainted,
                 &lib_names,
+                &lib_hashes,
             );
             par_map_indexed(
                 inters.len(),
@@ -576,9 +775,26 @@ impl StudyData {
                     if inter.ships_ldso {
                         fp.merge(ldso);
                     }
-                    for ba in &inter.execs {
+                    for (h, ba) in &inter.execs {
+                        let key = fp_cache.map(|(_, opts_fp)| {
+                            let mut acc = fold_hash(*h, opts_fp);
+                            for &li in &linker.needed_closure(&ba.needed) {
+                                acc = fold_hash(acc, lib_hashes[li]);
+                            }
+                            CacheKey { content: acc, options: opts_fp }
+                        });
+                        if let (Some((c, _)), Some(key)) = (fp_cache, key) {
+                            if let Some(hit) = c.get_footprint(key) {
+                                fp.merge(&hit);
+                                continue;
+                            }
+                        }
                         let raw = linker.resolve_executable(ba);
-                        fp.merge(&ApiFootprint::resolve(catalog, &raw));
+                        let resolved = ApiFootprint::resolve(catalog, &raw);
+                        if let (Some((c, _)), Some(key)) = (fp_cache, key) {
+                            c.insert_footprint(key, Arc::new(resolved.clone()));
+                        }
+                        fp.merge(&resolved);
                     }
                     let script_interpreters: Vec<String> = inter
                         .package
@@ -605,7 +821,7 @@ impl StudyData {
                     // anything this package links against is tainted.
                     let partial = inter.quarantined
                         || !inter.skipped.is_empty()
-                        || inter.execs.iter().any(|ba| {
+                        || inter.execs.iter().any(|(_, ba)| {
                             ba.needed.iter().any(|n| tainted.contains(n))
                         })
                         || lib_names[i].iter().any(|n| tainted.contains(n));
@@ -696,6 +912,8 @@ impl StudyData {
             diagnostics.panics_contained += inter.panics_contained;
             diagnostics.retries_recovered += inter.retries_recovered;
             diagnostics.quarantined_packages += u32::from(inter.quarantined);
+            diagnostics.cache_hits += inter.cache_hits;
+            diagnostics.cache_misses += inter.cache_misses;
             diagnostics.skipped.append(&mut inter.skipped);
             diagnostics.injected.append(&mut inter.injected);
         }

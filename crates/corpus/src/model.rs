@@ -37,6 +37,17 @@ impl PackageFile {
             PackageFile::Elf { name, .. } | PackageFile::Script { name, .. } => name,
         }
     }
+
+    /// The raw ELF image, when this is a binary ([`None`] for scripts).
+    /// This is the byte view the incremental cache hashes: callers can
+    /// fingerprint any package member — including fault-mutated ones —
+    /// without matching on the variant themselves.
+    pub fn elf_bytes(&self) -> Option<&[u8]> {
+        match self {
+            PackageFile::Elf { bytes, .. } => Some(bytes),
+            PackageFile::Script { .. } => None,
+        }
+    }
 }
 
 /// One APT-style package.

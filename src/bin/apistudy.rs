@@ -1,7 +1,8 @@
 //! `apistudy` — command-line front end to the study.
 //!
 //! ```text
-//! apistudy [--scale test|medium|paper] [--seed N] <command> [args]
+//! apistudy [--scale test|medium|paper] [--seed N] [--cache off|mem|disk]
+//!          <command> [args]
 //!
 //! commands:
 //!   importance <api>...      weighted + unweighted importance of syscalls
@@ -13,8 +14,15 @@
 //!   seccomp <package>        seccomp allow-list + BPF filter for a package
 //!   export <path>            write the measured dataset as CSV
 //!   summary                  headline numbers (Figures 2/3/7)
-//!   faults [fault-seed]      corruption-degradation sweep (0% → 10%)
+//!   faults [fault-seed]      corruption-degradation sweep (0% → 10%,
+//!                            11 points, incremental via the analysis
+//!                            cache; footer reports hit/miss traffic)
 //! ```
+//!
+//! `--cache` (default: the `APISTUDY_CACHE` environment variable, then
+//! `mem`) selects the incremental analysis cache mode: `off` re-analyzes
+//! everything, `mem` shares results within the process, `disk` also
+//! warm-starts from and persists to `target/apistudy-cache/`.
 
 use std::collections::HashSet;
 use std::process::exit;
@@ -24,13 +32,15 @@ use apistudy::core::{
     dataset::Dataset,
     footprints,
     planner::CompletenessCurve,
-    seccomp_bpf::{seccomp_filter, AUDIT_ARCH_X86_64}, Study,
+    seccomp_bpf::{seccomp_filter, AUDIT_ARCH_X86_64},
+    CacheMode, Study,
 };
 use apistudy::corpus::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apistudy [--scale test|medium|paper] [--seed N] <command>\n\
+        "usage: apistudy [--scale test|medium|paper] [--seed N]\n\
+         \x20              [--cache off|mem|disk] <command>\n\
          commands: importance <api>... | dependents <api> | suggest <file>\n\
          \x20         | completeness <file> | workloads <api>...\n\
          \x20         | seccomp <pkg> | export <path> | summary\n\
@@ -66,6 +76,7 @@ fn read_syscall_list(study: &Study, path: &str) -> HashSet<u32> {
 fn main() {
     let mut scale = Scale::test();
     let mut seed = 2016u64;
+    let mut cache_mode = CacheMode::from_env();
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,6 +91,13 @@ fn main() {
             }
             "--seed" => {
                 seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                cache_mode = args
+                    .next()
+                    .as_deref()
+                    .and_then(CacheMode::parse)
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other => {
@@ -223,22 +241,53 @@ fn main() {
         }
         "faults" => {
             use apistudy::analysis::AnalysisOptions;
-            use apistudy::core::{corruption_sweep, degradation_table};
+            use apistudy::core::{
+                corruption_sweep_with, degradation_table, AnalysisCache,
+            };
             let fault_seed = rest
                 .first()
                 .map(|s| s.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(0x5EED);
-            let rates = [0.0, 0.01, 0.02, 0.05, 0.10];
+            // 11 points, 0% → 10% in 1% steps: the cache makes the fine
+            // grid affordable (only mutated binaries re-analyze per point).
+            let rates: Vec<f64> = (0..=10).map(|i| i as f64 / 100.0).collect();
             eprintln!(
-                "sweeping injected corruption (fault seed {fault_seed:#x})..."
+                "sweeping injected corruption (fault seed {fault_seed:#x}, \
+                 cache {cache_mode})..."
             );
-            let points = corruption_sweep(
+            let cache = AnalysisCache::new(cache_mode);
+            let points = corruption_sweep_with(
                 study.repo(),
                 AnalysisOptions::default(),
                 fault_seed,
                 &rates,
+                &cache,
             );
             println!("{}", degradation_table(&points).render());
+            let stats = cache.stats();
+            eprintln!(
+                "analysis cache [{}]: {} hits, {} misses, {} evictions, \
+                 {} resident",
+                cache.mode(),
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.entries,
+            );
+            eprintln!(
+                "footprint cache [{}]: {} hits, {} misses, {} resident",
+                cache.mode(),
+                stats.footprint_hits,
+                stats.footprint_misses,
+                stats.footprint_entries,
+            );
+            match cache.persist() {
+                Ok(Some(path)) => {
+                    eprintln!("cache persisted to {}", path.display())
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("cache persist failed: {e}"),
+            }
         }
         "summary" => {
             let ranking = metrics.importance_ranking(ApiKind::Syscall);

@@ -7,7 +7,9 @@
 use std::collections::HashSet;
 
 use apistudy::analysis::AnalysisOptions;
-use apistudy::core::{corruption_sweep, StudyData};
+use apistudy::core::{
+    corruption_sweep, corruption_sweep_with, AnalysisCache, CacheMode, StudyData,
+};
 use apistudy::corpus::{CalibrationSpec, FaultPlan, Scale, SynthRepo};
 
 const FAULT_SEED: u64 = 0x5EED;
@@ -179,5 +181,81 @@ fn degradation_sweep_is_monotone_from_0_to_10_percent() {
     assert!(
         points.last().unwrap().skipped_binaries > 0,
         "10% corruption must quarantine something"
+    );
+}
+
+#[test]
+fn cached_sweep_matches_cold_sweep() {
+    let repo = repo();
+    let rates = [0.0, 0.02, 0.05, 0.10];
+    let options = AnalysisOptions::default();
+
+    let cold_cache = AnalysisCache::new(CacheMode::Off);
+    let cold =
+        corruption_sweep_with(&repo, options, FAULT_SEED, &rates, &cold_cache);
+    let warm_cache = AnalysisCache::new(CacheMode::Mem);
+    let warm =
+        corruption_sweep_with(&repo, options, FAULT_SEED, &rates, &warm_cache);
+
+    // The cache must be invisible in the measured series: every point
+    // bit-identical (f64s compared by bit pattern, not tolerance).
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.rate.to_bits(), w.rate.to_bits());
+        assert_eq!(c.injected, w.injected, "rate {}", c.rate);
+        assert_eq!(c.injected_fatal, w.injected_fatal, "rate {}", c.rate);
+        assert_eq!(c.skipped_binaries, w.skipped_binaries, "rate {}", c.rate);
+        assert_eq!(c.partial_packages, w.partial_packages, "rate {}", c.rate);
+        assert_eq!(
+            c.quarantined_packages, w.quarantined_packages,
+            "rate {}",
+            c.rate
+        );
+        assert_eq!(c.distinct_syscalls, w.distinct_syscalls, "rate {}", c.rate);
+        assert_eq!(
+            c.completeness_top.to_bits(),
+            w.completeness_top.to_bits(),
+            "completeness drifted at rate {}",
+            c.rate
+        );
+    }
+    let stats = warm_cache.stats();
+    assert!(stats.hits > 0, "the warm sweep must actually reuse analyses");
+    assert_eq!(cold_cache.stats().hits + cold_cache.stats().misses, 0);
+
+    // Per-run diagnostics are ledger-exact under the cache: a cached
+    // faulted run skips exactly what an un-cached one skips, and every
+    // ELF the run looked at is accounted as a hit or a miss.
+    let plan = FaultPlan::new(FAULT_SEED, 0.05);
+    let uncached =
+        StudyData::from_synth_faulted(&repo, options, &plan);
+    let cache = AnalysisCache::new(CacheMode::Mem);
+    let cached = StudyData::from_synth_faulted_cached(
+        &repo,
+        options,
+        &plan,
+        Some(&cache),
+    );
+    let skips = |d: &apistudy::core::RunDiagnostics| {
+        let mut v: Vec<(String, String)> = d
+            .skipped
+            .iter()
+            .map(|s| (s.package.clone(), s.file.clone()))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(cached.diagnostics.injected, uncached.diagnostics.injected);
+    assert_eq!(skips(&cached.diagnostics), skips(&uncached.diagnostics));
+    assert_eq!(
+        cached.diagnostics.analyzed_binaries,
+        uncached.diagnostics.analyzed_binaries
+    );
+    assert_eq!(cached.diagnostics.cache_mode, CacheMode::Mem);
+    assert_eq!(
+        cached.diagnostics.cache_hits + cached.diagnostics.cache_misses,
+        cached.diagnostics.analyzed_binaries
+            + cached.diagnostics.total_skipped(),
+        "every looked-up ELF must be accounted as a hit or a miss"
     );
 }

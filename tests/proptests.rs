@@ -341,6 +341,78 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Content hash: the incremental cache's identity function must be a
+// pure, thread-independent function of the bytes, and every mutation the
+// fault injector records must move it (otherwise a corrupted binary
+// could silently reuse the clean baseline's analysis).
+// ---------------------------------------------------------------------
+proptest! {
+    #[test]
+    fn content_hash_is_deterministic_across_threads(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        use apistudy::analysis::content_hash;
+        let serial = content_hash(&bytes);
+        let concurrent: Vec<u64> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| content_hash(&bytes)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("hash thread"))
+                .collect()
+        });
+        for h in concurrent {
+            prop_assert_eq!(h, serial);
+        }
+    }
+
+    #[test]
+    fn content_hash_separates_lengths_and_tails(
+        bytes in proptest::collection::vec(any::<u8>(), 1..512)
+    ) {
+        use apistudy::analysis::content_hash;
+        let full = content_hash(&bytes);
+        let truncated = content_hash(&bytes[..bytes.len() - 1]);
+        prop_assert!(full != truncated, "dropping the tail byte must move the hash");
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() ^= 0x01;
+        prop_assert!(full != content_hash(&flipped), "one tail bit must move the hash");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Whenever the injector reports a mutation (the same signal the
+    // pipeline's FaultRecord ledger is built from), the corrupted image
+    // must hash differently from the clean one — for every FaultKind.
+    #[test]
+    fn every_recorded_fault_kind_moves_the_content_hash(
+        kind_index in 0usize..8,
+        salt in any::<u64>(),
+    ) {
+        use apistudy::analysis::content_hash;
+        use apistudy::corpus::fault::{inject, FaultKind};
+        let clean = valid_elf_bytes();
+        let clean_hash = content_hash(&clean);
+        let mut mutated = clean.clone();
+        if inject(FaultKind::ALL[kind_index], salt, &mut mutated).is_some() {
+            prop_assert!(
+                mutated != clean,
+                "a recorded injection must change the bytes"
+            );
+            prop_assert!(
+                content_hash(&mutated) != clean_hash,
+                "kind {:?} salt {:#x} mutated the bytes without moving the hash",
+                FaultKind::ALL[kind_index], salt
+            );
+        } else {
+            prop_assert!(mutated == clean, "a refused injection must not mutate");
+        }
+    }
+}
+
 #[test]
 fn legacy_int80_binaries_are_analyzed() {
     // A legacy binary issuing syscalls through `int $0x80` is measured
