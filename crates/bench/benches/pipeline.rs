@@ -10,9 +10,10 @@ use std::collections::BTreeSet;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use apistudy_analysis::{AnalysisOptions, BinaryAnalysis, Linker};
-use apistudy_catalog::{Api, ApiSet, Catalog};
+use apistudy_catalog::{Api, ApiKind, ApiSet, Catalog};
 use apistudy_core::{
-    corruption_sweep_with, AnalysisCache, CacheMode, Metrics, StudyData,
+    corruption_sweep_with, AnalysisCache, CacheMode, CompletenessEngine,
+    Metrics, StudyData,
 };
 use apistudy_corpus::{
     codegen::{generate_executable, ExecSpec, VectoredVia},
@@ -120,6 +121,53 @@ fn bench_study(c: &mut Criterion) {
     let supported: std::collections::HashSet<u32> = (0..250).collect();
     c.bench_function("weighted_completeness_250_syscalls", |b| {
         b.iter(|| metrics.syscall_completeness(std::hint::black_box(&supported)))
+    });
+
+    // The suggest sweep: the standalone completeness gain of every
+    // unsupported syscall against a top-60 base — the inner loop of
+    // `apistudy suggest` and of each greedy planning round. `scratch` is
+    // the replaced implementation (clone the support set, recompute
+    // completeness from scratch per candidate); `incremental` probes the
+    // completeness engine, paying only for the counters each candidate
+    // actually touches. The smoke gate in `greedy_smoke` enforces the
+    // ratio; these benches record it.
+    let base: std::collections::HashSet<u32> = metrics
+        .importance_ranking(ApiKind::Syscall)
+        .into_iter()
+        .take(60)
+        .filter_map(|(api, _)| match api {
+            Api::Syscall(nr) => Some(nr),
+            _ => None,
+        })
+        .collect();
+    let candidates: Vec<u32> = data
+        .catalog
+        .syscalls
+        .iter()
+        .map(|d| d.number)
+        .filter(|nr| !base.contains(nr))
+        .collect();
+    c.bench_function("greedy_sweep_scratch", |b| {
+        b.iter(|| {
+            let before = metrics.syscall_completeness(&base);
+            let mut acc = 0.0;
+            for &nr in std::hint::black_box(&candidates) {
+                let mut grown = base.clone();
+                grown.insert(nr);
+                acc += metrics.syscall_completeness(&grown) - before;
+            }
+            acc
+        })
+    });
+    c.bench_function("greedy_sweep_incremental", |b| {
+        b.iter(|| {
+            let mut engine = CompletenessEngine::for_syscalls(&metrics, &base);
+            let mut acc = 0.0;
+            for &nr in std::hint::black_box(&candidates) {
+                acc += engine.probe_gain(Api::Syscall(nr));
+            }
+            acc
+        })
     });
 
     // The incremental-cache win on the CLI's full fault grid: eleven

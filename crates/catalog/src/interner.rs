@@ -165,6 +165,20 @@ impl ApiSet {
         fresh
     }
 
+    /// Removes an API; returns whether it was present. Out-of-universe
+    /// APIs were never present, so removing them is a no-op.
+    pub fn remove(&mut self, api: Api) -> bool {
+        match ApiInterner::global().intern(api) {
+            Some(id) => {
+                let (w, b) = (id as usize / 64, id % 64);
+                let had = self.words[w] & (1 << b) != 0;
+                self.words[w] &= !(1 << b);
+                had
+            }
+            None => false,
+        }
+    }
+
     /// Membership test; out-of-universe APIs are simply absent.
     pub fn contains(&self, api: Api) -> bool {
         match ApiInterner::global().intern(api) {
@@ -191,6 +205,16 @@ impl ApiSet {
             .iter()
             .zip(&other.words)
             .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Number of elements shared with `other` (popcount over the word-wise
+    /// AND — no allocation).
+    pub fn intersection_len(&self, other: &ApiSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Number of elements (popcount over the words).
@@ -334,6 +358,21 @@ mod tests {
             assert!(set.contains(api));
         }
         assert!(!set.contains(Api::Syscall(2)));
+    }
+
+    #[test]
+    fn remove_and_intersection_len() {
+        let mut a: ApiSet =
+            [Api::Syscall(1), Api::Ioctl(2), Api::LibcSymbol(7)].into_iter().collect();
+        let b: ApiSet =
+            [Api::Syscall(1), Api::LibcSymbol(7), Api::Prctl(0)].into_iter().collect();
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.remove(Api::Syscall(1)), "present element removed");
+        assert!(!a.remove(Api::Syscall(1)), "second removal is a no-op");
+        assert!(!a.remove(Api::Syscall(9999)), "out-of-universe is absent");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert!(a.insert(Api::Syscall(1)), "removal really cleared the bit");
     }
 
     #[test]

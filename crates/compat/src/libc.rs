@@ -9,7 +9,7 @@ use std::collections::HashSet;
 
 use apistudy_catalog::{
     libc_symbols::{normalize_compile_time_alias, SymbolFamily},
-    Api, ApiKind,
+    Api, ApiKind, ApiSet,
 };
 use apistudy_core::Metrics;
 
@@ -61,8 +61,23 @@ impl LibcVariant {
     /// a compile-time alias (`__*_chk`, `__isoc99_*`) whose plain form the
     /// variant exports — or a pure fortify-runtime hook with no plain form.
     pub fn completeness(&self, metrics: &Metrics<'_>, normalized: bool) -> f64 {
+        metrics.weighted_completeness_masked(
+            &self.unsupported_mask(metrics, normalized),
+        )
+    }
+
+    /// The variant's unsupported-symbol mask (the catalog's libc symbols
+    /// the variant fails to cover), built in one pass over the symbol
+    /// inventory — the mask feeds the
+    /// [`Metrics::weighted_completeness_masked`] fast path directly, with
+    /// no intermediate supported-set and no rescan of the API universe.
+    pub fn unsupported_mask(
+        &self,
+        metrics: &Metrics<'_>,
+        normalized: bool,
+    ) -> ApiSet {
         let catalog = &metrics.data().catalog;
-        let mut supported: HashSet<Api> = HashSet::new();
+        let mut unsupported = ApiSet::new();
         for (id, sym) in catalog.libc.iter() {
             let name = &sym.name;
             let ok = if self.exported.contains(name) {
@@ -85,13 +100,11 @@ impl LibcVariant {
             } else {
                 false
             };
-            if ok {
-                supported.insert(Api::LibcSymbol(id));
+            if !ok {
+                unsupported.insert(Api::LibcSymbol(id));
             }
         }
-        metrics.weighted_completeness(&supported, |a| {
-            a.kind() == ApiKind::LibcSymbol
-        })
+        unsupported
     }
 }
 
@@ -263,6 +276,36 @@ mod tests {
         assert!(!samples.is_empty());
         for s in &samples {
             assert!(!v.exported.contains(s));
+        }
+    }
+
+    #[test]
+    fn mask_fast_path_matches_scope_path() {
+        // The direct mask build must agree bit-for-bit with the generic
+        // supported-set + scope-closure path it replaced.
+        let data = data();
+        let m = Metrics::new(&data);
+        for v in all_variants(&m) {
+            for normalized in [false, true] {
+                let mask = v.unsupported_mask(&m, normalized);
+                let supported: HashSet<Api> = m
+                    .data()
+                    .catalog
+                    .libc
+                    .iter()
+                    .map(|(id, _)| Api::LibcSymbol(id))
+                    .filter(|&a| !mask.contains(a))
+                    .collect();
+                let reference = m.weighted_completeness(&supported, |a| {
+                    a.kind() == ApiKind::LibcSymbol
+                });
+                assert_eq!(
+                    v.completeness(&m, normalized).to_bits(),
+                    reference.to_bits(),
+                    "{} normalized={normalized}",
+                    v.name
+                );
+            }
         }
     }
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashSet;
 
-use apistudy_catalog::{Api, ApiKind};
+use apistudy_catalog::{Api, ApiKind, ApiSet};
 use apistudy_core::Metrics;
 
 /// A system's supported-syscall profile.
@@ -36,7 +36,41 @@ impl SystemProfile {
 
     /// Weighted completeness of this system (Table 6's "W.Comp.").
     pub fn completeness(&self, metrics: &Metrics<'_>) -> f64 {
-        metrics.syscall_completeness(&self.supported)
+        metrics.weighted_completeness_masked(&self.unsupported_mask(metrics))
+    }
+
+    /// The profile's unsupported-syscall mask — callers evaluating many
+    /// profiles (or many variants of one) build this once per variant and
+    /// reuse it across [`Metrics::weighted_completeness_masked`] calls.
+    pub fn unsupported_mask(&self, metrics: &Metrics<'_>) -> ApiSet {
+        metrics.syscall_unsupported_mask(&self.supported)
+    }
+
+    /// The unsupported calls whose addition buys the most weighted
+    /// completeness, in greedy marginal-gain order with each pick's exact
+    /// gain — the incremental-engine upgrade of [`suggestions`], which
+    /// ranks by standalone importance and so can propose a call that
+    /// unlocks nothing until its co-required calls also arrive.
+    ///
+    /// [`suggestions`]: Self::suggestions
+    pub fn greedy_suggestions(
+        &self,
+        metrics: &Metrics<'_>,
+        n: usize,
+    ) -> Vec<(String, f64)> {
+        apistudy_core::greedy_suggestions(metrics, &self.supported, n)
+            .into_iter()
+            .filter_map(|(nr, gain)| {
+                let name = metrics
+                    .data()
+                    .catalog
+                    .syscalls
+                    .by_number(nr)?
+                    .name
+                    .to_owned();
+                Some((name, gain))
+            })
+            .collect()
     }
 
     /// The most important unsupported system calls — the paper's
@@ -288,6 +322,46 @@ mod tests {
         assert!(tiny.completeness(&m) < 0.05);
         let sugg = tiny.suggestions(&m, 3);
         assert_eq!(sugg.len(), 3);
+    }
+
+    #[test]
+    fn greedy_suggestions_gains_sum_to_the_jump() {
+        let data = data();
+        let m = Metrics::new(&data);
+        let g = graphene(&m);
+        let picks = g.greedy_suggestions(&m, 5);
+        assert_eq!(picks.len(), 5);
+        // Committing the greedy picks reproduces the summed gains.
+        let names: Vec<&str> = picks.iter().map(|(n, _)| n.as_str()).collect();
+        let grown = g.with_added(&m, &names);
+        let reported: f64 = picks.iter().map(|&(_, gain)| gain).sum();
+        let actual = grown.completeness(&m) - g.completeness(&m);
+        assert!(
+            (actual - reported).abs() < 1e-9,
+            "gains {reported} vs actual {actual}"
+        );
+        // Greedy beats the importance-ordered suggestions for Graphene —
+        // the paper's point that static importance misleads here.
+        let static_names: Vec<(String, f64)> = g.suggestions(&m, 5);
+        let static_added: Vec<&str> =
+            static_names.iter().map(|(n, _)| n.as_str()).collect();
+        let static_after = g.with_added(&m, &static_added).completeness(&m);
+        assert!(
+            grown.completeness(&m) >= static_after,
+            "greedy {} must not trail static {static_after}",
+            grown.completeness(&m)
+        );
+    }
+
+    #[test]
+    fn mask_fast_path_matches_hashset_path() {
+        let data = data();
+        let m = Metrics::new(&data);
+        for p in all_profiles(&m) {
+            let masked = m.weighted_completeness_masked(&p.unsupported_mask(&m));
+            let scratch = m.syscall_completeness(&p.supported);
+            assert_eq!(masked.to_bits(), scratch.to_bits(), "{}", p.name);
+        }
     }
 
     #[test]

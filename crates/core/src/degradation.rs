@@ -91,7 +91,8 @@ pub fn corruption_sweep_with(
     let packages = repo.materialize_all();
     let baseline =
         StudyData::from_packages_cached(repo, &packages, options, Some(cache));
-    let supported: HashSet<u32> = Metrics::new(&baseline)
+    let baseline_metrics = Metrics::new(&baseline);
+    let supported: HashSet<u32> = baseline_metrics
         .importance_ranking(ApiKind::Syscall)
         .into_iter()
         .take(SWEEP_SUPPORT_TOP_N)
@@ -100,6 +101,9 @@ pub fn corruption_sweep_with(
             _ => None,
         })
         .collect();
+    // The unsupported mask depends only on the (shared) catalog and the
+    // fixed support set — build it once instead of once per sweep point.
+    let unsupported = baseline_metrics.syscall_unsupported_mask(&supported);
     rates
         .iter()
         .map(|&rate| {
@@ -111,12 +115,16 @@ pub fn corruption_sweep_with(
                 &plan,
                 Some(cache),
             );
-            measure(rate, &data, &supported)
+            measure(rate, &data, &unsupported)
         })
         .collect()
 }
 
-fn measure(rate: f64, data: &StudyData, supported: &HashSet<u32>) -> DegradationPoint {
+fn measure(
+    rate: f64,
+    data: &StudyData,
+    unsupported: &apistudy_catalog::ApiSet,
+) -> DegradationPoint {
     let distinct: HashSet<u32> = data
         .packages
         .iter()
@@ -135,7 +143,8 @@ fn measure(rate: f64, data: &StudyData, supported: &HashSet<u32>) -> Degradation
             .count() as u32,
         quarantined_packages: d.quarantined_packages,
         distinct_syscalls: distinct.len(),
-        completeness_top: Metrics::new(data).syscall_completeness(supported),
+        completeness_top: Metrics::new(data)
+            .weighted_completeness_masked(unsupported),
     }
 }
 

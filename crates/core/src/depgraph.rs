@@ -1,0 +1,243 @@
+//! Condensation of the package `depends` graph.
+//!
+//! Every headline metric — weighted completeness (Appendix A.2), the
+//! Figure 3 curve, the dependency-closed footprints behind Figure 2's
+//! importance bands — is a fixed point over the same graph: package →
+//! dependency edges, with APT cycles (mutual `depends`) allowed. Instead
+//! of iterating those fixed points to convergence per query, [`Condensation`]
+//! runs Tarjan's strongly-connected-components algorithm **once** per
+//! [`StudyData`](crate::pipeline::StudyData) and exposes the component DAG
+//! in dependencies-first topological order. Any monotone propagation
+//! (footprint closure OR, failure AND, max-rank) then completes in a
+//! single pass over the components, because within an SCC every member
+//! shares the propagated value and across SCCs the order guarantees a
+//! component's dependencies are finished before it starts.
+//!
+//! The traversal is iterative (explicit DFS frames), so a 30,976-package
+//! dependency chain — the paper's full archive laid end to end — cannot
+//! overflow the stack.
+
+/// Sentinel for an unvisited node in the Tarjan traversal.
+const UNVISITED: u32 = u32::MAX;
+
+/// The strongly-connected-component condensation of a dependency graph.
+///
+/// Nodes are package indices `0..n`; edges point from a package to each of
+/// its dependencies. Component ids are assigned in Tarjan emission order,
+/// which for this edge direction means **dependencies before dependents**:
+/// for every condensation edge `c → d` (component `c` depends on component
+/// `d`), `d < c`. Processing components in ascending id order is therefore
+/// a bottom-up topological sweep.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Package index → component id.
+    scc_of: Vec<u32>,
+    /// Component id → member package indices, ascending.
+    members: Vec<Vec<usize>>,
+    /// Component id → dependency component ids (deduplicated, ascending,
+    /// never self).
+    deps: Vec<Vec<u32>>,
+    /// Component id → dependent component ids (the reverse edges,
+    /// ascending).
+    rdeps: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Condenses the graph whose node `i` has the dependency edges
+    /// `dep_indices[i]`. Self-edges and duplicate edges are tolerated.
+    pub fn new(dep_indices: &[Vec<usize>]) -> Self {
+        let n = dep_indices.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_of = vec![0u32; n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        // Explicit DFS frames: (node, next outgoing edge position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        let mut next_index = 0u32;
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            frames.push((root, 0));
+            while let Some(frame) = frames.last_mut() {
+                let v = frame.0;
+                if let Some(&w) = dep_indices[v].get(frame.1) {
+                    frame.1 += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                    continue;
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let comp = members.len() as u32;
+                    let mut ms = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = comp;
+                        ms.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    ms.sort_unstable();
+                    members.push(ms);
+                }
+            }
+        }
+        // Condensation edges, deduplicated per component.
+        let ncomp = members.len();
+        let mut deps: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        let mut rdeps: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        for (v, ds) in dep_indices.iter().enumerate() {
+            let cv = scc_of[v];
+            for &d in ds {
+                let cd = scc_of[d];
+                if cd != cv {
+                    debug_assert!(
+                        cd < cv,
+                        "tarjan order must put dependencies first"
+                    );
+                    deps[cv as usize].push(cd);
+                }
+            }
+        }
+        for list in &mut deps {
+            list.sort_unstable();
+            list.dedup();
+        }
+        for (cv, list) in deps.iter().enumerate() {
+            for &cd in list {
+                rdeps[cd as usize].push(cv as u32);
+            }
+        }
+        Self { scc_of, members, deps, rdeps }
+    }
+
+    /// Number of strongly connected components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the graph had no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The component a package belongs to.
+    pub fn comp_of(&self, package: usize) -> u32 {
+        self.scc_of[package]
+    }
+
+    /// The member packages of a component, ascending.
+    pub fn members(&self, comp: u32) -> &[usize] {
+        &self.members[comp as usize]
+    }
+
+    /// The components a component depends on (all ids `< comp`).
+    pub fn deps(&self, comp: u32) -> &[u32] {
+        &self.deps[comp as usize]
+    }
+
+    /// The components depending on a component (all ids `> comp`).
+    pub fn dependents(&self, comp: u32) -> &[u32] {
+        &self.rdeps[comp as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(usize, usize)], n: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); n];
+        for &(a, b) in pairs {
+            out[a].push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn acyclic_chain_is_one_component_each() {
+        // 0 → 1 → 2: three singleton components, dependencies first.
+        let c = Condensation::new(&edges(&[(0, 1), (1, 2)], 3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.members(c.comp_of(2)), &[2]);
+        assert!(c.comp_of(2) < c.comp_of(1));
+        assert!(c.comp_of(1) < c.comp_of(0));
+        assert_eq!(c.deps(c.comp_of(0)), &[c.comp_of(1)]);
+        assert_eq!(c.dependents(c.comp_of(2)), &[c.comp_of(1)]);
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_component() {
+        // 0 ↔ 1 cycle, 2 depends on the cycle, the cycle depends on 3.
+        let c = Condensation::new(&edges(&[(0, 1), (1, 0), (2, 0), (0, 3)], 4));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.comp_of(0), c.comp_of(1));
+        assert_eq!(c.members(c.comp_of(0)), &[0, 1]);
+        assert!(c.comp_of(3) < c.comp_of(0));
+        assert!(c.comp_of(0) < c.comp_of(2));
+    }
+
+    #[test]
+    fn self_and_duplicate_edges_are_tolerated() {
+        let c = Condensation::new(&edges(&[(0, 0), (0, 1), (0, 1)], 2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.deps(c.comp_of(0)), &[c.comp_of(1)]);
+    }
+
+    #[test]
+    fn diamond_preserves_topological_invariant() {
+        // 0 → {1, 2} → 3.
+        let c = Condensation::new(&edges(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4));
+        assert_eq!(c.len(), 4);
+        for comp in 0..c.len() as u32 {
+            for &d in c.deps(comp) {
+                assert!(d < comp, "dependency {d} must precede {comp}");
+            }
+            for &r in c.dependents(comp) {
+                assert!(r > comp, "dependent {r} must follow {comp}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 50k-node chain: the iterative traversal must survive what a
+        // recursive Tarjan would not.
+        let n = 50_000;
+        let deps: Vec<Vec<usize>> =
+            (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let c = Condensation::new(&deps);
+        assert_eq!(c.len(), n);
+        assert_eq!(c.comp_of(n - 1), 0, "the chain's leaf is emitted first");
+        assert_eq!(c.comp_of(0), (n - 1) as u32);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Condensation::new(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -8,6 +8,12 @@
 //! - [`metrics::Metrics`] — **API importance**, **unweighted API
 //!   importance**, and **weighted completeness** with APT dependency
 //!   closure (paper §2, Appendix A);
+//! - [`depgraph::Condensation`] — one-shot Tarjan SCC condensation of
+//!   the package `depends` graph; every dependency fixed point becomes a
+//!   single bottom-up pass;
+//! - [`engine::CompletenessEngine`] — incremental completeness: add or
+//!   remove one API and get the exact (bit-identical) delta in
+//!   O(edges touched);
 //! - [`planner`] — the Figure 3 completeness curve and Table 4
 //!   implementation stages ("from Hello World to qemu");
 //! - [`libc_restructure`] — the §3.5 libc stripping/reordering analysis;
@@ -30,8 +36,10 @@
 pub mod cache;
 pub mod dataset;
 pub mod degradation;
+pub mod depgraph;
 pub mod diagnostics;
 pub mod diff;
+pub mod engine;
 pub mod footprint;
 pub mod footprints;
 pub mod libc_restructure;
@@ -48,14 +56,16 @@ pub use degradation::{
     corruption_sweep, corruption_sweep_with, degradation_table,
     DegradationPoint,
 };
+pub use depgraph::Condensation;
 pub use diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
 pub use diff::{ApiShift, StudyDiff};
+pub use engine::CompletenessEngine;
 pub use footprint::ApiFootprint;
 pub use footprints::{seccomp_profile, uniqueness, UniquenessStats};
 pub use libc_restructure::{restructure, RestructureReport};
 pub use metrics::Metrics;
 pub use pipeline::{Attribution, PackageRecord, StudyData};
-pub use planner::{stages, CompletenessCurve, Stage};
+pub use planner::{greedy_suggestions, stages, CompletenessCurve, Stage};
 pub use seccomp_bpf::{run_filter, seccomp_filter, BpfProgram, SeccompData};
 pub use study::Study;
 pub use workloads::{exercised_mass, workloads_for, Match};

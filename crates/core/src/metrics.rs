@@ -15,33 +15,17 @@ use std::collections::HashSet;
 
 use apistudy_catalog::{Api, ApiInterner, ApiKind, ApiSet};
 
+use crate::depgraph::Condensation;
 use crate::pipeline::{PackageRecord, StudyData};
-
-/// ORs `closed[src]` into `closed[dst]`, reporting growth.
-///
-/// `split_at_mut` lets us hold `&mut closed[dst]` and `&closed[src]`
-/// simultaneously without cloning either set.
-fn or_into(closed: &mut [ApiSet], dst: usize, src: usize) -> bool {
-    if dst == src {
-        return false;
-    }
-    let (dst_set, src_set) = if dst < src {
-        let (lo, hi) = closed.split_at_mut(src);
-        (&mut lo[dst], &hi[0])
-    } else {
-        let (lo, hi) = closed.split_at_mut(dst);
-        (&mut hi[0], &lo[src])
-    };
-    dst_set.union_with(src_set)
-}
 
 /// Metric engine over a [`StudyData`] set.
 ///
-/// Construction indexes dependent packages per interned API id once;
-/// queries are then cheap enough to sweep every API in the catalog. The
-/// dependency-closure fixed point runs on word-packed [`ApiSet`]s — each
-/// propagation step is a word-wise OR rather than per-element set
-/// insertion.
+/// Construction indexes dependent packages per interned API id and
+/// condenses the dependency graph (Tarjan SCC, [`Condensation`]) once;
+/// every closure the metrics need — dependency-closed footprints, failure
+/// propagation, max-rank — is then a single bottom-up pass over the
+/// condensation DAG instead of an iterated fixed point. Footprints stay
+/// word-packed [`ApiSet`]s, so each propagation step is a word-wise OR.
 pub struct Metrics<'a> {
     data: &'a StudyData,
     /// Dependent package indices, indexed by interned API id.
@@ -52,13 +36,21 @@ pub struct Metrics<'a> {
     /// among the many APIs whose importance is exactly 1 (the paper's
     /// Figure 3 greedy order).
     closure_users: Vec<u32>,
-    /// Resolved `depends` edges (package index → dependency indices).
-    dep_indices: Vec<Vec<usize>>,
-    total_mass: f64,
+    /// SCC condensation of the resolved `depends` graph.
+    condensation: Condensation,
+    /// Union of member footprints per component.
+    pub(crate) comp_own: Vec<ApiSet>,
+    /// Dependency-closed footprint per component (own union ∪ closures of
+    /// every dependency component).
+    pub(crate) comp_closure: Vec<ApiSet>,
+    /// Components whose own footprint union contains each API, indexed by
+    /// interned API id (deduplicated, ascending).
+    pub(crate) comp_dependents: Vec<Vec<u32>>,
+    pub(crate) total_mass: f64,
 }
 
 impl<'a> Metrics<'a> {
-    /// Builds the per-API dependent index.
+    /// Builds the per-API dependent index and the graph condensation.
     pub fn new(data: &'a StudyData) -> Self {
         let interner = ApiInterner::global();
         let universe = interner.universe();
@@ -80,32 +72,63 @@ impl<'a> Metrics<'a> {
                     .collect()
             })
             .collect();
-        // Dependency-closed footprints, by fixed point over the dep graph:
-        // OR dependency sets into dependents until nothing grows.
-        let mut closed: Vec<ApiSet> = data
-            .packages
-            .iter()
-            .map(|p| p.footprint.apis.clone())
-            .collect();
-        loop {
-            let mut changed = false;
-            for (i, deps) in dep_indices.iter().enumerate() {
-                for &d in deps {
-                    changed |= or_into(&mut closed, i, d);
-                }
-            }
-            if !changed {
-                break;
+        let condensation = Condensation::new(&dep_indices);
+        let ncomp = condensation.len();
+        // Union of member footprints per component: within an SCC every
+        // package transitively depends on every other, so the closure is
+        // shared and starts from this union.
+        let mut comp_own: Vec<ApiSet> = vec![ApiSet::new(); ncomp];
+        for (i, p) in data.packages.iter().enumerate() {
+            comp_own[condensation.comp_of(i) as usize]
+                .union_with(&p.footprint.apis);
+        }
+        // Dependency-closed footprints in one bottom-up pass: component
+        // ids are topological (dependencies first), so by the time `c` is
+        // processed every dependency's closure is final.
+        let mut comp_closure = comp_own.clone();
+        for c in 0..ncomp {
+            for &d in condensation.deps(c as u32) {
+                let (lo, hi) = comp_closure.split_at_mut(c);
+                hi[0].union_with(&lo[d as usize]);
             }
         }
         let mut closure_users = vec![0u32; universe];
-        for set in &closed {
-            for id in set.ids() {
-                closure_users[id as usize] += 1;
+        for (c, closed) in comp_closure.iter().enumerate() {
+            let weight = condensation.members(c as u32).len() as u32;
+            for id in closed.ids() {
+                closure_users[id as usize] += weight;
             }
         }
+        let mut comp_dependents: Vec<Vec<u32>> = vec![Vec::new(); universe];
+        for (id, pkgs) in dependents.iter().enumerate() {
+            let mut comps: Vec<u32> =
+                pkgs.iter().map(|&i| condensation.comp_of(i)).collect();
+            comps.sort_unstable();
+            comps.dedup();
+            comp_dependents[id] = comps;
+        }
         let total_mass = data.total_mass();
-        Self { data, dependents, closure_users, dep_indices, total_mass }
+        Self {
+            data,
+            dependents,
+            closure_users,
+            condensation,
+            comp_own,
+            comp_closure,
+            comp_dependents,
+            total_mass,
+        }
+    }
+
+    /// The SCC condensation of the package dependency graph.
+    pub fn condensation(&self) -> &Condensation {
+        &self.condensation
+    }
+
+    /// A package's dependency-closed footprint: its own APIs plus every
+    /// API of every package in its dependency closure.
+    pub fn closed_footprint(&self, package: usize) -> &ApiSet {
+        &self.comp_closure[self.condensation.comp_of(package) as usize]
     }
 
     /// Fraction of packages that transitively need an API (their own
@@ -192,43 +215,46 @@ impl<'a> Metrics<'a> {
                 .map(Api::LibcSymbol)
                 .collect(),
         };
-        let mut out: Vec<(Api, f64)> = apis
+        // Precompute every sort key once: the comparator runs O(n log n)
+        // times, and the tie-break keys each cost an interner lookup. The
+        // raw user counts order exactly like the fractions the public
+        // accessors expose (same positive divisor).
+        let interner = ApiInterner::global();
+        let mut rows: Vec<(Api, f64, u32, u32)> = apis
             .into_iter()
-            .map(|a| (a, self.importance(a)))
+            .map(|a| {
+                let (closure, direct) = interner.intern(a).map_or((0, 0), |id| {
+                    (
+                        self.closure_users[id as usize],
+                        self.dependents[id as usize].len() as u32,
+                    )
+                });
+                (a, self.importance(a), closure, direct)
+            })
             .collect();
-        out.sort_by(|x, y| {
+        rows.sort_by(|x, y| {
             y.1.total_cmp(&x.1)
-                .then_with(|| {
-                    // Greedy tie-break among equally important APIs: first
-                    // by how many packages transitively need them, then by
-                    // direct usage (paper §3.2's ordering).
-                    self.closure_unweighted_importance(y.0)
-                        .total_cmp(&self.closure_unweighted_importance(x.0))
-                })
-                .then_with(|| {
-                    self.unweighted_importance(y.0)
-                        .total_cmp(&self.unweighted_importance(x.0))
-                })
+                // Greedy tie-break among equally important APIs: first by
+                // how many packages transitively need them, then by direct
+                // usage (paper §3.2's ordering).
+                .then_with(|| y.2.cmp(&x.2))
+                .then_with(|| y.3.cmp(&x.3))
                 .then_with(|| x.0.cmp(&y.0))
         });
-        out
+        rows.into_iter().map(|(a, imp, _, _)| (a, imp)).collect()
     }
 
     /// Weighted completeness of a system supporting `supported`, measured
     /// over the APIs selected by `scope` (Appendix A.2).
     ///
     /// A package is supported when every in-scope API of its footprint is
-    /// in `supported` and all of its dependencies are supported.
+    /// in `supported` and all of its dependencies are supported. Builds
+    /// the in-scope unsupported mask in one pass over the (small, fixed)
+    /// API universe, then delegates to the mask fast path.
     pub fn weighted_completeness<F>(&self, supported: &HashSet<Api>, scope: F) -> f64
     where
         F: Fn(Api) -> bool,
     {
-        if self.total_mass == 0.0 {
-            return 0.0;
-        }
-        // One pass over the (small, fixed) API universe builds the mask of
-        // in-scope unsupported APIs; each package check is then a word-wise
-        // intersection test instead of a per-element scope/lookup loop.
         let interner = ApiInterner::global();
         let mut unsupported = ApiSet::new();
         for id in 0..interner.universe() as u32 {
@@ -237,48 +263,68 @@ impl<'a> Metrics<'a> {
                 unsupported.insert(api);
             }
         }
-        let mut ok: Vec<bool> = self
-            .data
-            .packages
-            .iter()
-            .map(|p| !p.footprint.apis.intersects(&unsupported))
-            .collect();
-        // Dependency closure: failure propagates to dependents until
-        // fixed point.
-        loop {
-            let mut changed = false;
-            for i in 0..ok.len() {
-                if !ok[i] {
-                    continue;
-                }
-                if self.dep_indices[i].iter().any(|&d| !ok[d]) {
-                    ok[i] = false;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
+        self.weighted_completeness_masked(&unsupported)
+    }
+
+    /// Weighted completeness given a prebuilt mask of in-scope
+    /// **unsupported** APIs — the fast path for sweep callers that would
+    /// otherwise rebuild the mask by iterating the interner universe per
+    /// call.
+    ///
+    /// One bottom-up pass over the condensation: a component is supported
+    /// when no member footprint intersects the mask and every dependency
+    /// component is supported (component ids are topological, so each
+    /// dependency verdict is final when read).
+    pub fn weighted_completeness_masked(&self, unsupported: &ApiSet) -> f64 {
+        if self.total_mass == 0.0 {
+            return 0.0;
         }
+        let ncomp = self.condensation.len();
+        let mut comp_ok = vec![false; ncomp];
+        for c in 0..ncomp {
+            comp_ok[c] = !self.comp_own[c].intersects(unsupported)
+                && self
+                    .condensation
+                    .deps(c as u32)
+                    .iter()
+                    .all(|&d| comp_ok[d as usize]);
+        }
+        // Summed in package order — the canonical reduction every
+        // completeness path (from-scratch or incremental) shares, so
+        // results are bit-identical across them.
         let supported_mass: f64 = self
             .data
             .packages
             .iter()
-            .zip(&ok)
-            .filter(|&(_, &s)| s)
-            .map(|(p, _)| p.prob)
+            .enumerate()
+            .filter(|&(i, _)| comp_ok[self.condensation.comp_of(i) as usize])
+            .map(|(_, p)| p.prob)
             .sum();
         supported_mass / self.total_mass
+    }
+
+    /// The mask of syscall APIs **not** in `supported_numbers` — the
+    /// reusable input to [`Metrics::weighted_completeness_masked`] for
+    /// syscall-scoped sweeps.
+    pub fn syscall_unsupported_mask(
+        &self,
+        supported_numbers: &HashSet<u32>,
+    ) -> ApiSet {
+        let mut unsupported = ApiSet::new();
+        for d in self.data.catalog.syscalls.iter() {
+            if !supported_numbers.contains(&d.number) {
+                unsupported.insert(Api::Syscall(d.number));
+            }
+        }
+        unsupported
     }
 
     /// Weighted completeness over system calls only, given supported
     /// syscall numbers — the Table 6 evaluation.
     pub fn syscall_completeness(&self, supported_numbers: &HashSet<u32>) -> f64 {
-        let supported: HashSet<Api> = supported_numbers
-            .iter()
-            .map(|&n| Api::Syscall(n))
-            .collect();
-        self.weighted_completeness(&supported, |a| a.kind() == ApiKind::Syscall)
+        self.weighted_completeness_masked(
+            &self.syscall_unsupported_mask(supported_numbers),
+        )
     }
 }
 
@@ -408,6 +454,194 @@ mod tests {
             assert!(now >= last);
             last = now;
         }
+    }
+
+    /// The pre-condensation closure: iterate OR-propagation over the raw
+    /// dependency edges until nothing grows. Kept as the oracle the
+    /// single-pass SCC closure is pinned against.
+    fn fixpoint_closure_oracle(data: &StudyData) -> Vec<ApiSet> {
+        let dep_indices: Vec<Vec<usize>> = data
+            .packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.depends
+                    .iter()
+                    .filter_map(|dep| data.by_name.get(dep).copied())
+                    .filter(|&d| d != i)
+                    .collect()
+            })
+            .collect();
+        let mut closed: Vec<ApiSet> = data
+            .packages
+            .iter()
+            .map(|p| p.footprint.apis.clone())
+            .collect();
+        loop {
+            let mut changed = false;
+            for (i, deps) in dep_indices.iter().enumerate() {
+                for &d in deps {
+                    if d == i {
+                        continue;
+                    }
+                    let src = closed[d].clone();
+                    changed |= closed[i].union_with(&src);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        closed
+    }
+
+    /// The pre-condensation completeness: per-package intersection test,
+    /// then failure propagation iterated to fixed point, then the
+    /// package-order mass sum. The oracle the one-pass path is pinned
+    /// against (bit-identically).
+    fn fixpoint_completeness_oracle(
+        data: &StudyData,
+        unsupported: &ApiSet,
+    ) -> f64 {
+        let total_mass = data.total_mass();
+        if total_mass == 0.0 {
+            return 0.0;
+        }
+        let dep_indices: Vec<Vec<usize>> = data
+            .packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.depends
+                    .iter()
+                    .filter_map(|dep| data.by_name.get(dep).copied())
+                    .filter(|&d| d != i)
+                    .collect()
+            })
+            .collect();
+        let mut ok: Vec<bool> = data
+            .packages
+            .iter()
+            .map(|p| !p.footprint.apis.intersects(unsupported))
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..ok.len() {
+                if ok[i] && dep_indices[i].iter().any(|&d| !ok[d]) {
+                    ok[i] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let supported_mass: f64 = data
+            .packages
+            .iter()
+            .zip(&ok)
+            .filter(|&(_, &s)| s)
+            .map(|(p, _)| p.prob)
+            .sum();
+        supported_mass / total_mass
+    }
+
+    /// A fixture with a dependency cycle (a ↔ b) hanging off the chain,
+    /// so the SCC paths see a non-trivial component.
+    fn cyclic_fixture() -> StudyData {
+        let catalog = Catalog::linux_3_19();
+        let mk = |name: &str, prob: f64, apis: &[Api], deps: &[&str]| {
+            let mut fp = ApiFootprint::default();
+            fp.apis.extend(apis.iter().copied());
+            PackageRecord {
+                name: name.into(),
+                prob,
+                install_count: (prob * 1000.0) as u64,
+                depends: deps.iter().map(|s| s.to_string()).collect(),
+                footprint: fp,
+                script_interpreters: vec![],
+                file_counts: (1, 0, 0),
+                unresolved_syscall_sites: 0,
+                skipped_binaries: 0,
+                partial_footprint: false,
+            }
+        };
+        let packages = vec![
+            mk("a", 0.9, &[Api::Syscall(0)], &["b"]),
+            mk("b", 0.8, &[Api::Syscall(1)], &["a", "base"]),
+            mk("base", 1.0, &[Api::Syscall(2)], &[]),
+            mk("leaf", 0.3, &[Api::Syscall(3)], &["a"]),
+        ];
+        let by_name = packages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+        StudyData {
+            catalog,
+            packages,
+            by_name,
+            total_installations: 1000,
+            census: MixCensus::default(),
+            attribution: Attribution::default(),
+            unresolved_syscall_sites: 0,
+            resolved_syscall_sites: 100,
+            diagnostics: crate::diagnostics::RunDiagnostics::default(),
+        }
+    }
+
+    #[test]
+    fn scc_closure_matches_fixpoint_oracle() {
+        for data in [fixture(), cyclic_fixture()] {
+            let m = Metrics::new(&data);
+            let oracle = fixpoint_closure_oracle(&data);
+            for (i, expected) in oracle.iter().enumerate() {
+                assert_eq!(
+                    m.closed_footprint(i),
+                    expected,
+                    "closure of package {i} ({})",
+                    data.packages[i].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_pass_completeness_matches_fixpoint_oracle_bitwise() {
+        for data in [fixture(), cyclic_fixture()] {
+            let m = Metrics::new(&data);
+            // Every subset of the first 4 syscalls, cycles included.
+            for mask in 0u32..16 {
+                let supported: HashSet<u32> =
+                    (0..4).filter(|&n| mask & (1 << n) != 0).collect();
+                let unsupported = m.syscall_unsupported_mask(&supported);
+                let fast = m.weighted_completeness_masked(&unsupported);
+                let oracle = fixpoint_completeness_oracle(&data, &unsupported);
+                assert_eq!(
+                    fast.to_bits(),
+                    oracle.to_bits(),
+                    "mask {mask:04b}: {fast} vs {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_members_share_their_closure() {
+        let data = cyclic_fixture();
+        let m = Metrics::new(&data);
+        // a and b are mutually dependent: identical closures containing
+        // both footprints plus base's.
+        assert_eq!(m.closed_footprint(0), m.closed_footprint(1));
+        for nr in [0, 1, 2] {
+            assert!(m.closed_footprint(0).contains(Api::Syscall(nr)));
+        }
+        // Supporting everything but syscall 1 fails the whole cycle and
+        // leaf, leaving only base.
+        let supported: HashSet<u32> = [0u32, 2, 3].into_iter().collect();
+        let c = m.syscall_completeness(&supported);
+        let expect = 1.0 / (0.9 + 0.8 + 1.0 + 0.3);
+        assert!((c - expect).abs() < 1e-12, "{c} vs {expect}");
     }
 
     #[test]

@@ -41,48 +41,59 @@ fn main() {
         100.0 * g2.completeness(&metrics),
     );
 
-    // Now plan *your* prototype: start from a unikernel-ish 60 calls.
+    // The greedy upgrade of the same suggestion list: each pick is the
+    // best *next* call given the picks before it, with its exact gain.
+    println!("\ngreedy next five calls for Graphene (gains stack):");
+    for (name, gain) in g.greedy_suggestions(&metrics, 5) {
+        println!("  {:<20} completeness +{:.2}%", name, 100.0 * gain);
+    }
+
+    // Now plan *your* prototype: start from a unikernel-ish 60 calls and
+    // grow in batches. One incremental engine carries the whole plan —
+    // each batch is `add_api` calls whose deltas are exact, rather than a
+    // from-scratch completeness evaluation per step.
     let ranking = study
         .implementation_plan()
         .0
         .ranking;
-    let mut supported: HashSet<u32> = ranking.iter().take(60).copied().collect();
+    let supported: HashSet<u32> = ranking.iter().take(60).copied().collect();
+    let mut engine = apistudy::core::CompletenessEngine::for_syscalls(
+        &metrics, &supported,
+    );
+    let mut implemented = supported.len();
     println!("\nincremental plan for a new prototype:");
+    let mut todo: Vec<u32> = ranking
+        .iter()
+        .filter(|nr| !supported.contains(nr))
+        .copied()
+        .collect();
     for step in 0..5 {
-        let completeness = metrics.syscall_completeness(&supported);
-        // Find the most important unsupported calls.
-        let next: Vec<String> = ranking
+        let next: Vec<String> = todo
             .iter()
-            .filter(|nr| !supported.contains(nr))
-            .take(10)
-            .map(|&nr| {
+            .take(4)
+            .filter_map(|&nr| {
                 study
                     .data()
                     .catalog
                     .syscalls
                     .by_number(nr)
                     .map(|d| d.name.to_owned())
-                    .unwrap_or_default()
             })
             .collect();
         println!(
             "  step {step}: {:>3} calls supported, completeness {:5.1}%, next: {}",
-            supported.len(),
-            100.0 * completeness,
-            next.iter().take(4).cloned().collect::<Vec<_>>().join(", "),
+            implemented,
+            100.0 * engine.completeness(),
+            next.join(", "),
         );
         // Implement the next 30.
-        let additions: Vec<u32> = ranking
-            .iter()
-            .filter(|nr| !supported.contains(nr))
-            .take(30)
-            .copied()
-            .collect();
-        supported.extend(additions);
+        for nr in todo.drain(..30.min(todo.len())) {
+            engine.add_api(apistudy::catalog::Api::Syscall(nr));
+            implemented += 1;
+        }
     }
     println!(
-        "  final: {} calls, completeness {:.1}%",
-        supported.len(),
-        100.0 * metrics.syscall_completeness(&supported),
+        "  final: {implemented} calls, completeness {:.1}%",
+        100.0 * engine.completeness(),
     );
 }

@@ -11,8 +11,10 @@
 //! cargo run --example what_if
 //! ```
 
+use std::collections::HashSet;
+
 use apistudy::catalog::ApiKind;
-use apistudy::core::{diff::StudyDiff, Study};
+use apistudy::core::{diff::StudyDiff, CompletenessEngine, Study};
 use apistudy::corpus::{CalibrationSpec, Scale};
 
 fn main() {
@@ -64,5 +66,30 @@ fn main() {
         "\neven at 25% adoption, access keeps ~100% weighted importance —\n\
          deprecation needs the *installed base* to move, not just new code,\n\
          which is exactly the paper's point about slow API retirement."
+    );
+
+    // The other direction of the same question: if the kernel *dropped*
+    // one of these calls today, how much of an installation breaks? One
+    // incremental engine answers all four — `remove_api` returns the
+    // exact completeness delta and `add_api` restores it for the next
+    // candidate, with no from-scratch recomputation in the loop.
+    println!("\nweighted completeness cost of dropping a call outright:");
+    let all_supported: HashSet<u32> = baseline
+        .data()
+        .catalog
+        .syscalls
+        .iter()
+        .map(|d| d.number)
+        .collect();
+    let mut engine = CompletenessEngine::for_syscalls(&mb, &all_supported);
+    for name in ["access", "faccessat", "wait4", "waitid"] {
+        let Some(api) = baseline.syscall(name) else { continue };
+        let drop = engine.remove_api(api);
+        engine.add_api(api);
+        println!("  drop {name:<12} completeness {:+.2} pts", 100.0 * drop);
+    }
+    println!(
+        "\nin the baseline world every one of them is load-bearing: the\n\
+         drop cost is the failing packages' installed mass, not a vote."
     );
 }

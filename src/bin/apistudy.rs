@@ -7,8 +7,12 @@
 //! commands:
 //!   importance <api>...      weighted + unweighted importance of syscalls
 //!   dependents <api>         most-installed packages needing a syscall
-//!   suggest <file>           next syscalls for a prototype (one name or
-//!                            number per line in <file>)
+//!   suggest <file> [--greedy]
+//!                            next syscalls for a prototype (one name or
+//!                            number per line in <file>); with --greedy,
+//!                            picks are in marginal-gain order — each line
+//!                            is the best *next* addition given every line
+//!                            above it, found by the lazy-greedy planner
 //!   completeness <file>      weighted completeness of a syscall list
 //!   workloads <api>...       packages exercising all the given syscalls
 //!   seccomp <package>        seccomp allow-list + BPF filter for a package
@@ -41,7 +45,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: apistudy [--scale test|medium|paper] [--seed N]\n\
          \x20              [--cache off|mem|disk] <command>\n\
-         commands: importance <api>... | dependents <api> | suggest <file>\n\
+         commands: importance <api>... | dependents <api>\n\
+         \x20         | suggest <file> [--greedy]\n\
          \x20         | completeness <file> | workloads <api>...\n\
          \x20         | seccomp <pkg> | export <path> | summary\n\
          \x20         | faults [fault-seed]"
@@ -147,7 +152,10 @@ fn main() {
             }
         }
         "suggest" => {
-            let Some(path) = rest.first() else { usage() };
+            let greedy = rest.iter().any(|a| a == "--greedy");
+            let Some(path) = rest.iter().find(|a| *a != "--greedy") else {
+                usage()
+            };
             let supported = read_syscall_list(&study, path);
             let completeness = metrics.syscall_completeness(&supported);
             println!(
@@ -155,27 +163,53 @@ fn main() {
                 supported.len(),
                 100.0 * completeness,
             );
-            println!("\nmost valuable additions:");
-            let ranking = metrics.importance_ranking(ApiKind::Syscall);
-            let mut shown = 0;
-            for (api, imp) in ranking {
-                let apistudy::catalog::Api::Syscall(nr) = api else { continue };
-                if supported.contains(&nr) {
-                    continue;
+            if greedy {
+                // Each pick is the best *next* addition given all picks
+                // above it; the gains therefore stack.
+                println!("\ngreedy plan (each gain assumes the lines above):");
+                let picks =
+                    apistudy::core::greedy_suggestions(&metrics, &supported, 10);
+                let mut acc = completeness;
+                for (nr, gain) in picks {
+                    let def =
+                        study.data().catalog.syscalls.by_number(nr).unwrap();
+                    acc += gain;
+                    println!(
+                        "  {:<20} completeness +{:.2}% (cumulative {:.2}%)",
+                        def.name,
+                        100.0 * gain,
+                        100.0 * acc,
+                    );
                 }
-                let def = study.data().catalog.syscalls.by_number(nr).unwrap();
-                let mut grown: HashSet<u32> = supported.clone();
-                grown.insert(nr);
-                let gain = metrics.syscall_completeness(&grown) - completeness;
-                println!(
-                    "  {:<20} importance {:>6.2}%  completeness +{:.2}%",
-                    def.name,
-                    100.0 * imp,
-                    100.0 * gain,
+            } else {
+                // Standalone gains, importance-ordered. The incremental
+                // engine probes each candidate in place of the old
+                // clone-the-set-and-recompute evaluation.
+                println!("\nmost valuable additions:");
+                let mut engine = apistudy::core::CompletenessEngine::for_syscalls(
+                    &metrics, &supported,
                 );
-                shown += 1;
-                if shown >= 10 {
-                    break;
+                let ranking = metrics.importance_ranking(ApiKind::Syscall);
+                let mut shown = 0;
+                for (api, imp) in ranking {
+                    let apistudy::catalog::Api::Syscall(nr) = api else {
+                        continue;
+                    };
+                    if supported.contains(&nr) {
+                        continue;
+                    }
+                    let def = study.data().catalog.syscalls.by_number(nr).unwrap();
+                    let gain = engine.probe_gain(api);
+                    println!(
+                        "  {:<20} importance {:>6.2}%  completeness +{:.2}%",
+                        def.name,
+                        100.0 * imp,
+                        100.0 * gain,
+                    );
+                    shown += 1;
+                    if shown >= 10 {
+                        break;
+                    }
                 }
             }
         }
@@ -184,7 +218,9 @@ fn main() {
             let supported = read_syscall_list(&study, path);
             println!(
                 "{:.4}",
-                metrics.syscall_completeness(&supported),
+                metrics.weighted_completeness_masked(
+                    &metrics.syscall_unsupported_mask(&supported)
+                ),
             );
         }
         "workloads" => {

@@ -228,6 +228,241 @@ fn full_and_empty_support_bound_the_metric() {
 }
 
 // ---------------------------------------------------------------------
+// Condensation and the incremental completeness engine over *random*
+// dependency graphs, cycles very much included. The oracles are the
+// pre-condensation fixed-point loops, re-implemented here verbatim; the
+// single-pass and incremental paths must match them bit-for-bit.
+// ---------------------------------------------------------------------
+
+/// Builds a study whose package `i` has weight `weights[i]`, own
+/// footprint = the syscalls of `masks[i]`'s set bits (numbers 0..8), and
+/// the dependency edges of `edges` (taken mod the package count;
+/// self-edges and duplicates are left in deliberately).
+fn random_dep_study(
+    weights: &[u32],
+    masks: &[u8],
+    edges: &[(usize, usize)],
+) -> StudyData {
+    use apistudy::core::{ApiFootprint, Attribution, PackageRecord};
+    let n = weights.len();
+    let packages: Vec<PackageRecord> = (0..n)
+        .map(|i| {
+            let mut fp = ApiFootprint::default();
+            for bit in 0..8u32 {
+                if masks[i] & (1 << bit) != 0 {
+                    fp.apis.insert(Api::Syscall(bit));
+                }
+            }
+            let depends: Vec<String> = edges
+                .iter()
+                .filter(|&&(from, _)| from % n == i)
+                .map(|&(_, to)| format!("pkg{}", to % n))
+                .collect();
+            PackageRecord {
+                name: format!("pkg{i}"),
+                prob: f64::from(weights[i]) / 100.0,
+                install_count: u64::from(weights[i]),
+                depends,
+                footprint: fp,
+                script_interpreters: vec![],
+                file_counts: (1, 0, 0),
+                unresolved_syscall_sites: 0,
+                skipped_binaries: 0,
+                partial_footprint: false,
+            }
+        })
+        .collect();
+    let by_name = packages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), i))
+        .collect();
+    StudyData {
+        catalog: apistudy::catalog::Catalog::linux_3_19(),
+        packages,
+        by_name,
+        total_installations: 100,
+        census: apistudy::corpus::MixCensus::default(),
+        attribution: Attribution::default(),
+        unresolved_syscall_sites: 0,
+        resolved_syscall_sites: 1,
+        diagnostics: apistudy::core::RunDiagnostics::default(),
+    }
+}
+
+/// The replaced implementation of weighted completeness: per-package
+/// support flags, dependency-failure propagation iterated to a fixed
+/// point, then the canonical package-order mass sum.
+fn fixpoint_completeness(data: &StudyData, supported: &HashSet<u32>) -> f64 {
+    let n = data.packages.len();
+    let mut ok: Vec<bool> = data
+        .packages
+        .iter()
+        .map(|p| p.footprint.syscalls().all(|nr| supported.contains(&nr)))
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if !ok[i] {
+                continue;
+            }
+            let broken_dep = data.packages[i].depends.iter().any(|dep| {
+                data.by_name.get(dep).is_some_and(|&d| !ok[d])
+            });
+            if broken_dep {
+                ok[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let total_mass = data.total_mass();
+    if total_mass == 0.0 {
+        return 0.0;
+    }
+    let supported_mass: f64 = data
+        .packages
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| ok[i])
+        .map(|(_, p)| p.prob)
+        .sum();
+    supported_mass / total_mass
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The condensation single pass equals the fixed point, bitwise, on
+    // arbitrary graphs (cycles, self-edges, duplicate edges).
+    #[test]
+    fn single_pass_completeness_matches_fixpoint_on_random_graphs(
+        weights in proptest::collection::vec(1u32..100, 2..10),
+        masks in proptest::collection::vec(any::<u8>(), 10..11),
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..25),
+        supported_mask in any::<u8>(),
+    ) {
+        let data = random_dep_study(&weights, &masks, &edges);
+        let metrics = Metrics::new(&data);
+        let supported: HashSet<u32> = (0..8u32)
+            .filter(|bit| supported_mask & (1 << bit) != 0)
+            .collect();
+        let fast = metrics.syscall_completeness(&supported);
+        let oracle = fixpoint_completeness(&data, &supported);
+        prop_assert_eq!(
+            fast.to_bits(), oracle.to_bits(),
+            "single-pass {} vs fixpoint {}", fast, oracle
+        );
+    }
+
+    // The SCC single-pass closure equals the OR fixed point it replaced.
+    #[test]
+    fn scc_closure_matches_or_fixpoint_on_random_graphs(
+        weights in proptest::collection::vec(1u32..100, 2..10),
+        masks in proptest::collection::vec(any::<u8>(), 10..11),
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..25),
+    ) {
+        use apistudy::catalog::ApiSet;
+        let data = random_dep_study(&weights, &masks, &edges);
+        let metrics = Metrics::new(&data);
+        let n = data.packages.len();
+        let mut closed: Vec<ApiSet> = data
+            .packages
+            .iter()
+            .map(|p| p.footprint.apis.clone())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                for dep in &data.packages[i].depends {
+                    let Some(&d) = data.by_name.get(dep) else { continue };
+                    if d == i {
+                        continue;
+                    }
+                    let dep_set = closed[d].clone();
+                    changed |= closed[i].union_with(&dep_set);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (i, expected) in closed.iter().enumerate() {
+            prop_assert!(
+                *metrics.closed_footprint(i) == *expected,
+                "closure of package {} diverges from the OR fixed point", i
+            );
+        }
+    }
+
+    // An engine driven through an arbitrary add/remove sequence reports
+    // exactly what a from-scratch evaluation of the final set reports —
+    // after every single operation, and each op's delta accounts for the
+    // completeness movement exactly.
+    #[test]
+    fn engine_matches_scratch_after_every_op(
+        weights in proptest::collection::vec(1u32..100, 2..10),
+        masks in proptest::collection::vec(any::<u8>(), 10..11),
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..25),
+        ops in proptest::collection::vec((any::<bool>(), 0u32..8), 1..30),
+    ) {
+        use apistudy::core::CompletenessEngine;
+        let data = random_dep_study(&weights, &masks, &edges);
+        let metrics = Metrics::new(&data);
+        let mut supported: HashSet<u32> = HashSet::new();
+        let mut engine = CompletenessEngine::for_syscalls(&metrics, &supported);
+        for &(add, nr) in &ops {
+            let before = engine.completeness();
+            let delta = if add {
+                supported.insert(nr);
+                engine.add_api(Api::Syscall(nr))
+            } else {
+                supported.remove(&nr);
+                engine.remove_api(Api::Syscall(nr))
+            };
+            let scratch = metrics.syscall_completeness(&supported);
+            prop_assert_eq!(
+                engine.completeness().to_bits(), scratch.to_bits(),
+                "after {} {}: engine {} vs scratch {}",
+                if add { "add" } else { "remove" }, nr,
+                engine.completeness(), scratch
+            );
+            prop_assert_eq!(
+                (engine.completeness() - before).to_bits(), delta.to_bits(),
+                "delta must account for the movement"
+            );
+        }
+    }
+
+    // Probing never perturbs the engine: an add/remove round trip lands
+    // on the exact starting bit pattern.
+    #[test]
+    fn probe_round_trip_is_bitwise_exact(
+        weights in proptest::collection::vec(1u32..100, 2..10),
+        masks in proptest::collection::vec(any::<u8>(), 10..11),
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..25),
+        supported_mask in any::<u8>(),
+        probes in proptest::collection::vec(0u32..10, 1..20),
+    ) {
+        use apistudy::core::CompletenessEngine;
+        let data = random_dep_study(&weights, &masks, &edges);
+        let metrics = Metrics::new(&data);
+        let supported: HashSet<u32> = (0..8u32)
+            .filter(|bit| supported_mask & (1 << bit) != 0)
+            .collect();
+        let mut engine = CompletenessEngine::for_syscalls(&metrics, &supported);
+        let start = engine.completeness().to_bits();
+        for &nr in &probes {
+            let gain = engine.probe_gain(Api::Syscall(nr));
+            prop_assert!(gain >= 0.0);
+            prop_assert_eq!(engine.completeness().to_bits(), start);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // ELF robustness: the parser is total over corrupted inputs — it returns
 // an error or a harmless parse, never panics (the paper's trust-the-
 // disassembler assumption must not extend to trusting the container).
