@@ -43,12 +43,16 @@
 //! totals (per-run deltas land in
 //! [`RunDiagnostics`](crate::diagnostics::RunDiagnostics)).
 //!
-//! With [`CacheMode::Disk`], the cache additionally persists to a plain
-//! length-prefixed binary file (no serde) under `target/apistudy-cache/`
+//! With [`CacheMode::Disk`], the cache additionally persists to plain
+//! length-prefixed binary files (no serde) under `target/apistudy-cache/`
 //! so repeated `apistudy` CLI invocations warm-start across processes.
-//! The format is versioned and self-checking; a corrupt or
-//! version-mismatched file is silently ignored (the cache degrades to
-//! cold, never to wrong).
+//! Each shard persists to its own file, written to a temporary sibling
+//! and atomically renamed, and every entry carries a checksum of its
+//! payload: a torn or bit-flipped entry is *skipped* at load (its intact
+//! length prefix lets the loader step over it) and the valid remainder
+//! is salvaged. Only unframeable damage — a bad header, an insane length
+//! — abandons one shard file; the others still load. The cache degrades
+//! toward cold, never to wrong, and never all-or-nothing.
 
 use std::collections::{BTreeSet, HashMap};
 use std::io::Write as _;
@@ -71,9 +75,15 @@ const SHARDS: usize = 16;
 const SHARD_CAPACITY: usize = 8192;
 
 /// On-disk format magic + version (bump the version on any layout change;
-/// old files are then ignored, not misread).
+/// old files are then ignored, not misread). Version 2: per-shard files
+/// with per-entry payload checksums.
 const MAGIC: &[u8; 4] = b"APSC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Sanity bound on one persisted entry's payload length: a corrupted
+/// length prefix must not be able to command a giant allocation or swallow
+/// the rest of the file as "one entry".
+const MAX_DISK_ENTRY: u64 = 1 << 28;
 
 /// Cache operating mode, selected by the `APISTUDY_CACHE` environment
 /// variable (`off` | `mem` | `disk`) or the CLI's `--cache` flag.
@@ -246,9 +256,15 @@ impl AnalysisCache {
         self.mode != CacheMode::Off
     }
 
-    /// The file the disk mode persists to.
-    pub fn disk_path(&self) -> PathBuf {
-        self.dir.join("analysis-v1.bin")
+    /// The file one shard persists to.
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("analysis-v2-shard-{shard:02}.bin"))
+    }
+
+    /// Every file the disk mode persists to (one per shard), whether or
+    /// not they exist yet.
+    pub fn disk_paths(&self) -> Vec<PathBuf> {
+        (0..SHARDS).map(|s| self.shard_path(s)).collect()
     }
 
     /// Looks up a stored analysis. Read-lock only — concurrent readers
@@ -355,51 +371,69 @@ impl AnalysisCache {
     }
 
     /// Writes the resident entries to disk ([`CacheMode::Disk`] only; a
-    /// no-op returning `Ok(None)` otherwise). The file is written to a
-    /// temporary sibling and renamed into place so a crashed writer never
-    /// leaves a half-file where the loader will find it.
+    /// no-op returning `Ok(None)` otherwise), one file per shard. Each
+    /// file is written to a temporary sibling, fsynced, and renamed into
+    /// place, so a crashed writer clobbers nothing — the loader either
+    /// sees the previous complete file or the new complete file. Each
+    /// entry's payload carries a [`content_hash`] checksum so later
+    /// damage is detected per entry, not per file. Returns the cache
+    /// directory.
     pub fn persist(&self) -> std::io::Result<Option<PathBuf>> {
         if self.mode != CacheMode::Disk {
             return Ok(None);
         }
         std::fs::create_dir_all(&self.dir)?;
-        let mut entries: Vec<(CacheKey, Arc<BinaryAnalysis>)> = Vec::new();
-        for shard in &self.shards {
-            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
-            entries.extend(guard.iter().map(|(k, v)| (*k, Arc::clone(v))));
-        }
-        // Deterministic file contents for a given entry set.
-        entries.sort_by_key(|(k, _)| (k.content, k.options));
+        for (si, shard) in self.shards.iter().enumerate() {
+            let mut entries: Vec<(CacheKey, Arc<BinaryAnalysis>)> = {
+                let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+                guard.iter().map(|(k, v)| (*k, Arc::clone(v))).collect()
+            };
+            // Deterministic file contents for a given entry set.
+            entries.sort_by_key(|(k, _)| (k.content, k.options));
 
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
-        buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-        for (key, ba) in &entries {
-            buf.extend_from_slice(&key.content.to_le_bytes());
-            buf.extend_from_slice(&key.options.to_le_bytes());
-            let payload = encode_analysis(ba);
-            buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            buf.extend_from_slice(&payload);
-        }
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&VERSION.to_le_bytes());
+            buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (key, ba) in &entries {
+                let payload = encode_analysis(ba);
+                buf.extend_from_slice(&key.content.to_le_bytes());
+                buf.extend_from_slice(&key.options.to_le_bytes());
+                buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&content_hash(&payload).to_le_bytes());
+                buf.extend_from_slice(&payload);
+            }
 
-        let path = self.disk_path();
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&buf)?;
-            f.sync_all()?;
+            let path = self.shard_path(si);
+            let tmp = path.with_extension("tmp");
+            {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(&buf)?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &path)?;
         }
-        std::fs::rename(&tmp, &path)?;
-        Ok(Some(path))
+        Ok(Some(self.dir.clone()))
     }
 
-    /// Best-effort warm start: decodes the disk file into the shards.
-    /// Any structural problem abandons the load (partial entries decoded
-    /// before the problem are kept — they decoded cleanly).
+    /// Best-effort warm start: decodes every shard file into the shards.
+    /// Per-entry salvage: an entry whose checksum fails or whose payload
+    /// does not decode is skipped (the length prefix steps over it) and
+    /// loading continues; only unframeable damage — short header, insane
+    /// length, truncated tail — ends that one file. Other shard files are
+    /// unaffected either way.
     fn load_disk(&self) {
-        let Ok(bytes) = std::fs::read(self.disk_path()) else { return };
-        let mut c = Cursor { bytes: &bytes, at: 0 };
+        for si in 0..SHARDS {
+            let Ok(bytes) = std::fs::read(self.shard_path(si)) else {
+                continue;
+            };
+            self.load_shard_file(&bytes);
+        }
+    }
+
+    /// Decodes one persisted shard file, salvaging around bad entries.
+    fn load_shard_file(&self, bytes: &[u8]) {
+        let mut c = Cursor { bytes, at: 0 };
         let Some(magic) = c.take(4) else { return };
         if magic != MAGIC {
             return;
@@ -412,13 +446,24 @@ impl AnalysisCache {
             let Some(content) = c.u64() else { return };
             let Some(options) = c.u64() else { return };
             let Some(len) = c.u64() else { return };
-            let Some(payload) = c.take(len as usize) else { return };
-            let mut pc = Cursor { bytes: payload, at: 0 };
-            let Some(ba) = decode_analysis(&mut pc) else { return };
-            // Trailing garbage inside a payload means the entry (and
-            // everything after it) is suspect.
-            if pc.at != payload.len() {
+            if len > MAX_DISK_ENTRY {
+                // The framing itself is untrustworthy: abandon the file
+                // (everything salvaged so far decoded cleanly and stays).
                 return;
+            }
+            let Some(check) = c.u64() else { return };
+            let Some(payload) = c.take(len as usize) else { return };
+            if content_hash(payload) != check {
+                // Damaged entry: the length prefix already stepped past
+                // it, so the remainder of the file is still salvageable.
+                continue;
+            }
+            let mut pc = Cursor { bytes: payload, at: 0 };
+            let Some(ba) = decode_analysis(&mut pc) else { continue };
+            // Trailing garbage inside a checksum-valid payload means the
+            // entry was written wrong, not damaged — still skip only it.
+            if pc.at != payload.len() {
+                continue;
             }
             let key = CacheKey { content, options };
             let mut shard = self.shards[key.shard()]
@@ -436,28 +481,28 @@ impl AnalysisCache {
 // UTF-8; collections are u32-count then elements. No serde, no unsafe.
 // ---------------------------------------------------------------------------
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.at.checked_add(n)?;
         let s = self.bytes.get(self.at..end)?;
         self.at = end;
         Some(s)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|b| b[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
 
@@ -652,10 +697,19 @@ fn decode_analysis(c: &mut Cursor<'_>) -> Option<BinaryAnalysis> {
     })
 }
 
-/// Removes any stale temp file and the cache file itself — test hygiene
-/// and the CLI's future `--cache-clear`, not part of the hot path.
+/// Removes the cache files and any stale temp siblings (current sharded
+/// layout plus the retired v1 single-file names) — test hygiene and the
+/// CLI's future `--cache-clear`, not part of the hot path.
 pub fn clear_disk_cache(dir: &Path) -> std::io::Result<()> {
-    for name in ["analysis-v1.bin", "analysis-v1.tmp"] {
+    let mut names = vec![
+        "analysis-v1.bin".to_owned(),
+        "analysis-v1.tmp".to_owned(),
+    ];
+    for s in 0..SHARDS {
+        names.push(format!("analysis-v2-shard-{s:02}.bin"));
+        names.push(format!("analysis-v2-shard-{s:02}.tmp"));
+    }
+    for name in names {
         let p = dir.join(name);
         match std::fs::remove_file(&p) {
             Ok(()) => {}
@@ -813,8 +867,8 @@ mod tests {
         let warm = AnalysisCache::with_dir(CacheMode::Disk, dir.clone());
         let hit = warm.get(key).expect("warm start");
         assert_eq!(*hit, sample_analysis());
-        // A corrupted file must be ignored, not misread.
-        let path = warm.disk_path();
+        // A corrupted shard file must be ignored, not misread.
+        let path = warm.shard_path(key.shard());
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
@@ -822,6 +876,58 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let cold = AnalysisCache::with_dir(CacheMode::Disk, dir.clone());
         let _ = cold.get(key); // may or may not hit depending on cut point
+        clear_disk_cache(&dir).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn torn_entry_is_skipped_and_the_rest_salvaged() {
+        let dir = std::env::temp_dir().join(format!(
+            "apistudy-cache-salvage-{}",
+            std::process::id()
+        ));
+        clear_disk_cache(&dir).ok();
+        // Five entries, all in shard 0 (content is a multiple of SHARDS,
+        // options 0), persisted sorted by content — entry order is known.
+        let keys: Vec<CacheKey> = (0..5u64)
+            .map(|i| CacheKey { content: i * SHARDS as u64, options: 0 })
+            .collect();
+        {
+            let cache =
+                AnalysisCache::with_dir(CacheMode::Disk, dir.clone());
+            for &key in &keys {
+                cache.insert(key, Arc::new(sample_analysis()));
+            }
+            cache.persist().expect("persist").expect("disk mode");
+        }
+        // Flip one byte inside the FIRST entry's payload: file header is
+        // 16 bytes (magic 4 + version 4 + count 8), entry framing is 32
+        // (content 8 + options 8 + len 8 + check 8).
+        let path = dir.join("analysis-v2-shard-00.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16 + 32 + 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let warm = AnalysisCache::with_dir(CacheMode::Disk, dir.clone());
+        assert!(
+            warm.get(keys[0]).is_none(),
+            "damaged entry must not be served"
+        );
+        for &key in &keys[1..] {
+            assert!(
+                warm.get(key).is_some(),
+                "entries after the damage must be salvaged"
+            );
+        }
+
+        // Truncating mid-entry salvages everything before the tear.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let torn = AnalysisCache::with_dir(CacheMode::Disk, dir.clone());
+        for &key in &keys[1..4] {
+            assert!(torn.get(key).is_some(), "prefix entries survive");
+        }
+        assert!(torn.get(keys[4]).is_none(), "torn tail entry is dropped");
         clear_disk_cache(&dir).ok();
         std::fs::remove_dir(&dir).ok();
     }

@@ -14,13 +14,18 @@
 //! bit-identical at rate zero.
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use apistudy_analysis::AnalysisOptions;
-use apistudy_catalog::ApiKind;
+use apistudy_catalog::{ApiKind, Catalog};
 use apistudy_corpus::{FaultPlan, SynthRepo};
 use apistudy_report::{pct, Align, TextTable};
 
-use crate::cache::{AnalysisCache, CacheMode};
+use crate::cache::{fold_hash, AnalysisCache, CacheMode};
+use crate::journal::{
+    catalog_fingerprint, corpus_fingerprint, Journal, JournalError,
+    JournalRecord, JournalStats, RunFingerprint, RunKind,
+};
 use crate::{metrics::Metrics, pipeline::StudyData};
 
 /// How many of the clean baseline's top-ranked syscalls form the fixed
@@ -29,7 +34,7 @@ use crate::{metrics::Metrics, pipeline::StudyData};
 pub const SWEEP_SUPPORT_TOP_N: usize = 100;
 
 /// One measured point of the corruption sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DegradationPoint {
     /// Injected corruption rate (fraction of ELF files).
     pub rate: f64,
@@ -39,6 +44,9 @@ pub struct DegradationPoint {
     pub injected_fatal: u32,
     /// Binaries the pipeline skipped (classified quarantines).
     pub skipped_binaries: u32,
+    /// Of the skipped binaries, those abandoned by the wall-clock
+    /// watchdog (zero unless `APISTUDY_ITEM_DEADLINE_MS` is set).
+    pub deadline_skipped: u32,
     /// Packages flagged with a partial footprint.
     pub partial_packages: u32,
     /// Packages abandoned wholesale after double panics.
@@ -120,6 +128,153 @@ pub fn corruption_sweep_with(
         .collect()
 }
 
+/// [`corruption_sweep_with`] under a write-ahead journal: the baseline's
+/// support set and every completed sweep point are appended to `journal`
+/// as they finish, and with `resume` the journaled prefix is replayed
+/// instead of recomputed. The returned points are bit-identical to an
+/// uninterrupted (or un-journaled) sweep:
+///
+/// - replayed points carry the exact f64 bit patterns the original run
+///   measured (the journal stores bits, never decimal);
+/// - a replayed support set short-circuits the whole baseline pipeline
+///   run — the unsupported mask is a pure function of the catalog and the
+///   set (see [`Metrics::syscall_unsupported_mask`]), so it is rebuilt
+///   from [`Catalog::linux_3_19`] without touching a single binary;
+/// - the journal header's [`RunFingerprint`] binds the file to this
+///   corpus, these [`AnalysisOptions`], this catalog, and this fault
+///   plan (seed + rate grid + support-set size); any drift is refused.
+///
+/// A `Disk`-mode `cache` is persisted after the baseline and after each
+/// appended point, so a crash loses at most one point's analyses; other
+/// modes make `persist` a no-op.
+pub fn corruption_sweep_journaled(
+    repo: &SynthRepo,
+    options: AnalysisOptions,
+    fault_seed: u64,
+    rates: &[f64],
+    cache: &AnalysisCache,
+    journal_path: &Path,
+    resume: bool,
+) -> Result<(Vec<DegradationPoint>, JournalStats), JournalError> {
+    let fp = RunFingerprint {
+        kind: RunKind::CorruptionSweep,
+        corpus: corpus_fingerprint(repo),
+        options: options.fingerprint(),
+        catalog: catalog_fingerprint(&Catalog::linux_3_19()),
+        plan: {
+            let mut h = fold_hash(0, fault_seed);
+            for &rate in rates {
+                h = fold_hash(h, rate.to_bits());
+            }
+            fold_hash(h, SWEEP_SUPPORT_TOP_N as u64)
+        },
+    };
+    let (mut journal, records) = if resume {
+        Journal::resume_or_create(journal_path, &fp)?
+    } else {
+        (Journal::create(journal_path, &fp)?, Vec::new())
+    };
+
+    // A valid sweep journal is one optional SupportSet followed by sweep
+    // points in rate order; anything else diverged from this code's own
+    // append discipline.
+    let mut support_numbers: Option<Vec<u32>> = None;
+    let mut replayed: Vec<DegradationPoint> = Vec::new();
+    for rec in records {
+        match rec {
+            JournalRecord::SupportSet(numbers) => {
+                if support_numbers.is_some() || !replayed.is_empty() {
+                    return Err(JournalError::Diverged(
+                        "support set recorded twice or after a sweep point"
+                            .into(),
+                    ));
+                }
+                support_numbers = Some(numbers);
+            }
+            JournalRecord::SweepPoint(p) => {
+                if support_numbers.is_none() {
+                    return Err(JournalError::Diverged(
+                        "sweep point recorded before the support set".into(),
+                    ));
+                }
+                let i = replayed.len();
+                match rates.get(i) {
+                    Some(r) if r.to_bits() == p.rate.to_bits() => {}
+                    _ => {
+                        return Err(JournalError::Diverged(format!(
+                            "journaled point {i} has rate {}, run expects {}",
+                            p.rate,
+                            rates.get(i).copied().unwrap_or(f64::NAN),
+                        )))
+                    }
+                }
+                replayed.push(p);
+            }
+            other => {
+                return Err(JournalError::Diverged(format!(
+                    "unexpected record in a sweep journal: {other:?}"
+                )))
+            }
+        }
+    }
+
+    let mut points = replayed;
+    if points.len() == rates.len() && support_numbers.is_some() {
+        // Fully replayed: never materialize the corpus, never touch a
+        // binary — the whole sweep costs one journal read.
+        return Ok((points, journal.stats()));
+    }
+
+    let packages = repo.materialize_all();
+    let support_numbers = match support_numbers {
+        Some(numbers) => numbers,
+        None => {
+            let baseline = StudyData::from_packages_cached(
+                repo, &packages, options, Some(cache),
+            );
+            let numbers: Vec<u32> = Metrics::new(&baseline)
+                .importance_ranking(ApiKind::Syscall)
+                .into_iter()
+                .take(SWEEP_SUPPORT_TOP_N)
+                .filter_map(|(api, _)| match api {
+                    apistudy_catalog::Api::Syscall(nr) => Some(nr),
+                    _ => None,
+                })
+                .collect();
+            journal.append(&JournalRecord::SupportSet(numbers.clone()))?;
+            cache.persist()?;
+            numbers
+        }
+    };
+    // The mask is a pure function of catalog × support set — rebuilding
+    // it here is bit-identical to `syscall_unsupported_mask` on the
+    // baseline run, which is what lets a resume skip the baseline.
+    let supported: HashSet<u32> = support_numbers.iter().copied().collect();
+    let catalog = Catalog::linux_3_19();
+    let mut unsupported = apistudy_catalog::ApiSet::new();
+    for d in catalog.syscalls.iter() {
+        if !supported.contains(&d.number) {
+            unsupported.insert(apistudy_catalog::Api::Syscall(d.number));
+        }
+    }
+
+    for &rate in &rates[points.len()..] {
+        let plan = FaultPlan::new(fault_seed, rate);
+        let data = StudyData::from_packages_faulted_cached(
+            repo,
+            &packages,
+            options,
+            &plan,
+            Some(cache),
+        );
+        let point = measure(rate, &data, &unsupported);
+        journal.append(&JournalRecord::SweepPoint(point.clone()))?;
+        cache.persist()?;
+        points.push(point);
+    }
+    Ok((points, journal.stats()))
+}
+
 fn measure(
     rate: f64,
     data: &StudyData,
@@ -136,6 +291,7 @@ fn measure(
         injected: d.injected.len() as u32,
         injected_fatal: d.injected.iter().filter(|r| r.fatal).count() as u32,
         skipped_binaries: d.total_skipped() as u32,
+        deadline_skipped: d.deadline_skips() as u32,
         partial_packages: data
             .packages
             .iter()
@@ -157,6 +313,7 @@ pub fn degradation_table(points: &[DegradationPoint]) -> TextTable {
             "injected",
             "fatal",
             "skipped",
+            "deadline",
             "partial pkgs",
             "quarantined pkgs",
             "distinct syscalls",
@@ -172,6 +329,7 @@ pub fn degradation_table(points: &[DegradationPoint]) -> TextTable {
         Align::Right,
         Align::Right,
         Align::Right,
+        Align::Right,
     ]);
     for p in points {
         table.row(&[
@@ -179,6 +337,7 @@ pub fn degradation_table(points: &[DegradationPoint]) -> TextTable {
             p.injected.to_string(),
             p.injected_fatal.to_string(),
             p.skipped_binaries.to_string(),
+            p.deadline_skipped.to_string(),
             p.partial_packages.to_string(),
             p.quarantined_packages.to_string(),
             p.distinct_syscalls.to_string(),

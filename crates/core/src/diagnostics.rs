@@ -28,6 +28,9 @@ pub enum SkipStage {
     Analyze,
     /// Analysis panicked twice; the binary was abandoned after the retry.
     Panic,
+    /// Analysis overran the per-item wall-clock deadline
+    /// (`APISTUDY_ITEM_DEADLINE_MS`) and was quarantined by the watchdog.
+    Deadline,
 }
 
 impl SkipStage {
@@ -37,6 +40,7 @@ impl SkipStage {
             SkipStage::Parse => "parse",
             SkipStage::Analyze => "analyze",
             SkipStage::Panic => "panic",
+            SkipStage::Deadline => "deadline",
         }
     }
 }
@@ -83,6 +87,10 @@ pub struct RunDiagnostics {
     /// panicked at package granularity); their records carry an empty
     /// footprint and the partial-footprint flag.
     pub quarantined_packages: u32,
+    /// Work items abandoned by the wall-clock watchdog
+    /// ([`SkipStage::Deadline`]): zero unless `APISTUDY_ITEM_DEADLINE_MS`
+    /// is set.
+    pub deadline_quarantined: u64,
     /// Binaries whose analysis came straight from the incremental cache
     /// (see [`crate::cache::AnalysisCache`]): zero for un-cached runs.
     pub cache_hits: u64,
@@ -130,6 +138,14 @@ impl RunDiagnostics {
         self.skipped.len() as u64
     }
 
+    /// Binaries abandoned because they overran the wall-clock deadline.
+    pub fn deadline_skips(&self) -> u64 {
+        self.skipped
+            .iter()
+            .filter(|s| s.stage == SkipStage::Deadline)
+            .count() as u64
+    }
+
     /// True when nothing was skipped, injected, contained, or
     /// quarantined — the run measured every binary it saw. Cache
     /// counters are deliberately ignored: a warm-cache run that measured
@@ -139,6 +155,7 @@ impl RunDiagnostics {
             && self.injected.is_empty()
             && self.panics_contained == 0
             && self.quarantined_packages == 0
+            && self.deadline_quarantined == 0
     }
 }
 
@@ -164,9 +181,11 @@ mod tests {
         d.skipped.push(skip(SkipStage::Parse, Some(ErrorKind::Truncated)));
         d.skipped.push(skip(SkipStage::Analyze, Some(ErrorKind::BadString)));
         d.skipped.push(skip(SkipStage::Panic, None));
+        d.skipped.push(skip(SkipStage::Deadline, None));
         assert!(!d.is_clean());
-        assert_eq!(d.total_skipped(), 4);
+        assert_eq!(d.total_skipped(), 5);
         assert_eq!(d.panicked(), 1);
+        assert_eq!(d.deadline_skips(), 1);
         let by_kind = d.skipped_by_kind();
         assert_eq!(by_kind[&ErrorKind::Truncated], 2);
         assert_eq!(by_kind[&ErrorKind::BadString], 1);
@@ -179,6 +198,13 @@ mod tests {
     #[test]
     fn contained_panic_alone_is_not_clean() {
         let d = RunDiagnostics { panics_contained: 1, ..Default::default() };
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn deadline_quarantine_alone_is_not_clean() {
+        let d =
+            RunDiagnostics { deadline_quarantined: 1, ..Default::default() };
         assert!(!d.is_clean());
     }
 

@@ -26,6 +26,9 @@
 //!   contained panics, quarantined packages, injected-fault ground truth;
 //! - [`degradation`] — the corruption sweep: rerunning the pipeline at
 //!   rising injected-corruption rates and tabulating the metric fallout;
+//! - [`journal`] — the crash-safety layer: an append-only, checksummed
+//!   write-ahead journal of completed work units, with fingerprint-bound
+//!   bit-identical resume;
 //! - [`diff`] — study-to-study comparison (releases / what-if scenarios);
 //! - [`workloads`] — evaluation-workload matching for modified APIs;
 //! - [`study::Study`] — the one-call facade.
@@ -42,6 +45,7 @@ pub mod diff;
 pub mod engine;
 pub mod footprint;
 pub mod footprints;
+pub mod journal;
 pub mod libc_restructure;
 pub mod metrics;
 pub mod pipeline;
@@ -53,8 +57,8 @@ pub mod workloads;
 pub use cache::{AnalysisCache, CacheKey, CacheMode, CacheStats};
 pub use dataset::{Dataset, DatasetRow};
 pub use degradation::{
-    corruption_sweep, corruption_sweep_with, degradation_table,
-    DegradationPoint,
+    corruption_sweep, corruption_sweep_journaled, corruption_sweep_with,
+    degradation_table, DegradationPoint,
 };
 pub use depgraph::Condensation;
 pub use diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
@@ -62,10 +66,17 @@ pub use diff::{ApiShift, StudyDiff};
 pub use engine::CompletenessEngine;
 pub use footprint::ApiFootprint;
 pub use footprints::{seccomp_profile, uniqueness, UniquenessStats};
+pub use journal::{
+    catalog_fingerprint, corpus_fingerprint, Journal, JournalError,
+    JournalRecord, JournalStats, RunFingerprint, RunKind,
+};
 pub use libc_restructure::{restructure, RestructureReport};
 pub use metrics::Metrics;
 pub use pipeline::{Attribution, PackageRecord, StudyData};
-pub use planner::{greedy_suggestions, stages, CompletenessCurve, Stage};
+pub use planner::{
+    greedy_suggestions, greedy_suggestions_journaled, stages,
+    CompletenessCurve, Stage,
+};
 pub use seccomp_bpf::{run_filter, seccomp_filter, BpfProgram, SeccompData};
 pub use study::Study;
 pub use workloads::{exercised_mass, workloads_for, Match};

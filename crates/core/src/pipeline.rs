@@ -139,6 +139,44 @@ struct ParStats {
     panics_contained: u64,
     /// Panicked items whose single retry then succeeded.
     retries_recovered: u64,
+    /// Work items abandoned by the wall-clock watchdog.
+    deadline_quarantined: u64,
+}
+
+/// Why a work item's result was substituted by the `recover` closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortCause {
+    /// `f(i)` panicked twice (deterministic panic).
+    Panic,
+    /// `f(i)` overran the per-item wall-clock deadline and the watchdog
+    /// quarantined it.
+    Deadline,
+}
+
+impl AbortCause {
+    fn stage(self) -> SkipStage {
+        match self {
+            AbortCause::Panic => SkipStage::Panic,
+            AbortCause::Deadline => SkipStage::Deadline,
+        }
+    }
+}
+
+/// Parses an `APISTUDY_ITEM_DEADLINE_MS`-style value: a positive integer
+/// number of milliseconds enables the watchdog, anything else disables it.
+fn parse_deadline_ms(v: Option<&str>) -> Option<std::time::Duration> {
+    v.and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(std::time::Duration::from_millis)
+}
+
+/// The per-item wall-clock deadline from `APISTUDY_ITEM_DEADLINE_MS`
+/// (default: off — the watchdog's selections depend on machine speed, so
+/// runs that must be bit-reproducible across hosts leave it unset).
+fn item_deadline_from_env() -> Option<std::time::Duration> {
+    parse_deadline_ms(
+        std::env::var("APISTUDY_ITEM_DEADLINE_MS").ok().as_deref(),
+    )
 }
 
 /// Extracts a printable message from a panic payload.
@@ -172,20 +210,45 @@ fn worker_count(n: usize) -> usize {
         .min(n)
 }
 
+/// Per-item watchdog states (values other than these are the item's start
+/// time as `epoch.elapsed()` nanoseconds plus one, so zero stays free for
+/// IDLE and the two sentinels sit at the top of the range, far above any
+/// plausible runtime).
+const ITEM_IDLE: u64 = 0;
+const ITEM_ABANDONED: u64 = u64::MAX - 1;
+const ITEM_DONE: u64 = u64::MAX;
+
 /// Runs `f(0..n)` across a scoped worker pool and returns the results in
 /// index order. Workers pull the next index from an atomic cursor and send
 /// `(index, value)` pairs down a channel — no lock is held around `f`.
 ///
 /// Panic containment: a panicking `f(i)` is caught (the worker thread
 /// survives) and retried once — deterministic panics fail again, and the
-/// item's result is produced by `recover(i, message)` instead, so one
-/// pathological work item degrades into one quarantined result rather
-/// than aborting the corpus scan.
-fn par_map_indexed<T, F, R>(n: usize, f: F, recover: R) -> (Vec<T>, ParStats)
+/// item's result is produced by `recover(i, AbortCause::Panic, message)`
+/// instead, so one pathological work item degrades into one quarantined
+/// result rather than aborting the corpus scan.
+///
+/// Wall-clock watchdog: with `deadline` set, a monitor thread scans the
+/// in-flight items and *abandons* any that has been running longer than
+/// the deadline — its result is produced by
+/// `recover(i, AbortCause::Deadline, detail)` and the worker's eventual
+/// value is discarded, so one adversarial input degrades into one
+/// quarantined result instead of stalling the pipeline's progress. This
+/// is a soft deadline: the abandoned `f(i)` is not preempted (impossible
+/// without `unsafe`), it merely stops being waited for; `f` is expected
+/// to terminate eventually (analysis work is budget-bounded), and the
+/// scope still joins its thread at the end. Which items get abandoned
+/// depends on machine speed, so the watchdog defaults to off.
+fn par_map_indexed<T, F, R>(
+    n: usize,
+    deadline: Option<std::time::Duration>,
+    f: F,
+    recover: R,
+) -> (Vec<T>, ParStats)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
-    R: Fn(usize, String) -> T + Sync,
+    R: Fn(usize, AbortCause, String) -> T + Sync,
 {
     if n == 0 {
         return (Vec::new(), ParStats::default());
@@ -194,6 +257,13 @@ where
     let cursor = AtomicUsize::new(0);
     let panics = AtomicU64::new(0);
     let recovered = AtomicU64::new(0);
+    let abandoned = AtomicU64::new(0);
+    // Results delivered so far (by workers or the watchdog); the watchdog
+    // exits once every index has one.
+    let sent = AtomicUsize::new(0);
+    let states: Vec<AtomicU64> =
+        (0..n).map(|_| AtomicU64::new(ITEM_IDLE)).collect();
+    let epoch = std::time::Instant::now();
     let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -201,6 +271,8 @@ where
             let cursor = &cursor;
             let panics = &panics;
             let recovered = &recovered;
+            let sent = &sent;
+            let states = &states;
             let f = &f;
             let recover = &recover;
             scope.spawn(move || loop {
@@ -208,6 +280,10 @@ where
                 if i >= n {
                     break;
                 }
+                states[i].store(
+                    epoch.elapsed().as_nanos() as u64 + 1,
+                    Ordering::Release,
+                );
                 let value = match catch_unwind(AssertUnwindSafe(|| f(i))) {
                     Ok(v) => v,
                     Err(_) => {
@@ -217,14 +293,71 @@ where
                                 recovered.fetch_add(1, Ordering::Relaxed);
                                 v
                             }
-                            Err(payload) => {
-                                recover(i, panic_message(payload.as_ref()))
-                            }
+                            Err(payload) => recover(
+                                i,
+                                AbortCause::Panic,
+                                panic_message(payload.as_ref()),
+                            ),
                         }
                     }
                 };
+                // If the watchdog abandoned this item while it ran, its
+                // substituted result is already in flight — discard ours.
+                if states[i].swap(ITEM_DONE, Ordering::AcqRel)
+                    == ITEM_ABANDONED
+                {
+                    continue;
+                }
                 if tx.send((i, value)).is_err() {
                     break;
+                }
+                sent.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        if let Some(deadline) = deadline {
+            let tx = tx.clone();
+            let abandoned = &abandoned;
+            let sent = &sent;
+            let states = &states;
+            let recover = &recover;
+            let tick = (deadline / 4).max(std::time::Duration::from_millis(1));
+            let limit = deadline.as_nanos() as u64;
+            scope.spawn(move || {
+                while sent.load(Ordering::Relaxed) < n {
+                    std::thread::sleep(tick);
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    for (i, state) in states.iter().enumerate() {
+                        let s = state.load(Ordering::Acquire);
+                        if s == ITEM_IDLE || s >= ITEM_ABANDONED {
+                            continue;
+                        }
+                        if now.saturating_sub(s - 1) <= limit {
+                            continue;
+                        }
+                        // Claim the overdue item; losing the race to the
+                        // worker's DONE swap means it finished in time.
+                        if state
+                            .compare_exchange(
+                                s,
+                                ITEM_ABANDONED,
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        abandoned.fetch_add(1, Ordering::Relaxed);
+                        let detail = format!(
+                            "exceeded the {}ms per-item wall-clock deadline",
+                            deadline.as_millis()
+                        );
+                        let value = recover(i, AbortCause::Deadline, detail);
+                        if tx.send((i, value)).is_err() {
+                            return;
+                        }
+                        sent.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             });
         }
@@ -243,6 +376,7 @@ where
         ParStats {
             panics_contained: panics.load(Ordering::Relaxed),
             retries_recovered: recovered.load(Ordering::Relaxed),
+            deadline_quarantined: abandoned.load(Ordering::Relaxed),
         },
     )
 }
@@ -282,12 +416,18 @@ struct PkgIntermediate {
 }
 
 impl PkgIntermediate {
-    /// A placeholder for a package whose analysis panicked twice: name and
+    /// A placeholder for a package whose analysis was abandoned — a
+    /// double panic or a watchdog deadline, `stage` says which: name and
     /// dependencies come from the plan, the footprint stays empty, and
     /// every planned binary is recorded as skipped. Library skips are
     /// keyed by soname so dependent packages' footprints get flagged as
     /// partial through the linker taint pass.
-    fn quarantined(index: usize, repo: &SynthRepo, detail: String) -> Self {
+    fn quarantined(
+        index: usize,
+        repo: &SynthRepo,
+        detail: String,
+        stage: SkipStage,
+    ) -> Self {
         let p = &repo.plan.packages[index];
         let mut skipped: Vec<SkippedBinary> = p
             .libs
@@ -297,7 +437,7 @@ impl PkgIntermediate {
             .map(|file| SkippedBinary {
                 package: p.name.clone(),
                 file,
-                stage: SkipStage::Panic,
+                stage,
                 kind: None,
                 detail: detail.clone(),
             })
@@ -306,7 +446,7 @@ impl PkgIntermediate {
             skipped.push(SkippedBinary {
                 package: p.name.clone(),
                 file: "<package>".to_owned(),
-                stage: SkipStage::Panic,
+                stage,
                 kind: None,
                 detail,
             });
@@ -606,17 +746,21 @@ impl StudyData {
     ) -> Self {
         let with_fp = cache.map(|c| (c, options.fingerprint()));
         let evictions_before = cache.map_or(0, |c| c.stats().evictions);
+        let deadline = item_deadline_from_env();
         let (inters, stats) = par_map_indexed(
             repo.package_count(),
+            deadline,
             |i| {
                 let (package, injected) = produce(i);
                 let mut inter = analyze_package(i, package, options, with_fp);
                 inter.injected = injected;
                 inter
             },
-            |i, detail| PkgIntermediate::quarantined(i, repo, detail),
+            |i, cause, detail| {
+                PkgIntermediate::quarantined(i, repo, detail, cause.stage())
+            },
         );
-        let mut data = Self::assemble(repo, inters, stats, with_fp);
+        let mut data = Self::assemble(repo, inters, stats, with_fp, deadline);
         if let Some(cache) = cache {
             data.diagnostics.cache_mode = cache.mode();
             data.diagnostics.cache_evictions =
@@ -630,6 +774,7 @@ impl StudyData {
         mut inters: Vec<PkgIntermediate>,
         par_stats: ParStats,
         cache: Option<(&AnalysisCache, u64)>,
+        deadline: Option<std::time::Duration>,
     ) -> Self {
         let catalog = Catalog::linux_3_19();
         let census = MixCensus::scan(inters.iter().map(|i| &i.package));
@@ -769,6 +914,7 @@ impl StudyData {
             );
             par_map_indexed(
                 inters.len(),
+                deadline,
                 move |i| {
                     let inter = &inters[i];
                     let mut fp = ApiFootprint::default();
@@ -845,9 +991,10 @@ impl StudyData {
                         partial_footprint: partial,
                     }
                 },
-                // A package whose *resolution* panics twice degrades into
-                // an empty, flagged record instead of aborting the run.
-                move |i, _detail| PackageRecord {
+                // A package whose *resolution* panics twice or overruns
+                // the watchdog deadline degrades into an empty, flagged
+                // record instead of aborting (or stalling) the run.
+                move |i, _cause, _detail| PackageRecord {
                     name: inters[i].package.name.clone(),
                     prob: repo.plan.popcon.probability(&inters[i].package.name),
                     install_count: repo
@@ -904,6 +1051,8 @@ impl StudyData {
                 + resolve_stats.panics_contained,
             retries_recovered: par_stats.retries_recovered
                 + resolve_stats.retries_recovered,
+            deadline_quarantined: par_stats.deadline_quarantined
+                + resolve_stats.deadline_quarantined,
             ..RunDiagnostics::default()
         };
         for inter in &mut inters {
@@ -1148,13 +1297,16 @@ mod tests {
 
     #[test]
     fn par_map_preserves_index_order() {
-        let never = |_: usize, _: String| unreachable!("no panics expected");
-        let (out, stats) = par_map_indexed(1000, |i| i * 3, never);
+        let never = |_: usize, _: AbortCause, _: String| {
+            unreachable!("no panics expected")
+        };
+        let (out, stats) = par_map_indexed(1000, None, |i| i * 3, never);
         assert_eq!(out.len(), 1000);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
         assert_eq!(stats.panics_contained, 0);
         assert_eq!(stats.retries_recovered, 0);
-        let (empty, _) = par_map_indexed(0, |i| i, never);
+        assert_eq!(stats.deadline_quarantined, 0);
+        let (empty, _) = par_map_indexed(0, None, |i| i, never);
         assert!(empty.is_empty());
     }
 
@@ -1164,13 +1316,15 @@ mod tests {
         // the scope, and every other item must be unaffected.
         let (out, stats) = par_map_indexed(
             64,
+            None,
             |i| {
                 if i == 7 {
                     panic!("poison item");
                 }
                 i as i64
             },
-            |i, detail| {
+            |i, cause, detail| {
+                assert_eq!(cause, AbortCause::Panic);
                 assert!(detail.contains("poison item"), "got: {detail}");
                 -(i as i64)
             },
@@ -1192,17 +1346,78 @@ mod tests {
         let seen = Mutex::new(std::collections::HashSet::new());
         let (out, stats) = par_map_indexed(
             16,
+            None,
             |i| {
                 if i == 3 && seen.lock().unwrap().insert(3) {
                     panic!("transient");
                 }
                 i
             },
-            |_, _| usize::MAX,
+            |_, _, _| usize::MAX,
         );
         assert_eq!(out[3], 3);
         assert_eq!(stats.panics_contained, 1);
         assert_eq!(stats.retries_recovered, 1);
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_stalled_item() {
+        use std::time::Duration;
+        // Item 2 sleeps far past the deadline: the watchdog must
+        // substitute its result while every fast item keeps its own, and
+        // the slow worker's eventual value must be discarded, not
+        // delivered over the substitution.
+        let (out, stats) = par_map_indexed(
+            8,
+            Some(Duration::from_millis(25)),
+            |i| {
+                if i == 2 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                i as i64
+            },
+            |i, cause, detail| {
+                assert_eq!(cause, AbortCause::Deadline);
+                assert!(detail.contains("deadline"), "got: {detail}");
+                -(i as i64)
+            },
+        );
+        assert_eq!(out[2], -2, "stalled item must be quarantined");
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| if i == 2 { v == -2 } else { v == i as i64 }));
+        assert_eq!(stats.deadline_quarantined, 1);
+        assert_eq!(stats.panics_contained, 0);
+    }
+
+    #[test]
+    fn watchdog_leaves_fast_items_alone() {
+        use std::time::Duration;
+        let (out, stats) = par_map_indexed(
+            64,
+            Some(Duration::from_secs(30)),
+            |i| i,
+            |_, _, _| usize::MAX,
+        );
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        assert_eq!(stats.deadline_quarantined, 0);
+    }
+
+    #[test]
+    fn deadline_parse_accepts_positive_millis_only() {
+        use std::time::Duration;
+        assert_eq!(
+            parse_deadline_ms(Some("250")),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            parse_deadline_ms(Some(" 42 ")),
+            Some(Duration::from_millis(42))
+        );
+        for junk in [None, Some("0"), Some("-5"), Some("fast"), Some("")] {
+            assert_eq!(parse_deadline_ms(junk), None, "junk {junk:?}");
+        }
     }
 
     #[test]

@@ -9,10 +9,16 @@
 //! [`CompletenessEngine`].
 
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 
 use apistudy_catalog::{Api, ApiKind};
 
+use crate::cache::fold_hash;
 use crate::engine::CompletenessEngine;
+use crate::journal::{
+    catalog_fingerprint, Journal, JournalError, JournalRecord, JournalStats,
+    RunFingerprint, RunKind,
+};
 use crate::metrics::Metrics;
 
 /// The measured syscall importance ranking and the completeness curve over
@@ -151,6 +157,73 @@ pub fn greedy_suggestions(
     run_greedy(metrics, supported, n).picks
 }
 
+/// [`greedy_suggestions`] under a write-ahead journal: every committed
+/// pick is appended (syscall number plus the gain and after-completeness
+/// f64 bit patterns) as it is decided, and with `resume` the journaled
+/// pick prefix is *replayed* — committed into the engine without any
+/// probing — before live greedy selection continues. Each replayed pick's
+/// gain and cumulative completeness are re-derived by the engine and
+/// verified bit-for-bit against the journal; a mismatch is a
+/// [`JournalError::Diverged`], never a silently different plan.
+///
+/// `corpus` and `options` identify the measured dataset (the caller's
+/// corpus fingerprint and [`AnalysisOptions::fingerprint`](apistudy_analysis::AnalysisOptions::fingerprint));
+/// they, the catalog, the starting `supported` set, and `n` are bound
+/// into the journal header's [`RunFingerprint`].
+pub fn greedy_suggestions_journaled(
+    metrics: &Metrics<'_>,
+    supported: &HashSet<u32>,
+    n: usize,
+    corpus: u64,
+    options: u64,
+    journal_path: &Path,
+    resume: bool,
+) -> Result<(Vec<(u32, f64)>, JournalStats), JournalError> {
+    let fp = RunFingerprint {
+        kind: RunKind::GreedyPlan,
+        corpus,
+        options,
+        catalog: catalog_fingerprint(&metrics.data().catalog),
+        plan: {
+            let mut nrs: Vec<u32> = supported.iter().copied().collect();
+            nrs.sort_unstable();
+            let mut h = fold_hash(0, n as u64);
+            for nr in nrs {
+                h = fold_hash(h, u64::from(nr));
+            }
+            h
+        },
+    };
+    let (mut journal, records) = if resume {
+        Journal::resume_or_create(journal_path, &fp)?
+    } else {
+        (Journal::create(journal_path, &fp)?, Vec::new())
+    };
+    let mut replay = Vec::with_capacity(records.len());
+    for rec in records {
+        match rec {
+            JournalRecord::GreedyPick { nr, gain_bits, after_bits } => {
+                replay.push((nr, gain_bits, after_bits))
+            }
+            other => {
+                return Err(JournalError::Diverged(format!(
+                    "unexpected record in a greedy journal: {other:?}"
+                )))
+            }
+        }
+    }
+    if replay.len() > n {
+        return Err(JournalError::Diverged(format!(
+            "journal holds {} picks, run asked for {n}",
+            replay.len()
+        )));
+    }
+    let run = run_greedy_replayed(metrics, supported, n, &replay, |pick| {
+        journal.append(&pick)
+    })?;
+    Ok((run.picks, journal.stats()))
+}
+
 /// Result of a greedy planning run.
 struct GreedyRun {
     /// `(syscall number, exact completeness gain)` in pick order.
@@ -186,6 +259,50 @@ fn run_greedy(
     supported: &HashSet<u32>,
     limit: usize,
 ) -> GreedyRun {
+    run_greedy_replayed(metrics, supported, limit, &[], |_| {
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .unwrap_or_else(|e| match e {
+        GreedyRunError::Sink(never) => match never {},
+        GreedyRunError::Diverged(why) => {
+            unreachable!("empty replay cannot diverge: {why}")
+        }
+    })
+}
+
+/// [`run_greedy`] failures: replay divergence, or an error from the
+/// per-pick sink (journal appends). Generic over the sink's error so the
+/// un-journaled path statically cannot fail.
+enum GreedyRunError<E> {
+    Diverged(String),
+    Sink(E),
+}
+
+impl From<GreedyRunError<JournalError>> for JournalError {
+    fn from(e: GreedyRunError<JournalError>) -> Self {
+        match e {
+            GreedyRunError::Diverged(why) => JournalError::Diverged(why),
+            GreedyRunError::Sink(e) => e,
+        }
+    }
+}
+
+/// The lazy-greedy loop with a replay prefix and a per-pick sink.
+///
+/// The first `replay.len()` rounds skip sorting and probing entirely:
+/// each `(nr, gain_bits, after_bits)` tuple is committed straight into
+/// the engine (upper bounds still updated from the flipped components, so
+/// later live rounds stay sound) and the engine's exact delta and
+/// cumulative completeness are verified bit-for-bit against the recorded
+/// values. Every *live* pick is handed to `on_pick` before it is returned
+/// — the journaled path appends it there, write-ahead of any use.
+fn run_greedy_replayed<E>(
+    metrics: &Metrics<'_>,
+    supported: &HashSet<u32>,
+    limit: usize,
+    replay: &[(u32, u64, u64)],
+    mut on_pick: impl FnMut(JournalRecord) -> Result<(), E>,
+) -> Result<GreedyRun, GreedyRunError<E>> {
     let data = metrics.data();
     let cond = metrics.condensation();
     let ncomp = cond.len();
@@ -241,34 +358,79 @@ fn run_greedy(
     let mut picks = Vec::with_capacity(total);
     let mut after = Vec::with_capacity(total);
     while picks.len() < total {
-        cands.sort_by(|x, y| {
-            y.ub.total_cmp(&x.ub).then(x.rank.cmp(&y.rank))
-        });
-        // Probe in descending-bound order until no remaining bound can
-        // beat the best exact gain seen.
-        let mut best: Option<(usize, f64)> = None;
-        for (i, cand) in cands.iter().enumerate() {
-            if let Some((_, bg)) = best {
-                if bg > cand.ub + UB_SLACK {
-                    break;
-                }
-            }
-            let g = engine.probe_gain(cand.api);
-            let replace = match best {
-                None => true,
-                Some((bi, bg)) => {
-                    g > bg || (g == bg && cand.rank < cands[bi].rank)
-                }
+        let round = picks.len();
+        let mut probed_gain: Option<f64> = None;
+        let (bi, recorded) = if let Some(&(nr, gain_bits, after_bits)) =
+            replay.get(round)
+        {
+            // Replay: the journal already decided this round — commit it
+            // without sorting or probing a single candidate.
+            let Some(bi) = cands.iter().position(|c| c.nr == nr) else {
+                return Err(GreedyRunError::Diverged(format!(
+                    "replayed pick {round} (syscall {nr}) is not an \
+                     available candidate"
+                )));
             };
-            if replace {
-                best = Some((i, g));
+            (bi, Some((gain_bits, after_bits)))
+        } else {
+            cands.sort_by(|x, y| {
+                y.ub.total_cmp(&x.ub).then(x.rank.cmp(&y.rank))
+            });
+            // Probe in descending-bound order until no remaining bound
+            // can beat the best exact gain seen.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, cand) in cands.iter().enumerate() {
+                if let Some((_, bg)) = best {
+                    if bg > cand.ub + UB_SLACK {
+                        break;
+                    }
+                }
+                let g = engine.probe_gain(cand.api);
+                let replace = match best {
+                    None => true,
+                    Some((bi, bg)) => {
+                        g > bg || (g == bg && cand.rank < cands[bi].rank)
+                    }
+                };
+                if replace {
+                    best = Some((i, g));
+                }
             }
-        }
-        let (bi, bg) = best.expect("non-empty candidate list");
+            let (bi, bg) = best.expect("non-empty candidate list");
+            probed_gain = Some(bg);
+            (bi, None)
+        };
+        let nr = cands[bi].nr;
         let delta = engine.add_api(cands[bi].api);
-        debug_assert_eq!(delta.to_bits(), bg.to_bits());
-        picks.push((cands[bi].nr, delta));
-        after.push(engine.completeness());
+        let cum = engine.completeness();
+        if let Some(bg) = probed_gain {
+            debug_assert_eq!(delta.to_bits(), bg.to_bits());
+        }
+        match recorded {
+            Some((gain_bits, after_bits)) => {
+                // The engine re-derives the replayed pick's effect; any
+                // bit of drift means the journal and this run disagree.
+                if delta.to_bits() != gain_bits || cum.to_bits() != after_bits
+                {
+                    return Err(GreedyRunError::Diverged(format!(
+                        "replayed pick {round} (syscall {nr}) does not \
+                         reproduce: gain bits {:#018x} vs journaled \
+                         {gain_bits:#018x}, completeness bits {:#018x} vs \
+                         journaled {after_bits:#018x}",
+                        delta.to_bits(),
+                        cum.to_bits(),
+                    )));
+                }
+            }
+            None => on_pick(JournalRecord::GreedyPick {
+                nr,
+                gain_bits: delta.to_bits(),
+                after_bits: cum.to_bits(),
+            })
+            .map_err(GreedyRunError::Sink)?,
+        }
+        picks.push((nr, delta));
+        after.push(cum);
         let flipped: Vec<u32> = engine.last_flipped().to_vec();
         cands.swap_remove(bi);
         for &c in &flipped {
@@ -283,7 +445,7 @@ fn run_greedy(
             }
         }
     }
-    GreedyRun { picks, after, baseline }
+    Ok(GreedyRun { picks, after, baseline })
 }
 
 /// One development stage (Table 4).
@@ -489,6 +651,60 @@ mod tests {
             (after - before - reported).abs() < 1e-9,
             "gains must account for the completeness growth"
         );
+    }
+
+    #[test]
+    fn journaled_greedy_is_bitwise_stable_across_resume() {
+        let data = data();
+        let metrics = Metrics::new(&data);
+        let path = std::env::temp_dir().join(format!(
+            "apistudy-greedy-{}.apsj",
+            std::process::id()
+        ));
+        let none = HashSet::new();
+        let plain = greedy_suggestions(&metrics, &none, 12);
+
+        // A fresh journaled run picks bit-for-bit what the plain one does.
+        let (full, stats) = greedy_suggestions_journaled(
+            &metrics, &none, 12, 0xC0FFEE, 0xD0, &path, false,
+        )
+        .expect("fresh journaled run");
+        assert_eq!(stats, JournalStats { replayed: 0, appended: 12 });
+        let bits = |picks: &[(u32, f64)]| -> Vec<(u32, u64)> {
+            picks.iter().map(|&(nr, g)| (nr, g.to_bits())).collect()
+        };
+        assert_eq!(bits(&plain), bits(&full));
+
+        // Resuming the complete journal replays every pick (no engine
+        // probing, every gain re-verified) and appends nothing.
+        let (replayed, stats) = greedy_suggestions_journaled(
+            &metrics, &none, 12, 0xC0FFEE, 0xD0, &path, true,
+        )
+        .expect("full replay");
+        assert_eq!(stats, JournalStats { replayed: 12, appended: 0 });
+        assert_eq!(bits(&plain), bits(&replayed));
+
+        // Tear the journal's tail mid-record (a crash during the last
+        // append): resume replays the surviving prefix and recomputes the
+        // rest, still bit-identical.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let (resumed, stats) = greedy_suggestions_journaled(
+            &metrics, &none, 12, 0xC0FFEE, 0xD0, &path, true,
+        )
+        .expect("partial resume");
+        assert_eq!(stats, JournalStats { replayed: 11, appended: 1 });
+        assert_eq!(bits(&plain), bits(&resumed));
+
+        // A different starting set is a different plan: refused.
+        let other: HashSet<u32> = [7u32].into_iter().collect();
+        match greedy_suggestions_journaled(
+            &metrics, &other, 12, 0xC0FFEE, 0xD0, &path, true,
+        ) {
+            Err(JournalError::FingerprintMismatch { .. }) => {}
+            r => panic!("expected fingerprint mismatch, got {r:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,32 +1,47 @@
 //! `apistudy` — command-line front end to the study.
 //!
 //! ```text
-//! apistudy [--scale test|medium|paper] [--seed N] [--cache off|mem|disk]
+//! apistudy [--scale test|medium|paper|N] [--seed N] [--cache off|mem|disk]
 //!          <command> [args]
 //!
 //! commands:
 //!   importance <api>...      weighted + unweighted importance of syscalls
 //!   dependents <api>         most-installed packages needing a syscall
-//!   suggest <file> [--greedy]
+//!   suggest <file> [--greedy] [--journal <path> [--resume]]
 //!                            next syscalls for a prototype (one name or
 //!                            number per line in <file>); with --greedy,
 //!                            picks are in marginal-gain order — each line
 //!                            is the best *next* addition given every line
-//!                            above it, found by the lazy-greedy planner
+//!                            above it, found by the lazy-greedy planner;
+//!                            --journal write-ahead logs each pick so an
+//!                            interrupted plan resumes bit-identically
 //!   completeness <file>      weighted completeness of a syscall list
 //!   workloads <api>...       packages exercising all the given syscalls
 //!   seccomp <package>        seccomp allow-list + BPF filter for a package
 //!   export <path>            write the measured dataset as CSV
 //!   summary                  headline numbers (Figures 2/3/7)
-//!   faults [fault-seed]      corruption-degradation sweep (0% → 10%,
+//!   faults [fault-seed] [--journal <path> [--resume]]
+//!                            corruption-degradation sweep (0% → 10%,
 //!                            11 points, incremental via the analysis
-//!                            cache; footer reports hit/miss traffic)
+//!                            cache; footer reports hit/miss traffic);
+//!                            --journal commits each completed point to a
+//!                            crash-safe log, --resume replays a prior
+//!                            log (fingerprint-checked) and computes only
+//!                            the missing tail
 //! ```
+//!
+//! `--scale` also accepts a bare package count `N` (installations scale
+//! along at 95·N), so experiments can dial corpus size precisely.
 //!
 //! `--cache` (default: the `APISTUDY_CACHE` environment variable, then
 //! `mem`) selects the incremental analysis cache mode: `off` re-analyzes
 //! everything, `mem` shares results within the process, `disk` also
 //! warm-starts from and persists to `target/apistudy-cache/`.
+//!
+//! `APISTUDY_ITEM_DEADLINE_MS`, when set to a positive integer, arms a
+//! wall-clock watchdog in the pipeline: any single package whose analysis
+//! exceeds the deadline is quarantined (stage `deadline`) instead of
+//! stalling the run; the `faults` footer counts such skips.
 
 use std::collections::HashSet;
 use std::process::exit;
@@ -43,15 +58,37 @@ use apistudy::corpus::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apistudy [--scale test|medium|paper] [--seed N]\n\
+        "usage: apistudy [--scale test|medium|paper|N] [--seed N]\n\
          \x20              [--cache off|mem|disk] <command>\n\
          commands: importance <api>... | dependents <api>\n\
-         \x20         | suggest <file> [--greedy]\n\
+         \x20         | suggest <file> [--greedy] [--journal <path> [--resume]]\n\
          \x20         | completeness <file> | workloads <api>...\n\
          \x20         | seccomp <pkg> | export <path> | summary\n\
-         \x20         | faults [fault-seed]"
+         \x20         | faults [fault-seed] [--journal <path> [--resume]]"
     );
     exit(2)
+}
+
+/// Remove a boolean flag from the tail arguments, reporting presence.
+fn take_flag(rest: &mut Vec<String>, name: &str) -> bool {
+    match rest.iter().position(|a| a == name) {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Remove a `--flag value` pair from the tail arguments.
+fn take_opt(rest: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = rest.iter().position(|a| a == name)?;
+    if i + 1 >= rest.len() {
+        usage()
+    }
+    let value = rest.remove(i + 1);
+    rest.remove(i);
+    Some(value)
 }
 
 fn read_syscall_list(study: &Study, path: &str) -> HashSet<u32> {
@@ -91,7 +128,14 @@ fn main() {
                     Some("test") => Scale::test(),
                     Some("medium") => Scale::medium(),
                     Some("paper") => Scale::paper(),
-                    _ => usage(),
+                    Some(n) => match n.parse::<usize>() {
+                        Ok(p) if p > 0 => Scale {
+                            packages: p,
+                            installations: p as u64 * 95,
+                        },
+                        _ => usage(),
+                    },
+                    None => usage(),
                 }
             }
             "--seed" => {
@@ -152,10 +196,13 @@ fn main() {
             }
         }
         "suggest" => {
-            let greedy = rest.iter().any(|a| a == "--greedy");
-            let Some(path) = rest.iter().find(|a| *a != "--greedy") else {
+            let greedy = take_flag(&mut rest, "--greedy");
+            let journal = take_opt(&mut rest, "--journal");
+            let resume = take_flag(&mut rest, "--resume");
+            if (journal.is_some() && !greedy) || (resume && journal.is_none()) {
                 usage()
-            };
+            }
+            let Some(path) = rest.first() else { usage() };
             let supported = read_syscall_list(&study, path);
             let completeness = metrics.syscall_completeness(&supported);
             println!(
@@ -167,8 +214,40 @@ fn main() {
                 // Each pick is the best *next* addition given all picks
                 // above it; the gains therefore stack.
                 println!("\ngreedy plan (each gain assumes the lines above):");
-                let picks =
-                    apistudy::core::greedy_suggestions(&metrics, &supported, 10);
+                let picks = match &journal {
+                    Some(jpath) => {
+                        use apistudy::analysis::AnalysisOptions;
+                        use apistudy::core::{
+                            corpus_fingerprint, greedy_suggestions_journaled,
+                        };
+                        let out = greedy_suggestions_journaled(
+                            &metrics,
+                            &supported,
+                            10,
+                            corpus_fingerprint(study.repo()),
+                            AnalysisOptions::default().fingerprint(),
+                            std::path::Path::new(jpath),
+                            resume,
+                        );
+                        match out {
+                            Ok((picks, jstats)) => {
+                                eprintln!(
+                                    "journal [{jpath}]: {} replayed, \
+                                     {} appended",
+                                    jstats.replayed, jstats.appended,
+                                );
+                                picks
+                            }
+                            Err(e) => {
+                                eprintln!("journal error: {e}");
+                                exit(1)
+                            }
+                        }
+                    }
+                    None => apistudy::core::greedy_suggestions(
+                        &metrics, &supported, 10,
+                    ),
+                };
                 let mut acc = completeness;
                 for (nr, gain) in picks {
                     let def =
@@ -278,8 +357,14 @@ fn main() {
         "faults" => {
             use apistudy::analysis::AnalysisOptions;
             use apistudy::core::{
-                corruption_sweep_with, degradation_table, AnalysisCache,
+                corruption_sweep_journaled, corruption_sweep_with,
+                degradation_table, AnalysisCache, JournalStats,
             };
+            let journal = take_opt(&mut rest, "--journal");
+            let resume = take_flag(&mut rest, "--resume");
+            if resume && journal.is_none() {
+                usage()
+            }
             let fault_seed = rest
                 .first()
                 .map(|s| s.parse().unwrap_or_else(|_| usage()))
@@ -292,14 +377,46 @@ fn main() {
                  cache {cache_mode})..."
             );
             let cache = AnalysisCache::new(cache_mode);
-            let points = corruption_sweep_with(
-                study.repo(),
-                AnalysisOptions::default(),
-                fault_seed,
-                &rates,
-                &cache,
-            );
+            let (points, jstats) = match &journal {
+                Some(jpath) => {
+                    let out = corruption_sweep_journaled(
+                        study.repo(),
+                        AnalysisOptions::default(),
+                        fault_seed,
+                        &rates,
+                        &cache,
+                        std::path::Path::new(jpath),
+                        resume,
+                    );
+                    match out {
+                        Ok((points, jstats)) => (points, jstats),
+                        Err(e) => {
+                            eprintln!("journal error: {e}");
+                            exit(1)
+                        }
+                    }
+                }
+                None => (
+                    corruption_sweep_with(
+                        study.repo(),
+                        AnalysisOptions::default(),
+                        fault_seed,
+                        &rates,
+                        &cache,
+                    ),
+                    JournalStats::default(),
+                ),
+            };
             println!("{}", degradation_table(&points).render());
+            let deadline_skips: u64 =
+                points.iter().map(|p| p.deadline_skipped as u64).sum();
+            eprintln!(
+                "journal [{}]: {} replayed, {} appended; deadline skips: \
+                 {deadline_skips}",
+                journal.as_deref().unwrap_or("off"),
+                jstats.replayed,
+                jstats.appended,
+            );
             let stats = cache.stats();
             eprintln!(
                 "analysis cache [{}]: {} hits, {} misses, {} evictions, \

@@ -259,3 +259,122 @@ fn cached_sweep_matches_cold_sweep() {
         "every looked-up ELF must be accounted as a hit or a miss"
     );
 }
+
+/// Field-by-field bitwise comparison — `PartialEq` would accept
+/// `-0.0 == 0.0`; the resume contract is stricter than that.
+#[track_caller]
+fn assert_points_bitwise(
+    got: &[apistudy::core::DegradationPoint],
+    want: &[apistudy::core::DegradationPoint],
+) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.rate.to_bits(), w.rate.to_bits());
+        assert_eq!(g.injected, w.injected, "rate {}", w.rate);
+        assert_eq!(g.injected_fatal, w.injected_fatal, "rate {}", w.rate);
+        assert_eq!(g.skipped_binaries, w.skipped_binaries, "rate {}", w.rate);
+        assert_eq!(g.deadline_skipped, w.deadline_skipped, "rate {}", w.rate);
+        assert_eq!(g.partial_packages, w.partial_packages, "rate {}", w.rate);
+        assert_eq!(
+            g.quarantined_packages, w.quarantined_packages,
+            "rate {}",
+            w.rate
+        );
+        assert_eq!(g.distinct_syscalls, w.distinct_syscalls, "rate {}", w.rate);
+        assert_eq!(
+            g.completeness_top.to_bits(),
+            w.completeness_top.to_bits(),
+            "completeness drifted at rate {}",
+            w.rate
+        );
+    }
+}
+
+/// The write-ahead journal is observation, not perturbation: a journaled
+/// sweep, a full replay, and a torn-tail resume all yield points
+/// bit-identical to the plain sweep, with ledger-exact replay/append
+/// counts — and a journal from a different fault plan is refused.
+#[test]
+fn journaled_sweep_resumes_bit_identically() {
+    use apistudy::core::{corruption_sweep_journaled, JournalError};
+
+    let repo = repo();
+    let options = AnalysisOptions::default();
+    // A shorter grid than the CLI's: enough to exercise baseline +
+    // replay + tail without tripling the suite's runtime.
+    let rates: Vec<f64> = (0..=4).map(|i| i as f64 / 100.0).collect();
+    let dir = std::env::temp_dir()
+        .join(format!("apistudy-journal-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jpath = dir.join("sweep.journal");
+
+    let plain = corruption_sweep_with(
+        &repo,
+        options,
+        FAULT_SEED,
+        &rates,
+        &AnalysisCache::new(CacheMode::Off),
+    );
+
+    let (fresh, stats) = corruption_sweep_journaled(
+        &repo,
+        options,
+        FAULT_SEED,
+        &rates,
+        &AnalysisCache::new(CacheMode::Off),
+        &jpath,
+        false,
+    )
+    .unwrap();
+    // One support-set record plus one record per rate.
+    assert_eq!((stats.replayed, stats.appended), (0, 6));
+    assert_points_bitwise(&fresh, &plain);
+    let complete = std::fs::read(&jpath).unwrap();
+
+    let (replayed, stats) = corruption_sweep_journaled(
+        &repo,
+        options,
+        FAULT_SEED,
+        &rates,
+        &AnalysisCache::new(CacheMode::Off),
+        &jpath,
+        true,
+    )
+    .unwrap();
+    assert_eq!((stats.replayed, stats.appended), (6, 0));
+    assert_points_bitwise(&replayed, &plain);
+
+    // Tear the tail mid-record: the damaged record is discarded, its
+    // point recomputed, and the healed journal is byte-identical to the
+    // uninterrupted one.
+    std::fs::write(&jpath, &complete[..complete.len() - 5]).unwrap();
+    let (resumed, stats) = corruption_sweep_journaled(
+        &repo,
+        options,
+        FAULT_SEED,
+        &rates,
+        &AnalysisCache::new(CacheMode::Off),
+        &jpath,
+        true,
+    )
+    .unwrap();
+    assert_eq!((stats.replayed, stats.appended), (5, 1));
+    assert_points_bitwise(&resumed, &plain);
+    assert_eq!(std::fs::read(&jpath).unwrap(), complete);
+
+    // A different fault seed is a different run: refuse, don't guess.
+    let err = corruption_sweep_journaled(
+        &repo,
+        options,
+        FAULT_SEED + 1,
+        &rates,
+        &AnalysisCache::new(CacheMode::Off),
+        &jpath,
+        true,
+    )
+    .unwrap_err();
+    assert!(matches!(err, JournalError::FingerprintMismatch { .. }), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

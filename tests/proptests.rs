@@ -710,3 +710,205 @@ proptest! {
         prop_assert_eq!(foreign, Some(RET_KILL));
     }
 }
+
+// ---------------------------------------------------------------------
+// Journal: recovery from arbitrary damage yields a valid prefix of what
+// was written — never a wrong record, never a guess.
+// ---------------------------------------------------------------------
+
+/// Decodes a raw word stream into journal records (the vendored proptest
+/// mirror has no `prop_oneof`/`prop_map`, so structure is derived here).
+/// Exhausted draws default to zero; every word pattern is a valid log.
+fn journal_records_from_words(
+    words: &[u64],
+) -> Vec<apistudy::core::JournalRecord> {
+    use apistudy::core::{DegradationPoint, JournalRecord};
+    let mut it = words.iter().copied();
+    let mut out = Vec::new();
+    while let Some(tag) = it.next() {
+        let mut n = || it.next().unwrap_or(0);
+        out.push(match tag % 3 {
+            0 => {
+                let count = (n() % 20) as usize;
+                let mut set = Vec::with_capacity(count);
+                for _ in 0..count {
+                    set.push(n() as u32);
+                }
+                JournalRecord::SupportSet(set)
+            }
+            1 => JournalRecord::SweepPoint(DegradationPoint {
+                rate: f64::from_bits(n()),
+                injected: n() as u32,
+                injected_fatal: n() as u32,
+                skipped_binaries: n() as u32,
+                deadline_skipped: n() as u32,
+                partial_packages: n() as u32,
+                quarantined_packages: n() as u32,
+                distinct_syscalls: n() as usize,
+                completeness_top: f64::from_bits(n()),
+            }),
+            _ => JournalRecord::GreedyPick {
+                nr: n() as u32,
+                gain_bits: n(),
+                after_bits: n(),
+            },
+        });
+    }
+    out
+}
+
+/// Bit-pattern equality: `PartialEq` on the embedded `f64`s would treat
+/// `-0.0 == 0.0` and reject `NaN == NaN`; the journal round-trips bits.
+fn journal_records_bits_eq(
+    a: &apistudy::core::JournalRecord,
+    b: &apistudy::core::JournalRecord,
+) -> bool {
+    use apistudy::core::JournalRecord::{GreedyPick, SupportSet, SweepPoint};
+    match (a, b) {
+        (SupportSet(x), SupportSet(y)) => x == y,
+        (SweepPoint(x), SweepPoint(y)) => {
+            x.rate.to_bits() == y.rate.to_bits()
+                && x.injected == y.injected
+                && x.injected_fatal == y.injected_fatal
+                && x.skipped_binaries == y.skipped_binaries
+                && x.deadline_skipped == y.deadline_skipped
+                && x.partial_packages == y.partial_packages
+                && x.quarantined_packages == y.quarantined_packages
+                && x.distinct_syscalls == y.distinct_syscalls
+                && x.completeness_top.to_bits() == y.completeness_top.to_bits()
+        }
+        (
+            GreedyPick { nr: an, gain_bits: ag, after_bits: aa },
+            GreedyPick { nr: bn, gain_bits: bg, after_bits: ba },
+        ) => an == bn && ag == bg && aa == ba,
+        _ => false,
+    }
+}
+
+proptest! {
+    // Each case replays hundreds of damaged files; a handful of cases
+    // already covers every record type in every position.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn journal_recovery_is_a_prefix_never_a_guess(
+        words in proptest::collection::vec(any::<u64>(), 4..48),
+        fp_seed in any::<u64>(),
+    ) {
+        use apistudy::core::{Journal, RunFingerprint, RunKind};
+
+        let records = journal_records_from_words(&words);
+        prop_assert!(!records.is_empty());
+        let kind = if fp_seed.is_multiple_of(2) {
+            RunKind::CorruptionSweep
+        } else {
+            RunKind::GreedyPlan
+        };
+        let fp = RunFingerprint {
+            kind,
+            corpus: fp_seed,
+            options: fp_seed ^ 0x1111,
+            catalog: fp_seed ^ 0x2222,
+            plan: fp_seed ^ 0x3333,
+        };
+        let dir = std::env::temp_dir()
+            .join(format!("apistudy-journal-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.journal");
+
+        // Write the pristine journal and learn the layout: the header
+        // length (an empty journal is exactly one header) and where each
+        // record starts.
+        let empty = dir.join("empty.journal");
+        let _ = std::fs::remove_file(&empty);
+        drop(Journal::create(&empty, &fp).unwrap());
+        let header_len = std::fs::metadata(&empty).unwrap().len() as usize;
+
+        let _ = std::fs::remove_file(&path);
+        let mut journal = Journal::create(&path, &fp).unwrap();
+        for rec in &records {
+            journal.append(rec).unwrap();
+        }
+        drop(journal);
+        let full = std::fs::read(&path).unwrap();
+        let mut starts = Vec::with_capacity(records.len());
+        let mut at = header_len;
+        for _ in &records {
+            starts.push(at);
+            let len = u32::from_le_bytes(full[at..at + 4].try_into().unwrap());
+            at += 4 + 8 + len as usize; // len + checksum + payload
+        }
+        prop_assert_eq!(at, full.len(), "record walk must cover the file");
+
+        // Truncation at every byte offset: a short header is refused; a
+        // torn record tail recovers exactly the records that fit.
+        for t in 0..full.len() {
+            std::fs::write(&path, &full[..t]).unwrap();
+            match Journal::resume(&path, &fp) {
+                Ok((_, recovered)) => {
+                    prop_assert!(
+                        t >= header_len,
+                        "cut at {} accepted a partial header", t
+                    );
+                    let fits = starts
+                        .iter()
+                        .take_while(|s| {
+                            let len = u32::from_le_bytes(
+                                full[**s..**s + 4].try_into().unwrap(),
+                            );
+                            **s + 4 + 8 + len as usize <= t
+                        })
+                        .count();
+                    prop_assert_eq!(
+                        recovered.len(), fits,
+                        "cut at {} of {}", t, full.len()
+                    );
+                    for (r, o) in recovered.iter().zip(&records) {
+                        prop_assert!(
+                            journal_records_bits_eq(r, o),
+                            "cut at {} recovered a wrong record", t
+                        );
+                    }
+                }
+                Err(_) => prop_assert!(
+                    t < header_len,
+                    "cut at {} lost an intact header", t
+                ),
+            }
+        }
+
+        // A single flipped bit at every byte offset: header damage is
+        // refused outright; record damage discards that record and the
+        // (now unanchored) tail, keeping every record before it.
+        for i in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[i] ^= 1 << (i % 8);
+            std::fs::write(&path, &bytes).unwrap();
+            match Journal::resume(&path, &fp) {
+                Ok((_, recovered)) => {
+                    prop_assert!(
+                        i >= header_len,
+                        "flip at {} in the header went unnoticed", i
+                    );
+                    let damaged =
+                        starts.iter().filter(|s| **s <= i).count() - 1;
+                    prop_assert_eq!(
+                        recovered.len(), damaged,
+                        "flip at {} (record {})", i, damaged
+                    );
+                    for (r, o) in recovered.iter().zip(&records) {
+                        prop_assert!(
+                            journal_records_bits_eq(r, o),
+                            "flip at {} recovered a wrong record", i
+                        );
+                    }
+                }
+                Err(_) => prop_assert!(
+                    i < header_len,
+                    "flip at {} should tear the tail, not refuse the log", i
+                ),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
