@@ -506,14 +506,14 @@ impl<'a> Cursor<'a> {
         self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn string(&mut self) -> Option<String> {
+    pub(crate) fn string(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let raw = self.take(len)?;
         String::from_utf8(raw.to_vec()).ok()
     }
 }
 
-fn put_string(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
 }
@@ -536,7 +536,7 @@ fn get_opt_string(c: &mut Cursor<'_>) -> Option<Option<String>> {
     }
 }
 
-fn put_count(buf: &mut Vec<u8>, n: usize) {
+pub(crate) fn put_count(buf: &mut Vec<u8>, n: usize) {
     buf.extend_from_slice(&(n as u32).to_le_bytes());
 }
 

@@ -17,6 +17,13 @@
 //!
 //! Cells holding lists are `;`-separated; list elements never contain
 //! commas or semicolons (API names are identifiers or absolute paths).
+//!
+//! The format has a *canonical* in-memory form (see
+//! [`Dataset::normalize`]): list elements are non-empty, and every row
+//! carries all six [`ApiKind`] keys (possibly with empty lists). On that
+//! form the codec is an exact involution — `parse_csv(to_csv(d)) == d`,
+//! floats included by bit pattern (property-tested) — which is what lets
+//! shard-merged exports round-trip through publication without drift.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -129,9 +136,20 @@ impl Dataset {
         Self { installations: data.total_installations, rows }
     }
 
-    /// Serializes to the CSV document format.
+    /// Serializes to the CSV document format. Empty list elements are
+    /// dropped (an empty element is unrepresentable in a `;`-joined
+    /// cell: writing it would parse back as nothing, so the writer and
+    /// the parser agree to treat it as nothing on both sides).
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
+        fn join_list(items: &[String]) -> String {
+            let kept: Vec<&str> = items
+                .iter()
+                .filter(|e| !e.is_empty())
+                .map(String::as_str)
+                .collect();
+            kept.join(";")
+        }
         let mut out = String::new();
         let _ = writeln!(out, "{HEADER}");
         let _ = writeln!(out, "# installations: {}", self.installations);
@@ -139,7 +157,9 @@ impl Dataset {
         for row in &self.rows {
             let lists: Vec<String> = KINDS
                 .iter()
-                .map(|k| row.apis.get(k).map(|v| v.join(";")).unwrap_or_default())
+                .map(|k| {
+                    row.apis.get(k).map(|v| join_list(v)).unwrap_or_default()
+                })
                 .collect();
             let _ = writeln!(
                 out,
@@ -147,7 +167,7 @@ impl Dataset {
                 row.name,
                 row.install_count,
                 row.probability,
-                row.depends.join(";"),
+                join_list(&row.depends),
                 lists.join(","),
             );
         }
@@ -185,12 +205,15 @@ impl Dataset {
             if cells.len() != 10 {
                 return Err(DatasetError::BadArity { line: lineno });
             }
+            // Filtering empty elements (not just the all-empty cell)
+            // keeps the parser symmetric with the writer: `a;;b` and
+            // a trailing `a;` decode to exactly what re-encoding them
+            // would produce.
             let parse_list = |s: &str| -> Vec<String> {
-                if s.is_empty() {
-                    Vec::new()
-                } else {
-                    s.split(';').map(str::to_owned).collect()
-                }
+                s.split(';')
+                    .filter(|e| !e.is_empty())
+                    .map(str::to_owned)
+                    .collect()
             };
             let mut apis = HashMap::new();
             for (kind, cell) in KINDS.iter().zip(&cells[4..10]) {
@@ -209,6 +232,21 @@ impl Dataset {
             });
         }
         Ok(Self { installations, rows })
+    }
+
+    /// Canonicalizes the dataset into the codec's fixed point: drops
+    /// empty list elements (unrepresentable in the text form) and
+    /// materializes all six [`ApiKind`] keys on every row (the parser
+    /// always produces them, so a row missing one could never round-trip
+    /// equal). After `normalize`, `parse_csv(to_csv(d)) == d` exactly.
+    pub fn normalize(&mut self) {
+        for row in &mut self.rows {
+            row.depends.retain(|e| !e.is_empty());
+            for kind in KINDS {
+                let list = row.apis.entry(kind).or_default();
+                list.retain(|e| !e.is_empty());
+            }
+        }
     }
 
     /// A row by package name.
@@ -321,6 +359,56 @@ mod tests {
             Dataset::parse_csv(&bad_number),
             Err(DatasetError::BadNumber { .. })
         ));
+    }
+
+    #[test]
+    fn empty_elements_are_dropped_symmetrically() {
+        // `a;;b` and a trailing `;` must decode to what re-encoding
+        // produces — no phantom empty elements in either direction.
+        let text = format!(
+            "{HEADER}\n# installations: 5\npkg,1,0.2,a;;b,read;,,,,,\n"
+        );
+        let ds = Dataset::parse_csv(&text).expect("parse");
+        let row = ds.row("pkg").unwrap();
+        assert_eq!(row.depends, vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(row.apis[&ApiKind::Syscall], vec!["read".to_owned()]);
+        let again = Dataset::parse_csv(&ds.to_csv()).unwrap();
+        assert_eq!(ds, again);
+    }
+
+    #[test]
+    fn normalize_reaches_the_codec_fixed_point() {
+        // A shard-merged dataset assembled by hand: one row missing API
+        // kind keys entirely, another carrying empty list elements.
+        let mut ds = Dataset {
+            installations: 9,
+            rows: vec![
+                DatasetRow {
+                    name: "sparse".into(),
+                    install_count: 4,
+                    probability: 0.5,
+                    depends: vec![String::new(), "libc6".into()],
+                    apis: HashMap::new(),
+                },
+                DatasetRow {
+                    name: "holes".into(),
+                    install_count: 2,
+                    probability: 0.25,
+                    depends: Vec::new(),
+                    apis: HashMap::from([(
+                        ApiKind::Syscall,
+                        vec!["read".into(), String::new()],
+                    )]),
+                },
+            ],
+        };
+        let not_normalized = Dataset::parse_csv(&ds.to_csv()).unwrap();
+        assert_ne!(ds, not_normalized, "raw form is not a fixed point");
+        ds.normalize();
+        let roundtripped = Dataset::parse_csv(&ds.to_csv()).unwrap();
+        assert_eq!(ds, roundtripped, "normalized form round-trips exactly");
+        assert_eq!(ds.rows[0].depends, vec!["libc6".to_owned()]);
+        assert_eq!(ds.rows[0].apis.len(), 6);
     }
 
     #[test]

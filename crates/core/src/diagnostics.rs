@@ -101,6 +101,39 @@ pub struct RunDiagnostics {
     /// Which cache mode the run used ([`CacheMode::Off`] when none was
     /// attached).
     pub cache_mode: CacheMode,
+    /// The process's peak resident set size in kilobytes at assembly time
+    /// (Linux `VmHWM`; 0 on other platforms). A memory *observation*, not
+    /// a measurement of this run alone: the high-water mark is
+    /// process-wide and monotonic, so earlier work in the same process
+    /// can dominate it. Excluded from [`Self::is_clean`].
+    pub peak_rss_kb: u64,
+}
+
+/// The process's peak resident set size (`VmHWM`) in kilobytes, read from
+/// `/proc/self/status`. Returns 0 on non-Linux platforms or if the field
+/// cannot be read — callers treat 0 as "unavailable".
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or(0);
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 impl RunDiagnostics {
@@ -206,6 +239,16 @@ mod tests {
         let d =
             RunDiagnostics { deadline_quarantined: 1, ..Default::default() };
         assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_never_breaks_cleanliness() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "a live process has a nonzero high-water mark");
+        }
+        let d = RunDiagnostics { peak_rss_kb: kb, ..Default::default() };
+        assert!(d.is_clean(), "an RSS observation is not a fault");
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! - [`journal`] — the crash-safety layer: an append-only, checksummed
 //!   write-ahead journal of completed work units, with fingerprint-bound
 //!   bit-identical resume;
+//! - [`stream`] — the paper-scale streaming pipeline: fixed-size shards
+//!   analyzed with only one shard's binaries resident, folded into
+//!   bit-identical [`pipeline::StudyData`];
+//! - [`store`] — the on-disk [`store::FootprintStore`]: clean shards
+//!   persisted with journal-style framing so interrupted sharded runs
+//!   resume at file-read cost;
 //! - [`diff`] — study-to-study comparison (releases / what-if scenarios);
 //! - [`workloads`] — evaluation-workload matching for modified APIs;
 //! - [`study::Study`] — the one-call facade.
@@ -51,6 +57,8 @@ pub mod metrics;
 pub mod pipeline;
 pub mod planner;
 pub mod seccomp_bpf;
+pub mod store;
+pub mod stream;
 pub mod study;
 pub mod workloads;
 
@@ -78,5 +86,11 @@ pub use planner::{
     CompletenessCurve, Stage,
 };
 pub use seccomp_bpf::{run_filter, seccomp_filter, BpfProgram, SeccompData};
+pub use store::{FootprintStore, StoreStats};
+pub use stream::{
+    fold_partials, shard_partials, shard_ranges, sharded_fingerprint,
+    study_sharded, study_sharded_stored, PackageAttribution, ShardPartial,
+    DEFAULT_SHARD_SIZE,
+};
 pub use study::Study;
 pub use workloads::{exercised_mass, workloads_for, Match};

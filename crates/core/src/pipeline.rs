@@ -34,7 +34,7 @@ use crate::diagnostics::{RunDiagnostics, SkipStage, SkippedBinary};
 use crate::footprint::ApiFootprint;
 
 /// Everything the study knows about one package.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PackageRecord {
     /// Package name.
     pub name: String,
@@ -73,7 +73,7 @@ pub struct PackageRecord {
 /// slice — no per-query set walk, no tree overhead, and the iteration
 /// order matches the `BTreeSet` the index replaced (lexicographic, since
 /// `Arc<str>` orders by content).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Attribution {
     /// Syscall number → binary file names with direct call sites,
     /// sorted and deduplicated by [`Attribution::finalize`].
@@ -85,13 +85,13 @@ pub struct Attribution {
 impl Attribution {
     /// Records one binary as a direct user of a syscall (duplicates are
     /// fine until [`Attribution::finalize`] runs).
-    fn record(&mut self, nr: u32, file: &Arc<str>) {
+    pub(crate) fn record(&mut self, nr: u32, file: &Arc<str>) {
         self.direct_users.entry(nr).or_default().push(Arc::clone(file));
     }
 
     /// Sorts and dedups every user list; called exactly once after all
     /// binaries are registered.
-    fn finalize(&mut self) {
+    pub(crate) fn finalize(&mut self) {
         for users in self.direct_users.values_mut() {
             users.sort_unstable();
             users.dedup();
@@ -134,7 +134,7 @@ pub struct StudyData {
 
 /// Containment counters from one [`par_map_indexed`] run.
 #[derive(Debug, Clone, Copy, Default)]
-struct ParStats {
+pub(crate) struct ParStats {
     /// Work items whose first execution panicked.
     panics_contained: u64,
     /// Panicked items whose single retry then succeeded.
@@ -145,7 +145,7 @@ struct ParStats {
 
 /// Why a work item's result was substituted by the `recover` closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AbortCause {
+pub(crate) enum AbortCause {
     /// `f(i)` panicked twice (deterministic panic).
     Panic,
     /// `f(i)` overran the per-item wall-clock deadline and the watchdog
@@ -154,7 +154,7 @@ enum AbortCause {
 }
 
 impl AbortCause {
-    fn stage(self) -> SkipStage {
+    pub(crate) fn stage(self) -> SkipStage {
         match self {
             AbortCause::Panic => SkipStage::Panic,
             AbortCause::Deadline => SkipStage::Deadline,
@@ -173,7 +173,7 @@ fn parse_deadline_ms(v: Option<&str>) -> Option<std::time::Duration> {
 /// The per-item wall-clock deadline from `APISTUDY_ITEM_DEADLINE_MS`
 /// (default: off — the watchdog's selections depend on machine speed, so
 /// runs that must be bit-reproducible across hosts leave it unset).
-fn item_deadline_from_env() -> Option<std::time::Duration> {
+pub(crate) fn item_deadline_from_env() -> Option<std::time::Duration> {
     parse_deadline_ms(
         std::env::var("APISTUDY_ITEM_DEADLINE_MS").ok().as_deref(),
     )
@@ -239,7 +239,7 @@ const ITEM_DONE: u64 = u64::MAX;
 /// to terminate eventually (analysis work is budget-bounded), and the
 /// scope still joins its thread at the end. Which items get abandoned
 /// depends on machine speed, so the watchdog defaults to off.
-fn par_map_indexed<T, F, R>(
+pub(crate) fn par_map_indexed<T, F, R>(
     n: usize,
     deadline: Option<std::time::Duration>,
     f: F,
@@ -381,7 +381,7 @@ where
     )
 }
 
-struct PkgIntermediate {
+pub(crate) struct PkgIntermediate {
     /// Index into the repository plan (kept for deterministic ordering).
     #[allow(dead_code)]
     index: usize,
@@ -422,7 +422,7 @@ impl PkgIntermediate {
     /// every planned binary is recorded as skipped. Library skips are
     /// keyed by soname so dependent packages' footprints get flagged as
     /// partial through the linker taint pass.
-    fn quarantined(
+    pub(crate) fn quarantined(
         index: usize,
         repo: &SynthRepo,
         detail: String,
@@ -483,7 +483,7 @@ type SkipReason = (SkipStage, Option<ErrorKind>, String);
 /// attempt is retried once, and a second panic becomes a classified
 /// [`SkipStage::Panic`] skip. Returns the analysis plus the number of
 /// panics caught (0, 1 with a successful retry, or 2).
-fn analyze_binary(
+pub(crate) fn analyze_binary(
     bytes: &[u8],
     options: AnalysisOptions,
 ) -> (Result<BinaryAnalysis, SkipReason>, u64) {
@@ -513,7 +513,7 @@ fn analyze_binary(
 /// must be re-derived each run so the skip ledger stays exact, and a
 /// result recovered by a panic retry may be transient, so a retryable
 /// panic stays retryable.
-fn analyze_package(
+pub(crate) fn analyze_package(
     index: usize,
     package: Package,
     options: AnalysisOptions,
@@ -606,7 +606,11 @@ fn analyze_package(
 }
 
 /// ORs `packages[src]`'s APIs into `packages[dst]`'s, reporting growth.
-fn inherit_apis(packages: &mut [PackageRecord], dst: usize, src: usize) -> bool {
+pub(crate) fn inherit_apis(
+    packages: &mut [PackageRecord],
+    dst: usize,
+    src: usize,
+) -> bool {
     if dst == src {
         return false;
     }
@@ -622,7 +626,11 @@ fn inherit_apis(packages: &mut [PackageRecord], dst: usize, src: usize) -> bool 
 
 /// Propagates `src`'s partial-footprint flag to `dst`: a package that
 /// inherits an interpreter's footprint inherits its incompleteness too.
-fn inherit_partial(packages: &mut [PackageRecord], dst: usize, src: usize) -> bool {
+pub(crate) fn inherit_partial(
+    packages: &mut [PackageRecord],
+    dst: usize,
+    src: usize,
+) -> bool {
     if dst == src || packages[dst].partial_footprint || !packages[src].partial_footprint
     {
         return false;
@@ -771,53 +779,93 @@ impl StudyData {
 
     fn assemble(
         repo: &SynthRepo,
-        mut inters: Vec<PkgIntermediate>,
+        inters: Vec<PkgIntermediate>,
         par_stats: ParStats,
         cache: Option<(&AnalysisCache, u64)>,
         deadline: Option<std::time::Duration>,
     ) -> Self {
+        // The in-memory path is the streaming path run over one shard
+        // covering the whole corpus: the same per-shard stage, the same
+        // fold. Bit-identity between the two paths is by construction —
+        // the shard boundaries are the only variable.
+        let partial = Self::shard_assemble(
+            repo, inters, par_stats, cache, deadline, None, 0, 0,
+        );
+        crate::stream::fold_partials(
+            repo.plan.popcon.total_installations,
+            vec![partial],
+        )
+    }
+
+    /// The per-shard stage of the pipeline: registers one shard's
+    /// libraries into a shard-local linker (seeded with the shared
+    /// system-library base for shards past the first), seals it, runs
+    /// taint propagation and parallel per-package footprint resolution,
+    /// and returns the mergeable [`crate::stream::ShardPartial`].
+    ///
+    /// Shard-locality is sound because symbol resolution only ever
+    /// searches an object's own `DT_NEEDED` closure, and every closure in
+    /// the synthetic corpus is {system libraries} ∪ {the package's own
+    /// libraries} — all registered here. The shard-local linker therefore
+    /// resolves bit-identically to a whole-corpus linker.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn shard_assemble(
+        repo: &SynthRepo,
+        mut inters: Vec<PkgIntermediate>,
+        par_stats: ParStats,
+        cache: Option<(&AnalysisCache, u64)>,
+        deadline: Option<std::time::Duration>,
+        base: Option<&crate::stream::SystemBase>,
+        shard: usize,
+        start: usize,
+    ) -> crate::stream::ShardPartial {
         let catalog = Catalog::linux_3_19();
         let census = MixCensus::scan(inters.iter().map(|i| &i.package));
 
         // Register every shared library, moving each analysis into the
-        // linker (it is not needed twice); build attribution as we go.
-        // `lib_hashes[i]` is the content hash of the library the linker
-        // registered as index `i` — the footprint-cache key derivation
-        // folds these over each executable's DT_NEEDED closure.
+        // linker (it is not needed twice); collect per-binary attribution
+        // fragments as we go (the fold turns them into the global
+        // [`Attribution`]). `lib_hashes[i]` is the content hash of the
+        // library the linker registered as index `i` — the footprint-cache
+        // key derivation folds these over each executable's DT_NEEDED
+        // closure.
         let mut linker = Linker::new();
         let mut lib_hashes: Vec<u64> = Vec::new();
-        let mut attribution = Attribution::default();
+        let mut attributions: Vec<crate::stream::PackageAttribution> =
+            Vec::with_capacity(inters.len());
         let mut unresolved_total = 0u64;
         let mut resolved_total = 0u64;
         let mut lib_names: Vec<Vec<String>> = Vec::with_capacity(inters.len());
+        if let Some(base) = base {
+            for (name, hash, ba) in &base.libs {
+                let idx = linker.add_library(name, Arc::clone(ba));
+                debug_assert_eq!(idx, lib_hashes.len());
+                lib_hashes.push(*hash);
+            }
+        }
         for inter in &mut inters {
             unresolved_total += u64::from(inter.unresolved);
             resolved_total += inter.resolved;
             lib_names
                 .push(inter.libs.iter().map(|(n, _, _)| n.clone()).collect());
-            let pkg: Arc<str> = Arc::from(inter.package.name.as_str());
+            let mut attr = crate::stream::PackageAttribution {
+                libs: Vec::with_capacity(inter.libs.len()),
+                execs: Vec::with_capacity(inter.execs.len()),
+            };
             for (name, hash, ba) in inter.libs.drain(..) {
-                let file: Arc<str> = Arc::from(name.as_str());
-                for nr in ba.direct_syscalls() {
-                    attribution.record(nr, &file);
-                }
-                attribution
-                    .binary_package
-                    .insert(Arc::clone(&file), Arc::clone(&pkg));
+                attr.libs.push((
+                    name.clone(),
+                    ba.direct_syscalls().into_iter().collect(),
+                ));
                 let idx = linker.add_library(&name, ba);
                 debug_assert_eq!(idx, lib_hashes.len());
                 lib_hashes.push(hash);
             }
-            for (ei, (_, ba)) in inter.execs.iter().enumerate() {
-                let file: Arc<str> =
-                    Arc::from(format!("{}/exec{ei}", inter.package.name));
-                for nr in ba.direct_syscalls() {
-                    attribution.record(nr, &file);
-                }
-                attribution.binary_package.insert(file, Arc::clone(&pkg));
+            for (_, ba) in &inter.execs {
+                attr.execs.push(ba.direct_syscalls().into_iter().collect());
             }
+            attributions.push(attr);
         }
-        attribution.finalize();
         linker.seal();
 
         // Fault isolation: every binary the pipeline skipped taints its
@@ -828,6 +876,10 @@ impl StudyData {
         // transitively — against a missing library is flagged as carrying
         // a partial footprint rather than silently under-reporting.
         let mut tainted: HashSet<String> = HashSet::new();
+        if let Some(base) = base {
+            // System libraries that failed analysis taint every shard.
+            tainted.extend(base.tainted.iter().cloned());
+        }
         for inter in &inters {
             for s in &inter.skipped {
                 tainted.insert(s.file.clone());
@@ -902,7 +954,7 @@ impl StudyData {
 
         // Per-package closed footprints. The sealed linker is read-only,
         // so every package resolves independently in parallel.
-        let (mut packages, resolve_stats): (Vec<PackageRecord>, ParStats) = {
+        let (packages, resolve_stats): (Vec<PackageRecord>, ParStats) = {
             let (linker, catalog, ldso, inters, tainted, lib_names, lib_hashes) = (
                 &linker,
                 &catalog,
@@ -1011,41 +1063,10 @@ impl StudyData {
                 },
             )
         };
-        let by_name: HashMap<String, usize> = packages
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.clone(), i))
-            .collect();
-
-        // Script packages inherit the interpreter package's footprint
-        // (§2.3: the interpreter over-approximates the script). Word-OR
-        // to a fixed point: interpreter-of-interpreter chains settle at
-        // any depth with no per-pass snapshot of every footprint.
-        let providers: Vec<Vec<usize>> = packages
-            .iter()
-            .map(|p| {
-                p.script_interpreters
-                    .iter()
-                    .filter(|provider| **provider != p.name)
-                    .filter_map(|provider| by_name.get(provider).copied())
-                    .collect()
-            })
-            .collect();
-        loop {
-            let mut changed = false;
-            for (i, provs) in providers.iter().enumerate() {
-                for &src in provs {
-                    changed |= inherit_apis(&mut packages, i, src);
-                    // A script package inheriting from a partial
-                    // interpreter is itself partial.
-                    changed |= inherit_partial(&mut packages, i, src);
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-
+        // Interpreter inheritance is deliberately NOT applied here: a
+        // script package's interpreter may live in another shard, so the
+        // fixpoint runs once, globally, in the fold over compact
+        // [`PackageRecord`]s (see [`crate::stream::fold_partials`]).
         let mut diagnostics = RunDiagnostics {
             panics_contained: par_stats.panics_contained
                 + resolve_stats.panics_contained,
@@ -1067,16 +1088,16 @@ impl StudyData {
             diagnostics.injected.append(&mut inter.injected);
         }
 
-        Self {
-            catalog,
-            packages,
-            by_name,
-            total_installations: repo.plan.popcon.total_installations,
+        crate::stream::ShardPartial {
+            shard,
+            start,
+            records: packages,
+            attributions,
             census,
-            attribution,
-            unresolved_syscall_sites: unresolved_total,
-            resolved_syscall_sites: resolved_total,
+            unresolved_sites: unresolved_total,
+            resolved_sites: resolved_total,
             diagnostics,
+            replayed: false,
         }
     }
 

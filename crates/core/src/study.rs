@@ -13,13 +13,19 @@
 //! println!("read importance: {:.1}%", 100.0 * m.importance(read));
 //! ```
 
+use std::path::Path;
+
+use apistudy_analysis::AnalysisOptions;
 use apistudy_catalog::Api;
 use apistudy_corpus::{CalibrationSpec, Scale, SynthRepo};
 
 use crate::{
+    journal::JournalError,
     metrics::Metrics,
     pipeline::StudyData,
     planner::{stages, CompletenessCurve, Stage},
+    store::StoreStats,
+    stream::{study_sharded, study_sharded_stored},
 };
 
 /// A completed study over a (synthetic) distribution.
@@ -40,6 +46,44 @@ impl Study {
         let repo = SynthRepo::new(scale, spec, seed);
         let data = StudyData::from_synth(&repo);
         Self { repo, data }
+    }
+
+    /// [`Study::run`] through the streaming, sharded pipeline: only one
+    /// shard of binaries is ever materialized, so paper-scale corpora run
+    /// in shard-bounded memory. Bit-identical to [`Study::run`] for any
+    /// `shard_size` (0 means one shard over the whole corpus).
+    pub fn run_streamed(scale: Scale, seed: u64, shard_size: usize) -> Self {
+        let repo = SynthRepo::new(scale, CalibrationSpec::default(), seed);
+        let data = study_sharded(
+            &repo,
+            AnalysisOptions::default(),
+            shard_size,
+            None,
+        );
+        Self { repo, data }
+    }
+
+    /// [`Study::run_streamed`] persisting every clean shard to the
+    /// [`FootprintStore`](crate::store::FootprintStore) at `path`; with
+    /// `resume`, shards already stored under the same run fingerprint are
+    /// replayed instead of recomputed.
+    pub fn run_streamed_stored(
+        scale: Scale,
+        seed: u64,
+        shard_size: usize,
+        path: &Path,
+        resume: bool,
+    ) -> Result<(Self, StoreStats), JournalError> {
+        let repo = SynthRepo::new(scale, CalibrationSpec::default(), seed);
+        let (data, stats) = study_sharded_stored(
+            &repo,
+            AnalysisOptions::default(),
+            shard_size,
+            None,
+            path,
+            resume,
+        )?;
+        Ok((Self { repo, data }, stats))
     }
 
     /// The measured dataset.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! apistudy [--scale test|medium|paper|N] [--seed N] [--cache off|mem|disk]
+//!          [--threads N] [--shard N] [--store <path> [--resume]]
 //!          <command> [args]
 //!
 //! commands:
@@ -38,6 +39,22 @@
 //! everything, `mem` shares results within the process, `disk` also
 //! warm-starts from and persists to `target/apistudy-cache/`.
 //!
+//! `--threads N` sets the pipeline worker count. Precedence: the flag
+//! wins over the `APISTUDY_THREADS` environment variable, which wins
+//! over the automatic default (available parallelism capped at 16).
+//!
+//! `--shard N` selects the streaming pipeline with N packages per shard
+//! (0 forces the in-memory path). Without the flag, corpora over 1024
+//! packages stream automatically at 512 packages per shard — only one
+//! shard of binaries is ever materialized, so `--scale paper` runs in
+//! shard-bounded memory. Results are bit-identical either way.
+//!
+//! `--store <path>` persists each completed clean shard to an on-disk
+//! footprint store; a pre-command `--resume` replays shards already in a
+//! fingerprint-matching store instead of recomputing them (the
+//! post-command `--resume` of `suggest`/`faults` keeps its journal
+//! meaning).
+//!
 //! `APISTUDY_ITEM_DEADLINE_MS`, when set to a positive integer, arms a
 //! wall-clock watchdog in the pipeline: any single package whose analysis
 //! exceeds the deadline is quarantined (stage `deadline`) instead of
@@ -59,7 +76,12 @@ use apistudy::corpus::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: apistudy [--scale test|medium|paper|N] [--seed N]\n\
-         \x20              [--cache off|mem|disk] <command>\n\
+         \x20              [--cache off|mem|disk] [--threads N]\n\
+         \x20              [--shard N] [--store <path> [--resume]] <command>\n\
+         \x20  --threads: worker count (flag > APISTUDY_THREADS env > auto)\n\
+         \x20  --shard:   stream in N-package shards (0 = in-memory;\n\
+         \x20             default: auto-stream above 1024 packages)\n\
+         \x20  --store:   persist clean shards; --resume replays them\n\
          commands: importance <api>... | dependents <api>\n\
          \x20         | suggest <file> [--greedy] [--journal <path> [--resume]]\n\
          \x20         | completeness <file> | workloads <api>...\n\
@@ -115,10 +137,18 @@ fn read_syscall_list(study: &Study, path: &str) -> HashSet<u32> {
     out
 }
 
+/// Corpora above this size stream by default; smaller ones run in-memory
+/// (identical results, less shard bookkeeping).
+const AUTO_STREAM_THRESHOLD: usize = 1024;
+
 fn main() {
     let mut scale = Scale::test();
     let mut seed = 2016u64;
     let mut cache_mode = CacheMode::from_env();
+    let mut threads: Option<usize> = None;
+    let mut shard: Option<usize> = None;
+    let mut store_path: Option<String> = None;
+    let mut store_resume = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -148,6 +178,24 @@ fn main() {
                     .and_then(CacheMode::parse)
                     .unwrap_or_else(|| usage())
             }
+            "--threads" => {
+                threads = match args.next().and_then(|s| s.parse::<usize>().ok())
+                {
+                    Some(t) if t > 0 => Some(t),
+                    _ => usage(),
+                }
+            }
+            "--shard" => {
+                shard = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .map(Some)
+                    .unwrap_or_else(|| usage())
+            }
+            "--store" => {
+                store_path = Some(args.next().unwrap_or_else(|| usage()))
+            }
+            "--resume" => store_resume = true,
             "--help" | "-h" => usage(),
             other => {
                 rest.push(other.to_owned());
@@ -155,16 +203,68 @@ fn main() {
             }
         }
     }
-    if rest.is_empty() {
+    if rest.is_empty() || (store_resume && store_path.is_none()) {
         usage();
     }
     let command = rest.remove(0);
 
+    // The flag beats the environment, which beats the automatic default
+    // (the pipeline's worker pool reads the variable).
+    if let Some(t) = threads {
+        std::env::set_var("APISTUDY_THREADS", t.to_string());
+    }
+
+    let shard_size = shard.unwrap_or(if store_path.is_some()
+        || scale.packages > AUTO_STREAM_THRESHOLD
+    {
+        apistudy::core::DEFAULT_SHARD_SIZE
+    } else {
+        0
+    });
     eprintln!(
-        "measuring {} packages ({} installations, seed {seed})...",
-        scale.packages, scale.installations
+        "measuring {} packages ({} installations, seed {seed}, {})...",
+        scale.packages,
+        scale.installations,
+        if shard_size > 0 {
+            format!("streaming in shards of {shard_size}")
+        } else {
+            "in-memory".to_owned()
+        },
     );
-    let study = Study::run(scale, seed);
+    let study = match &store_path {
+        Some(path) => {
+            let out = Study::run_streamed_stored(
+                scale,
+                seed,
+                shard_size,
+                std::path::Path::new(path),
+                store_resume,
+            );
+            match out {
+                Ok((study, st)) => {
+                    eprintln!(
+                        "store [{path}]: {} shards replayed ({} packages), \
+                         {} computed, {} stored",
+                        st.replayed_shards,
+                        st.replayed_packages,
+                        st.computed_shards,
+                        st.stored_shards,
+                    );
+                    study
+                }
+                Err(e) => {
+                    eprintln!("store error: {e}");
+                    exit(1)
+                }
+            }
+        }
+        None if shard_size > 0 => Study::run_streamed(scale, seed, shard_size),
+        None => Study::run(scale, seed),
+    };
+    let peak_kb = study.data().diagnostics.peak_rss_kb;
+    if peak_kb > 0 {
+        eprintln!("peak RSS: {:.1} MiB", peak_kb as f64 / 1024.0);
+    }
     let metrics = study.metrics();
 
     match command.as_str() {
@@ -434,6 +534,13 @@ fn main() {
                 stats.footprint_misses,
                 stats.footprint_entries,
             );
+            let sweep_peak = apistudy::core::diagnostics::peak_rss_kb();
+            if sweep_peak > 0 {
+                eprintln!(
+                    "peak RSS: {:.1} MiB",
+                    sweep_peak as f64 / 1024.0
+                );
+            }
             match cache.persist() {
                 Ok(Some(path)) => {
                     eprintln!("cache persisted to {}", path.display())

@@ -712,6 +712,166 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Streaming: shard-fold determinism. Whatever the shard geometry and
+// whatever order the partials are handed to the fold, the result — and
+// every metric computed from it — is bit-identical to the in-memory
+// pipeline over the same corpus.
+// ---------------------------------------------------------------------
+
+fn stream_baseline() -> &'static Study {
+    use std::sync::OnceLock;
+    static STUDY: OnceLock<Box<Study>> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        Box::new(Study::run(
+            Scale { packages: 150, installations: 30_000 },
+            2016,
+        ))
+    })
+}
+
+proptest! {
+    // Each case re-analyzes the 150-package corpus; a few geometries
+    // already exercise every shard-count/short-tail combination.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn shard_fold_is_boundary_and_order_independent(
+        shard_size in 1usize..151,
+        shuffle_seed in any::<u64>(),
+    ) {
+        use apistudy::analysis::AnalysisOptions;
+        use apistudy::core::{fold_partials, shard_partials};
+
+        let baseline = stream_baseline();
+        let mut partials = shard_partials(
+            baseline.repo(),
+            AnalysisOptions::default(),
+            shard_size,
+            None,
+        );
+        // Hand the partials to the fold in an arbitrary order (the
+        // vendored proptest mirror has no shuffle strategy; a seeded
+        // LCG Fisher–Yates stands in).
+        let mut state = shuffle_seed | 1;
+        for i in (1..partials.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            partials.swap(i, j);
+        }
+        let folded = fold_partials(
+            baseline.data().total_installations,
+            partials,
+        );
+
+        prop_assert!(
+            folded.packages == baseline.data().packages,
+            "shard size {} diverged on package records", shard_size
+        );
+        prop_assert!(
+            folded.attribution == baseline.data().attribution,
+            "shard size {} diverged on attribution", shard_size
+        );
+        prop_assert_eq!(&folded.census, &baseline.data().census);
+        prop_assert_eq!(
+            folded.unresolved_syscall_sites,
+            baseline.data().unresolved_syscall_sites
+        );
+
+        let mb = Metrics::new(baseline.data());
+        let mf = Metrics::new(&folded);
+        for def in baseline.data().catalog.syscalls.iter() {
+            let api = Api::Syscall(def.number);
+            prop_assert_eq!(
+                mb.importance(api).to_bits(),
+                mf.importance(api).to_bits(),
+                "shard size {}: importance bits moved for {}",
+                shard_size, def.name
+            );
+        }
+        let supported: HashSet<u32> = (0..160).collect();
+        prop_assert_eq!(
+            mb.syscall_completeness(&supported).to_bits(),
+            mf.syscall_completeness(&supported).to_bits(),
+            "shard size {}: completeness bits moved", shard_size
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dataset codec: on canonical (normalized) data, parse ∘ to_csv is the
+// identity — including the probability bit patterns.
+// ---------------------------------------------------------------------
+
+/// Derives a canonical dataset row from one random word. Names stay in
+/// the CSV-safe ident alphabet; probabilities cover the full finite-f64
+/// space (the codec prints with `{}`, whose shortest-repr output parses
+/// back to the exact same bits).
+fn dataset_row_from_word(i: usize, w: u64) -> apistudy::core::DatasetRow {
+    use apistudy::catalog::ApiKind;
+    use std::collections::HashMap;
+    let mut probability = f64::from_bits(w);
+    if !probability.is_finite() {
+        probability = (w % 997) as f64 / 997.0;
+    }
+    let depends: Vec<String> =
+        (0..w % 4).map(|k| format!("dep{}", (w >> k) % 13)).collect();
+    let mut apis: HashMap<ApiKind, Vec<String>> = HashMap::new();
+    apis.insert(
+        ApiKind::Syscall,
+        (0..(w >> 8) % 5).map(|k| format!("sys_{}", (w >> k) % 41)).collect(),
+    );
+    if w & 1 == 0 {
+        apis.insert(
+            ApiKind::LibcSymbol,
+            (0..(w >> 16) % 3).map(|k| format!("fn_{k}")).collect(),
+        );
+    }
+    apistudy::core::DatasetRow {
+        name: format!("pkg{i}w{}", w % 89),
+        install_count: w % 5_000_000,
+        probability,
+        depends,
+        apis,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn canonical_datasets_roundtrip_bit_exactly(
+        installations in 1u64..100_000_000,
+        row_words in proptest::collection::vec(any::<u64>(), 1..12),
+    ) {
+        use apistudy::core::Dataset;
+        let rows = row_words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| dataset_row_from_word(i, w))
+            .collect();
+        let mut d = Dataset { installations, rows };
+        d.normalize();
+        let parsed =
+            Dataset::parse_csv(&d.to_csv()).expect("canonical CSV parses");
+        prop_assert_eq!(&parsed, &d, "parse ∘ to_csv must be the identity");
+        for (a, b) in parsed.rows.iter().zip(&d.rows) {
+            prop_assert_eq!(
+                a.probability.to_bits(),
+                b.probability.to_bits(),
+                "probability bits moved for {}", b.name
+            );
+        }
+        // And the codec is idempotent from here on.
+        prop_assert_eq!(
+            Dataset::parse_csv(&parsed.to_csv()).expect("reparses"),
+            parsed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Journal: recovery from arbitrary damage yields a valid prefix of what
 // was written — never a wrong record, never a guess.
 // ---------------------------------------------------------------------
