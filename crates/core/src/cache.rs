@@ -499,11 +499,15 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.take(4)?);
+        Some(u32::from_le_bytes(raw))
     }
 
     pub(crate) fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8)?);
+        Some(u64::from_le_bytes(raw))
     }
 
     pub(crate) fn string(&mut self) -> Option<String> {

@@ -91,6 +91,9 @@ impl Condensation {
                     let comp = members.len() as u32;
                     let mut ms = Vec::new();
                     loop {
+                        // Internal invariant, not input-reachable: Tarjan
+                        // pushes v before any descendant completes, so the
+                        // stack holds at least v when low[v] == index[v].
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w] = false;
                         scc_of[w] = comp;

@@ -56,7 +56,9 @@ pub mod libc_restructure;
 pub mod metrics;
 pub mod pipeline;
 pub mod planner;
+pub mod proto;
 pub mod seccomp_bpf;
+pub mod serve;
 pub mod store;
 pub mod stream;
 pub mod study;
@@ -85,7 +87,17 @@ pub use planner::{
     greedy_suggestions, greedy_suggestions_journaled, stages,
     CompletenessCurve, Stage,
 };
-pub use seccomp_bpf::{run_filter, seccomp_filter, BpfProgram, SeccompData};
+pub use proto::{
+    ErrorCode, FrameError, ReadBudget, Request, Response, MAX_FRAME,
+};
+pub use seccomp_bpf::{
+    run_filter, seccomp_filter, BpfProgram, FilterTooLarge, SeccompData,
+    SeccompError,
+};
+pub use serve::{
+    snapshot_fingerprint, Client, ClientError, RetryPolicy, Server,
+    ServeOptions, ServeStats, Snapshot,
+};
 pub use store::{FootprintStore, StoreStats};
 pub use stream::{
     fold_partials, shard_partials, shard_ranges, sharded_fingerprint,

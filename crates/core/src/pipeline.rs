@@ -367,6 +367,9 @@ where
     for (i, v) in rx {
         slots[i] = Some(v);
     }
+    // Internal invariant, not input-reachable: the retry/quarantine path
+    // above sends a fallback value for every index before a worker exits,
+    // so each slot is filled exactly once by the time tx closes.
     let out = slots
         .into_iter()
         .map(|s| s.expect("every index produced"))

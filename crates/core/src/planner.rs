@@ -396,6 +396,9 @@ fn run_greedy_replayed<E>(
                     best = Some((i, g));
                 }
             }
+            // Internal invariant, not input-reachable: the enclosing loop
+            // runs only while cands is non-empty, so the probe above
+            // always selects at least one candidate.
             let (bi, bg) = best.expect("non-empty candidate list");
             probed_gain = Some(bg);
             (bi, None)

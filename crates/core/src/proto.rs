@@ -1,0 +1,849 @@
+//! The query daemon's wire protocol: length-prefixed, checksummed frames.
+//!
+//! Every byte off the wire is untrusted. The framing is the write-ahead
+//! journal's, deliberately — a `u32` length prefix, a 64-bit content
+//! checksum, then the payload — with hard limits enforced *before* any
+//! allocation: a corrupt or hostile length prefix can cost at most
+//! [`MAX_FRAME`] bytes, never a giant allocation, and a checksum mismatch
+//! or undecodable payload is a classified [`FrameError`] /
+//! [`ErrorCode::BadRequest`], never a panic. No serde.
+//!
+//! Decoding is total: [`Request::decode`] and [`Response::decode`] accept
+//! arbitrary byte strings and return `None` for anything that is not the
+//! canonical encoding of exactly one message (trailing bytes included).
+//! The chaos suite drives millions of fuzzed payloads through them and
+//! through a live daemon to hold that line.
+//!
+//! Reads are deadline-bound ([`read_frame`]): the caller supplies an
+//! *idle* budget (how long to wait for the first byte of the next frame)
+//! and a *request* budget (how long a started frame may take to arrive in
+//! full), so a slowloris writer dribbling one byte per second is cut off
+//! at the request deadline instead of pinning a worker forever.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use apistudy_analysis::content_hash;
+
+/// Hard cap on one frame's payload. Requests and replies are small
+/// (syscall-number lists and f64 bit patterns); anything larger is either
+/// corruption or an attack, and is rejected before allocation.
+pub const MAX_FRAME: usize = 1 << 16;
+/// Hard cap on a supported-set list in one request (the syscall catalog
+/// is ~550 entries; 4096 leaves headroom without inviting abuse).
+pub const MAX_SET: usize = 4096;
+/// Hard cap on the pick budget of one `Suggest` request.
+pub const MAX_PICKS: usize = 256;
+/// Hard cap on an error reply's detail string, in bytes.
+pub const MAX_ERR_MSG: usize = 200;
+/// Frame header length: length prefix (4) plus content checksum (8).
+pub const FRAME_HEADER: usize = 12;
+
+/// How a frame read ended short of a whole valid frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The peer closed mid-frame: a truncated frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`]. The stream is no longer
+    /// framed; the connection must be closed.
+    TooLarge(usize),
+    /// The payload's checksum does not match its header. The stream may
+    /// be corrupt or hostile; the connection must be closed.
+    Checksum,
+    /// The idle budget expired while waiting for the next frame to start.
+    Idle,
+    /// The request budget expired mid-frame (slowloris or stall).
+    Deadline,
+    /// The server is draining; no further frames will be read.
+    Draining,
+    /// Any other socket failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Checksum => write!(f, "frame checksum mismatch"),
+            FrameError::Idle => write!(f, "idle deadline expired"),
+            FrameError::Deadline => write!(f, "request deadline expired"),
+            FrameError::Draining => write!(f, "server draining"),
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Classified request-level failures, carried in [`Response::Err`]
+/// replies so clients can tell overload from corruption from misuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself was damaged (checksum mismatch or truncation);
+    /// the stream is desynchronized and the connection will close.
+    BadFrame,
+    /// The frame's length prefix exceeded [`MAX_FRAME`]; the connection
+    /// will close.
+    TooLarge,
+    /// The frame arrived intact but its payload is not a valid request.
+    BadRequest,
+    /// A referenced API is not in the catalog.
+    UnknownApi,
+    /// Admission control rejected the connection or request; retry with
+    /// backoff.
+    Busy,
+    /// The request exceeded its processing deadline.
+    Deadline,
+    /// The server is draining and will not take new work.
+    Draining,
+    /// A server-side failure that is not the client's fault.
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::UnknownApi => 2,
+            ErrorCode::Busy => 3,
+            ErrorCode::Deadline => 4,
+            ErrorCode::Draining => 5,
+            ErrorCode::Internal => 6,
+            ErrorCode::BadFrame => 7,
+            ErrorCode::TooLarge => 8,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::UnknownApi,
+            3 => ErrorCode::Busy,
+            4 => ErrorCode::Deadline,
+            5 => ErrorCode::Draining,
+            6 => ErrorCode::Internal,
+            7 => ErrorCode::BadFrame,
+            8 => ErrorCode::TooLarge,
+            _ => return None,
+        })
+    }
+
+    /// Short stable label for logs and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownApi => "unknown-api",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::TooLarge => "too-large",
+        }
+    }
+}
+
+/// One client request. Syscalls cross the wire as catalog numbers (stable
+/// across processes), never interner ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / snapshot-identity probe.
+    Ping,
+    /// Importance of one syscall number.
+    Importance {
+        /// Syscall number.
+        nr: u32,
+    },
+    /// Weighted completeness of a supported syscall set (the
+    /// masked fast path).
+    Completeness {
+        /// Supported syscall numbers.
+        supported: Vec<u32>,
+    },
+    /// Greedy next-pick plan from a supported set.
+    Suggest {
+        /// Supported syscall numbers.
+        supported: Vec<u32>,
+        /// Maximum picks to return (capped at [`MAX_PICKS`]).
+        limit: u32,
+    },
+    /// Open (or reset) this connection's incremental completeness
+    /// session over the given supported set.
+    SessionOpen {
+        /// Supported syscall numbers.
+        supported: Vec<u32>,
+    },
+    /// Mark a syscall supported in the connection's session.
+    SessionAdd {
+        /// Syscall number.
+        nr: u32,
+    },
+    /// Mark a syscall unsupported in the connection's session.
+    SessionRemove {
+        /// Syscall number.
+        nr: u32,
+    },
+    /// Probe the marginal gain of a syscall without changing the session.
+    SessionProbe {
+        /// Syscall number.
+        nr: u32,
+    },
+    /// Re-run the analysis and atomically swap the snapshot. The expected
+    /// fingerprint must match the live snapshot (compare-and-swap
+    /// semantics), so racing or stale reload intents fail cleanly.
+    Reload {
+        /// The fingerprint the client believes is live.
+        expect_fingerprint: u64,
+    },
+    /// Graceful drain: finish in-flight requests, stop accepting, exit.
+    Shutdown,
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_nr_list(buf: &mut Vec<u8>, nrs: &[u32]) {
+    put_u32(buf, nrs.len() as u32);
+    for &nr in nrs {
+        put_u32(buf, nr);
+    }
+}
+
+/// Byte cursor over an untrusted payload. Every read is bounds-checked;
+/// exhaustion is `None`, never a panic.
+struct Take<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Take<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.bytes(4)?);
+        Some(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.bytes(8)?);
+        Some(u64::from_le_bytes(raw))
+    }
+
+    fn nr_list(&mut self, cap: usize) -> Option<Vec<u32>> {
+        let count = self.u32()? as usize;
+        if count > cap {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.u32()?);
+        }
+        Some(out)
+    }
+
+    /// The payload must be fully consumed: trailing bytes mean the frame
+    /// is not what the peer framed, so the message is rejected whole.
+    fn finish<T>(self, value: T) -> Option<T> {
+        (self.at == self.bytes.len()).then_some(value)
+    }
+}
+
+impl Request {
+    /// Canonical encoding (the exact byte string [`Request::decode`]
+    /// accepts).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(1),
+            Request::Importance { nr } => {
+                buf.push(2);
+                put_u32(&mut buf, *nr);
+            }
+            Request::Completeness { supported } => {
+                buf.push(3);
+                put_nr_list(&mut buf, supported);
+            }
+            Request::Suggest { supported, limit } => {
+                buf.push(4);
+                put_nr_list(&mut buf, supported);
+                put_u32(&mut buf, *limit);
+            }
+            Request::SessionOpen { supported } => {
+                buf.push(5);
+                put_nr_list(&mut buf, supported);
+            }
+            Request::SessionAdd { nr } => {
+                buf.push(6);
+                put_u32(&mut buf, *nr);
+            }
+            Request::SessionRemove { nr } => {
+                buf.push(7);
+                put_u32(&mut buf, *nr);
+            }
+            Request::SessionProbe { nr } => {
+                buf.push(8);
+                put_u32(&mut buf, *nr);
+            }
+            Request::Reload { expect_fingerprint } => {
+                buf.push(9);
+                put_u64(&mut buf, *expect_fingerprint);
+            }
+            Request::Shutdown => buf.push(10),
+        }
+        buf
+    }
+
+    /// Total decoder over untrusted bytes: returns `None` unless `payload`
+    /// is the canonical encoding of exactly one request, with every list
+    /// under its hard cap.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut c = Take::new(payload);
+        let req = match c.u8()? {
+            1 => Request::Ping,
+            2 => Request::Importance { nr: c.u32()? },
+            3 => Request::Completeness { supported: c.nr_list(MAX_SET)? },
+            4 => Request::Suggest {
+                supported: c.nr_list(MAX_SET)?,
+                limit: c.u32()?,
+            },
+            5 => Request::SessionOpen { supported: c.nr_list(MAX_SET)? },
+            6 => Request::SessionAdd { nr: c.u32()? },
+            7 => Request::SessionRemove { nr: c.u32()? },
+            8 => Request::SessionProbe { nr: c.u32()? },
+            9 => Request::Reload { expect_fingerprint: c.u64()? },
+            10 => Request::Shutdown,
+            _ => return None,
+        };
+        c.finish(req)
+    }
+}
+
+/// One server reply. All floating-point results cross the wire as raw
+/// `f64` bit patterns, so daemon answers are bit-identical to direct
+/// library calls by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong {
+        /// The live snapshot's fingerprint (corpus ⊕ options ⊕ catalog).
+        fingerprint: u64,
+        /// Monotonic snapshot generation (bumps on every swap).
+        generation: u64,
+        /// Packages in the snapshot.
+        packages: u32,
+    },
+    /// Reply to [`Request::Importance`].
+    Importance {
+        /// `Metrics::importance` as bits.
+        importance_bits: u64,
+        /// `Metrics::unweighted_importance` as bits.
+        unweighted_bits: u64,
+    },
+    /// Reply to [`Request::Completeness`].
+    Completeness {
+        /// `Metrics::syscall_completeness` as bits.
+        bits: u64,
+    },
+    /// Reply to [`Request::Suggest`].
+    Suggest {
+        /// `(syscall number, exact gain bits)` in pick order.
+        picks: Vec<(u32, u64)>,
+    },
+    /// Reply to every session request: the operation's exact delta and
+    /// the session completeness after it, both as bits.
+    Session {
+        /// The operation's completeness delta (or probe gain) as bits.
+        delta_bits: u64,
+        /// Session completeness after the operation, as bits.
+        completeness_bits: u64,
+    },
+    /// Reply to a successful [`Request::Reload`].
+    Reload {
+        /// The new snapshot's fingerprint.
+        fingerprint: u64,
+        /// The new snapshot generation.
+        generation: u64,
+    },
+    /// Shutdown acknowledged; the server is draining.
+    Bye,
+    /// A classified failure.
+    Err {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail (capped at [`MAX_ERR_MSG`] bytes).
+        msg: String,
+    },
+}
+
+impl Response {
+    /// Canonical encoding (the exact byte string [`Response::decode`]
+    /// accepts). Error details longer than [`MAX_ERR_MSG`] bytes are
+    /// truncated at a character boundary.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong { fingerprint, generation, packages } => {
+                buf.push(1);
+                put_u64(&mut buf, *fingerprint);
+                put_u64(&mut buf, *generation);
+                put_u32(&mut buf, *packages);
+            }
+            Response::Importance { importance_bits, unweighted_bits } => {
+                buf.push(2);
+                put_u64(&mut buf, *importance_bits);
+                put_u64(&mut buf, *unweighted_bits);
+            }
+            Response::Completeness { bits } => {
+                buf.push(3);
+                put_u64(&mut buf, *bits);
+            }
+            Response::Suggest { picks } => {
+                buf.push(4);
+                put_u32(&mut buf, picks.len() as u32);
+                for &(nr, gain_bits) in picks {
+                    put_u32(&mut buf, nr);
+                    put_u64(&mut buf, gain_bits);
+                }
+            }
+            Response::Session { delta_bits, completeness_bits } => {
+                buf.push(5);
+                put_u64(&mut buf, *delta_bits);
+                put_u64(&mut buf, *completeness_bits);
+            }
+            Response::Reload { fingerprint, generation } => {
+                buf.push(6);
+                put_u64(&mut buf, *fingerprint);
+                put_u64(&mut buf, *generation);
+            }
+            Response::Bye => buf.push(7),
+            Response::Err { code, msg } => {
+                buf.push(8);
+                buf.push(code.tag());
+                let mut cut = msg.len().min(MAX_ERR_MSG);
+                while !msg.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let bytes = &msg.as_bytes()[..cut];
+                put_u32(&mut buf, bytes.len() as u32);
+                buf.extend_from_slice(bytes);
+            }
+        }
+        buf
+    }
+
+    /// Total decoder over untrusted bytes (the client's guard against a
+    /// corrupt or impostor server): `None` unless `payload` is the
+    /// canonical encoding of exactly one reply.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut c = Take::new(payload);
+        let resp = match c.u8()? {
+            1 => Response::Pong {
+                fingerprint: c.u64()?,
+                generation: c.u64()?,
+                packages: c.u32()?,
+            },
+            2 => Response::Importance {
+                importance_bits: c.u64()?,
+                unweighted_bits: c.u64()?,
+            },
+            3 => Response::Completeness { bits: c.u64()? },
+            4 => {
+                let count = c.u32()? as usize;
+                if count > MAX_PICKS {
+                    return None;
+                }
+                let mut picks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    picks.push((c.u32()?, c.u64()?));
+                }
+                Response::Suggest { picks }
+            }
+            5 => Response::Session {
+                delta_bits: c.u64()?,
+                completeness_bits: c.u64()?,
+            },
+            6 => Response::Reload {
+                fingerprint: c.u64()?,
+                generation: c.u64()?,
+            },
+            7 => Response::Bye,
+            8 => {
+                let code = ErrorCode::from_tag(c.u8()?)?;
+                let len = c.u32()? as usize;
+                if len > MAX_ERR_MSG {
+                    return None;
+                }
+                let raw = c.bytes(len)?;
+                let msg = std::str::from_utf8(raw).ok()?.to_owned();
+                Response::Err { code, msg }
+            }
+            _ => return None,
+        };
+        c.finish(resp)
+    }
+
+    /// Convenience constructor for error replies.
+    pub fn err(code: ErrorCode, msg: impl Into<String>) -> Self {
+        Response::Err { code, msg: msg.into() }
+    }
+}
+
+/// Frames one payload for the wire: length prefix, checksum, bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&content_hash(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a complete in-memory frame: `Some((payload, bytes_consumed))`
+/// when `bytes` starts with one whole valid frame. Used by tests and the
+/// fuzz harness; the socket path is [`read_frame`].
+pub fn decode_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
+    let mut c = Take::new(bytes);
+    let len = c.u32()? as usize;
+    if len > MAX_FRAME {
+        return None;
+    }
+    let check = c.u64()?;
+    let payload = c.bytes(len)?;
+    if content_hash(payload) != check {
+        return None;
+    }
+    Some((payload, FRAME_HEADER + len))
+}
+
+/// Read budgets for [`read_frame`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReadBudget {
+    /// How long to wait for the first byte of the next frame.
+    pub idle: Duration,
+    /// How long a started frame may take to arrive in full (the
+    /// slowloris bound).
+    pub request: Duration,
+}
+
+/// The granularity at which blocked reads re-check deadlines and the
+/// drain flag. Coarse enough to stay cheap, fine enough that drain and
+/// deadline enforcement feel immediate.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Reads exactly `buf.len()` bytes with deadline polling. `deadline` is
+/// absolute once armed; `arm` is called on the first byte (the idle →
+/// request budget transition). `stop` aborts between bytes at a frame
+/// boundary only.
+fn read_exact_deadline(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    deadline: &mut Instant,
+    mut on_first_byte: Option<&mut dyn FnMut(&mut Instant)>,
+    stop: &dyn Fn() -> bool,
+    at_boundary: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let now = Instant::now();
+        if now >= *deadline {
+            return Err(if at_boundary && filled == 0 {
+                FrameError::Idle
+            } else {
+                FrameError::Deadline
+            });
+        }
+        if at_boundary && filled == 0 && stop() {
+            return Err(FrameError::Draining);
+        }
+        let wait = (*deadline - now).min(POLL);
+        stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+            .map_err(FrameError::Io)?;
+        match (&*stream).read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => {
+                if filled == 0 {
+                    if let Some(arm) = on_first_byte.take() {
+                        arm(deadline);
+                    }
+                }
+                filled += n;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one whole frame from the socket under the given budgets,
+/// returning its validated payload. `stop` (the server's drain flag) is
+/// honored only between frames — an in-flight frame is always finished or
+/// failed, never half-read and abandoned.
+pub fn read_frame(
+    stream: &TcpStream,
+    budget: ReadBudget,
+    stop: &dyn Fn() -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER];
+    // Idle budget until the first byte lands, then the request budget
+    // governs the rest of the frame.
+    let mut deadline = Instant::now() + budget.idle;
+    let mut arm = |d: &mut Instant| *d = Instant::now() + budget.request;
+    read_exact_deadline(
+        stream,
+        &mut header,
+        &mut deadline,
+        Some(&mut arm),
+        stop,
+        true,
+    )?;
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&header[..4]);
+    let len = u32::from_le_bytes(raw) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&header[4..12]);
+    let check = u64::from_le_bytes(raw);
+    let mut payload = vec![0u8; len];
+    read_exact_deadline(
+        stream,
+        &mut payload,
+        &mut deadline,
+        None,
+        stop,
+        false,
+    )?;
+    if content_hash(&payload) != check {
+        return Err(FrameError::Checksum);
+    }
+    Ok(payload)
+}
+
+/// Writes one frame under a write deadline. A peer that stops draining
+/// its receive buffer (backpressure) fails the write at the deadline
+/// instead of pinning the worker.
+pub fn write_frame(
+    stream: &TcpStream,
+    payload: &[u8],
+    timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+    (&*stream).write_all(&encode_frame(payload))?;
+    (&*stream).flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Importance { nr: 0 },
+            Request::Importance { nr: u32::MAX },
+            Request::Completeness { supported: vec![] },
+            Request::Completeness { supported: vec![0, 1, 60, 231] },
+            Request::Suggest { supported: vec![0, 1], limit: 10 },
+            Request::SessionOpen { supported: vec![2, 3, 5, 7] },
+            Request::SessionAdd { nr: 17 },
+            Request::SessionRemove { nr: 17 },
+            Request::SessionProbe { nr: 202 },
+            Request::Reload { expect_fingerprint: 0xDEAD_BEEF_1234_5678 },
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong { fingerprint: 1, generation: 2, packages: 150 },
+            Response::Importance {
+                importance_bits: 1.0f64.to_bits(),
+                unweighted_bits: 0.25f64.to_bits(),
+            },
+            Response::Completeness { bits: (-0.0f64).to_bits() },
+            Response::Suggest {
+                picks: vec![(0, 0.5f64.to_bits()), (231, 1u64)],
+            },
+            Response::Session {
+                delta_bits: 0x3FF5_5555_5555_5555,
+                completeness_bits: 0,
+            },
+            Response::Reload { fingerprint: 9, generation: 3 },
+            Response::Bye,
+            Response::err(ErrorCode::Busy, "at capacity"),
+            Response::err(ErrorCode::BadRequest, ""),
+            Response::err(ErrorCode::BadFrame, "checksum mismatch"),
+            Response::err(ErrorCode::TooLarge, "frame over cap"),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip_canonically() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes), Some(req.clone()));
+            // Any strict prefix or extension must be rejected whole.
+            for cut in 0..bytes.len() {
+                assert_eq!(Request::decode(&bytes[..cut]), None, "prefix {cut}");
+            }
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert_eq!(Request::decode(&extended), None, "trailing byte");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_canonically() {
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Some(resp.clone()));
+            for cut in 0..bytes.len() {
+                assert_eq!(Response::decode(&bytes[..cut]), None, "prefix {cut}");
+            }
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert_eq!(Response::decode(&extended), None, "trailing byte");
+        }
+    }
+
+    #[test]
+    fn oversized_lists_are_rejected_before_allocation() {
+        // A Completeness request claiming u32::MAX entries: the count is
+        // validated against MAX_SET before any Vec::with_capacity.
+        let mut bytes = vec![3u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&bytes), None);
+        // Same for the Suggest picks cap on the reply side.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&((MAX_PICKS as u32) + 1).to_le_bytes());
+        assert_eq!(Response::decode(&bytes), None);
+    }
+
+    #[test]
+    fn error_detail_is_capped_and_utf8_safe() {
+        // A detail far over the cap, ending in multibyte characters so
+        // truncation must land on a char boundary.
+        let msg = "é".repeat(MAX_ERR_MSG);
+        let resp = Response::err(ErrorCode::Internal, msg);
+        let bytes = resp.encode();
+        let Some(Response::Err { code, msg }) = Response::decode(&bytes) else {
+            panic!("capped error must decode");
+        };
+        assert_eq!(code, ErrorCode::Internal);
+        assert!(msg.len() <= MAX_ERR_MSG);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_damage() {
+        let payload = Request::Suggest { supported: vec![1, 2, 3], limit: 5 }
+            .encode();
+        let frame = encode_frame(&payload);
+        let (got, consumed) = decode_frame(&frame).expect("valid frame");
+        assert_eq!(got, &payload[..]);
+        assert_eq!(consumed, frame.len());
+        // Flip any single byte: either the checksum rejects it, or (for
+        // length-prefix damage) the frame no longer parses at all. The
+        // one admissible outcome of tampering is rejection.
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            if let Some((p, _)) = decode_frame(&bad) {
+                panic!("tampered byte {i} still decoded to {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(decode_frame(&bytes).is_none());
+    }
+
+    /// Splitmix-style deterministic byte fuzzer (no process randomness:
+    /// reproducible by construction).
+    fn fuzz_bytes(seed: &mut u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (*seed >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decoders_are_total_over_fuzzed_bytes() {
+        let mut seed = 0x5EED_CAFE;
+        for round in 0..20_000 {
+            let len = (round % 97) as usize;
+            let bytes = fuzz_bytes(&mut seed, len);
+            // Must never panic; almost always None.
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+            let _ = decode_frame(&bytes);
+        }
+    }
+
+    #[test]
+    fn fuzzed_mutations_of_valid_messages_never_panic() {
+        let mut seed = 0xF00D;
+        for req in sample_requests() {
+            let frame = encode_frame(&req.encode());
+            for _ in 0..500 {
+                let mut bad = frame.clone();
+                let noise = fuzz_bytes(&mut seed, 3);
+                let at = (noise[0] as usize) % bad.len();
+                bad[at] ^= noise[1] | 1;
+                if noise[2].is_multiple_of(4) {
+                    bad.truncate(at);
+                }
+                if let Some((payload, _)) = decode_frame(&bad) {
+                    let _ = Request::decode(payload);
+                }
+            }
+        }
+    }
+}

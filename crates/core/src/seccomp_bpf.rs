@@ -96,9 +96,21 @@ impl BpfProgram {
         self.insns.iter().flat_map(|i| i.to_bytes()).collect()
     }
 
-    /// Builds an allow-list filter from sorted, deduplicated syscall
-    /// numbers. Consecutive runs become range checks.
+    /// [`BpfProgram::try_allow_list`] for trusted input: panics if the
+    /// allow-list cannot be laid out (a jump span over 255 instructions).
+    /// Footprints decoded from disk or the wire must go through
+    /// `try_allow_list` instead, where the failure is a classified error.
     pub fn allow_list(numbers: &[u32]) -> Self {
+        Self::try_allow_list(numbers)
+            .expect("filter fits classic BPF offsets")
+    }
+
+    /// Builds an allow-list filter from sorted, deduplicated syscall
+    /// numbers. Consecutive runs become range checks. Fails (instead of
+    /// panicking) when a pathologically fragmented allow-list needs a
+    /// jump longer than classic BPF's 8-bit offsets can express — the
+    /// case a corrupt or hostile on-disk footprint could manufacture.
+    pub fn try_allow_list(numbers: &[u32]) -> Result<Self, FilterTooLarge> {
         debug_assert!(
             numbers.windows(2).all(|w| w[0] < w[1]),
             "numbers must be sorted and unique"
@@ -164,8 +176,9 @@ impl BpfProgram {
         insns.push(BpfInsn::new(RET_K, 0, 0, RET_ALLOW));
 
         // Patch jump offsets (relative to the *next* instruction).
-        let rel = |from: usize, to: usize| -> u8 {
-            u8::try_from(to - from - 1).expect("filter fits classic BPF offsets")
+        let rel = |from: usize, to: usize| -> Result<u8, FilterTooLarge> {
+            let span = to - from - 1;
+            u8::try_from(span).map_err(|_| FilterTooLarge { span })
         };
         for (idx, is_range_second) in check_sites {
             if is_range_second {
@@ -173,14 +186,14 @@ impl BpfProgram {
                 // next insn; but next insn is the next check) — we want
                 // true = NOT allowed → continue scanning, false = ALLOW.
                 insns[idx].jt = 0;
-                insns[idx].jf = rel(idx, allow_at);
+                insns[idx].jf = rel(idx, allow_at)?;
             } else {
-                insns[idx].jt = rel(idx, allow_at);
+                insns[idx].jt = rel(idx, allow_at)?;
                 insns[idx].jf = 0;
             }
         }
-        insns[arch_check].jf = rel(arch_check, kill_at);
-        Self { insns }
+        insns[arch_check].jf = rel(arch_check, kill_at)?;
+        Ok(Self { insns })
     }
 
     /// Renders a human-readable disassembly.
@@ -267,11 +280,61 @@ pub fn run_filter(program: &BpfProgram, data: SeccompData) -> Option<u32> {
     None
 }
 
+/// The allow-list needs a jump classic BPF's 8-bit offsets cannot
+/// express: a filter over ~255 instructions between a check and its
+/// ALLOW target. Ordinary footprints coalesce into far fewer checks;
+/// this arises from pathologically fragmented (corrupt or hostile)
+/// footprints, which must fail classified rather than panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterTooLarge {
+    /// The overflowing jump span, in instructions.
+    pub span: usize,
+}
+
+impl std::fmt::Display for FilterTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allow-list needs a {}-instruction jump; classic BPF offsets \
+             are 8-bit",
+            self.span
+        )
+    }
+}
+
+impl std::error::Error for FilterTooLarge {}
+
+/// Why [`seccomp_filter`] could not produce a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeccompError {
+    /// No package of that name in the dataset.
+    UnknownPackage,
+    /// The footprint's allow-list cannot be laid out as classic BPF.
+    TooLarge(FilterTooLarge),
+}
+
+impl std::fmt::Display for SeccompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeccompError::UnknownPackage => write!(f, "unknown package"),
+            SeccompError::TooLarge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeccompError {}
+
 /// Builds the seccomp-BPF filter for a package's measured footprint.
-pub fn seccomp_filter(data: &StudyData, package: &str) -> Option<BpfProgram> {
-    let record = data.package(package)?;
+/// Total over its inputs: an unknown package or an unlayoutable
+/// footprint (possible with a corrupt on-disk store) is a classified
+/// error, never a panic.
+pub fn seccomp_filter(
+    data: &StudyData,
+    package: &str,
+) -> Result<BpfProgram, SeccompError> {
+    let record = data.package(package).ok_or(SeccompError::UnknownPackage)?;
     let numbers: Vec<u32> = record.footprint.syscalls().collect();
-    Some(BpfProgram::allow_list(&numbers))
+    BpfProgram::try_allow_list(&numbers).map_err(SeccompError::TooLarge)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1164 @@
+//! The footprint query daemon: a sealed study served over TCP.
+//!
+//! [`Server`] holds the sealed [`Study`] in an immutable [`Arc`]
+//! [`Snapshot`] and answers [`proto`](crate::proto) requests from a
+//! bounded set of connection workers. The robustness contract:
+//!
+//! - **Untrusted wire.** Every frame is length-capped and checksummed
+//!   before decode; malformed input earns a classified
+//!   [`Response::Err`], never a panic, and frame-level damage closes the
+//!   connection (the stream is desynchronized).
+//! - **Deadlines everywhere.** An idle budget bounds how long a worker
+//!   waits for the next request; a request budget bounds how long one
+//!   frame may dribble in (slowloris) and how long a reply write may
+//!   block (backpressure).
+//! - **Admission control.** At the connection cap, new sockets get an
+//!   explicit `Busy` reply and are closed; [`Client`] retries with
+//!   exponential backoff plus deterministic jitter.
+//! - **Graceful drain.** `Shutdown` (or [`Server::shutdown`]) stops the
+//!   acceptor, lets in-flight requests finish, then returns from
+//!   [`Server::wait`].
+//! - **Atomic snapshot swap.** `Reload` re-runs the analysis through a
+//!   caller-supplied rebuild recipe and swaps the snapshot only if the
+//!   client's expected fingerprint matches the live one
+//!   (compare-and-swap semantics). Connections opened before the swap
+//!   keep answering from their pinned snapshot — sessions never observe
+//!   a torn world.
+//!
+//! Each connection pins the snapshot at accept time and builds its own
+//! [`Metrics`] view plus an optional per-connection
+//! [`CompletenessEngine`] session; both are plain borrows with no
+//! locking on the query path, so answers are bit-identical to direct
+//! library calls by construction.
+
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use apistudy_analysis::AnalysisOptions;
+use apistudy_catalog::Api;
+
+use crate::cache::fold_hash;
+use crate::engine::CompletenessEngine;
+use crate::journal::{catalog_fingerprint, corpus_fingerprint};
+use crate::metrics::Metrics;
+use crate::planner::greedy_suggestions;
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, ReadBudget, Request,
+    Response, MAX_PICKS,
+};
+use crate::study::Study;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Port to bind on 127.0.0.1 (0 picks an ephemeral port).
+    pub port: u16,
+    /// Admission cap: concurrent connections beyond this get a `Busy`
+    /// reply and are closed.
+    pub max_conns: usize,
+    /// Budget for one request: frame arrival (slowloris bound), reply
+    /// write (backpressure bound), and processing.
+    pub request_deadline: Duration,
+    /// How long a connection may sit idle between requests.
+    pub idle_deadline: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            max_conns: 128,
+            request_deadline: Duration::from_secs(5),
+            idle_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One immutable, shared view of a sealed study. Swapped whole on
+/// reload; never mutated.
+pub struct Snapshot {
+    /// The sealed study (corpus plan + measured dataset).
+    pub study: Study,
+    /// Identity: corpus ⊕ analysis-options ⊕ catalog fingerprints.
+    pub fingerprint: u64,
+    /// Monotonic generation, bumped on every successful swap.
+    pub generation: u64,
+}
+
+/// The snapshot identity surfaced in `Pong` and checked by `Reload`:
+/// a fold of the corpus, analysis-options, and catalog fingerprints.
+pub fn snapshot_fingerprint(study: &Study) -> u64 {
+    let mut h = fold_hash(0, corpus_fingerprint(study.repo()));
+    h = fold_hash(h, AnalysisOptions::default().fingerprint());
+    fold_hash(h, catalog_fingerprint(&study.data().catalog))
+}
+
+impl Snapshot {
+    /// Seals a study into a snapshot at the given generation.
+    pub fn seal(study: Study, generation: u64) -> Self {
+        let fingerprint = snapshot_fingerprint(&study);
+        Self { study, fingerprint, generation }
+    }
+}
+
+/// A reload recipe: re-runs the analysis and returns the fresh study
+/// (typically `Study::run_streamed_stored` against the daemon's boot
+/// store, so completed shards replay at file-read cost).
+pub type Rebuild = dyn Fn() -> Result<Study, String> + Send + Sync;
+
+/// Monotonic counters describing a server's lifetime so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted into a worker.
+    pub connections: u64,
+    /// Requests answered (including classified error replies).
+    pub served: u64,
+    /// Connections rejected at the admission cap.
+    pub rejected_busy: u64,
+    /// Connections closed for frame damage (checksum / oversize /
+    /// truncation).
+    pub malformed: u64,
+    /// Connections closed for blowing an idle or request deadline.
+    pub deadline_closed: u64,
+    /// Successful snapshot swaps.
+    pub reloads: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    connections: AtomicU64,
+    served: AtomicU64,
+    rejected_busy: AtomicU64,
+    malformed: AtomicU64,
+    deadline_closed: AtomicU64,
+    reloads: AtomicU64,
+}
+
+struct Shared {
+    snapshot: RwLock<Arc<Snapshot>>,
+    rebuild: Option<Box<Rebuild>>,
+    opts: ServeOptions,
+    addr: SocketAddr,
+    drain: AtomicBool,
+    active: AtomicUsize,
+    reloading: AtomicBool,
+    stats: StatCells,
+}
+
+impl Shared {
+    /// Reads the live snapshot without ever panicking on a poisoned
+    /// lock (a poisoned guard still holds a valid `Arc`).
+    fn live(&self) -> Arc<Snapshot> {
+        match self.snapshot.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(e) => Arc::clone(&e.into_inner()),
+        }
+    }
+
+    fn begin_drain(&self) {
+        if !self.drain.swap(true, Ordering::SeqCst) {
+            // Unblock the acceptor's blocking accept() with a
+            // self-connection; it checks the drain flag first thing.
+            let _ = TcpStream::connect_timeout(
+                &self.addr,
+                Duration::from_millis(250),
+            );
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            served: self.stats.served.load(Ordering::Relaxed),
+            rejected_busy: self.stats.rejected_busy.load(Ordering::Relaxed),
+            malformed: self.stats.malformed.load(Ordering::Relaxed),
+            deadline_closed: self
+                .stats
+                .deadline_closed
+                .load(Ordering::Relaxed),
+            reloads: self.stats.reloads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decrements the active-connection gauge when a worker exits by any
+/// path, including a panic unwinding through the handler.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running query daemon. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] then [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds 127.0.0.1, seals `study` into generation-0 snapshot, and
+    /// starts the acceptor. `rebuild` powers `Reload` requests; without
+    /// it reloads are refused as `BadRequest`.
+    pub fn start(
+        study: Study,
+        rebuild: Option<Box<Rebuild>>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Self> {
+        let listener =
+            TcpListener::bind(("127.0.0.1", opts.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(Snapshot::seal(study, 0))),
+            rebuild,
+            opts,
+            addr,
+            drain: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            reloading: AtomicBool::new(false),
+            stats: StatCells::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("apistudy-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Self { shared, acceptor: Some(acceptor), addr })
+    }
+
+    /// The bound address (ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live snapshot's fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.shared.live().fingerprint
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Initiates graceful drain (idempotent): stop accepting, let
+    /// in-flight requests finish.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Blocks until the server has drained (acceptor stopped, workers
+    /// done) and returns the final counters.
+    pub fn wait(mut self) -> ServeStats {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shared.stats()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.drain.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Optimistic admission: claim a slot, give it back (with a Busy
+        // reply) if that pushed us over the cap.
+        let prior = shared.active.fetch_add(1, Ordering::SeqCst);
+        if prior >= shared.opts.max_conns {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            // Best-effort, short-deadline reject so a connect flood can
+            // never stall the acceptor on one slow peer.
+            let _ = write_frame(
+                &stream,
+                &Response::err(ErrorCode::Busy, "connection cap reached")
+                    .encode(),
+                Duration::from_millis(250),
+            );
+            continue;
+        }
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let worker_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("apistudy-conn".into())
+            .spawn(move || {
+                let _guard = ActiveGuard(&worker_shared.active);
+                handle_connection(&stream, &worker_shared);
+            });
+        if spawned.is_err() {
+            // The stream moved into the failed spawn and is gone; all we
+            // can do is give the slot back.
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Drain: wait for in-flight workers, bounded by one full request
+    // budget plus slack — workers poll the drain flag at frame
+    // boundaries, so this converges fast.
+    let grace = shared.opts.request_deadline + Duration::from_secs(2);
+    let deadline = Instant::now() + grace;
+    while shared.active.load(Ordering::SeqCst) > 0
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// What a finished request asks the connection loop to do next.
+enum After {
+    Continue,
+    Close,
+}
+
+fn handle_connection(stream: &TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    // Pin the snapshot for this connection's whole life: queries and the
+    // session answer from one immutable world even across a swap.
+    let snap = shared.live();
+    let metrics = snap.study.metrics();
+    let mut session: Option<CompletenessEngine<'_, '_>> = None;
+    let budget = ReadBudget {
+        idle: shared.opts.idle_deadline,
+        request: shared.opts.request_deadline,
+    };
+    let write_deadline = shared.opts.request_deadline;
+    loop {
+        let payload = match read_frame(stream, budget, &|| {
+            shared.drain.load(Ordering::SeqCst)
+        }) {
+            Ok(p) => p,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Draining) => {
+                let _ = write_frame(
+                    stream,
+                    &Response::err(ErrorCode::Draining, "server draining")
+                        .encode(),
+                    write_deadline,
+                );
+                return;
+            }
+            Err(FrameError::Idle) => {
+                shared.stats.deadline_closed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    stream,
+                    &Response::err(ErrorCode::Deadline, "idle deadline")
+                        .encode(),
+                    write_deadline,
+                );
+                return;
+            }
+            Err(FrameError::Deadline) => {
+                shared.stats.deadline_closed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    stream,
+                    &Response::err(
+                        ErrorCode::Deadline,
+                        "request deadline while receiving frame",
+                    )
+                    .encode(),
+                    write_deadline,
+                );
+                return;
+            }
+            Err(FrameError::TooLarge(n)) => {
+                shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    stream,
+                    &Response::err(
+                        ErrorCode::TooLarge,
+                        format!("frame length {n} over cap"),
+                    )
+                    .encode(),
+                    write_deadline,
+                );
+                return;
+            }
+            Err(FrameError::Checksum) | Err(FrameError::Truncated) => {
+                shared.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    stream,
+                    &Response::err(ErrorCode::BadFrame, "frame damaged")
+                        .encode(),
+                    write_deadline,
+                );
+                return;
+            }
+        };
+        // The frame was intact; an undecodable payload is a classified
+        // reply and the connection survives (framing is still in sync).
+        let (reply, after) = match Request::decode(&payload) {
+            None => (
+                Response::err(ErrorCode::BadRequest, "undecodable request"),
+                After::Continue,
+            ),
+            Some(req) => dispatch(req, &snap, &metrics, &mut session, shared),
+        };
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        if write_frame(stream, &reply.encode(), write_deadline).is_err() {
+            return;
+        }
+        if matches!(after, After::Close) {
+            return;
+        }
+    }
+}
+
+/// `Some(nr)` for the first syscall number not in the catalog.
+fn first_unknown(snap: &Snapshot, nrs: &[u32]) -> Option<u32> {
+    nrs.iter()
+        .copied()
+        .find(|&nr| snap.study.data().catalog.syscalls.by_number(nr).is_none())
+}
+
+fn dispatch<'m, 'a>(
+    req: Request,
+    snap: &Arc<Snapshot>,
+    metrics: &'m Metrics<'a>,
+    session: &mut Option<CompletenessEngine<'m, 'a>>,
+    shared: &Shared,
+) -> (Response, After) {
+    match req {
+        Request::Ping => (
+            Response::Pong {
+                fingerprint: snap.fingerprint,
+                generation: snap.generation,
+                packages: snap.study.data().packages.len() as u32,
+            },
+            After::Continue,
+        ),
+        Request::Importance { nr } => {
+            if let Some(bad) = first_unknown(snap, &[nr]) {
+                return (unknown_api(bad), After::Continue);
+            }
+            let api = Api::Syscall(nr);
+            (
+                Response::Importance {
+                    importance_bits: metrics.importance(api).to_bits(),
+                    unweighted_bits: metrics
+                        .unweighted_importance(api)
+                        .to_bits(),
+                },
+                After::Continue,
+            )
+        }
+        Request::Completeness { supported } => {
+            if let Some(bad) = first_unknown(snap, &supported) {
+                return (unknown_api(bad), After::Continue);
+            }
+            let set: HashSet<u32> = supported.into_iter().collect();
+            (
+                Response::Completeness {
+                    bits: metrics.syscall_completeness(&set).to_bits(),
+                },
+                After::Continue,
+            )
+        }
+        Request::Suggest { supported, limit } => {
+            if let Some(bad) = first_unknown(snap, &supported) {
+                return (unknown_api(bad), After::Continue);
+            }
+            let set: HashSet<u32> = supported.into_iter().collect();
+            let n = (limit as usize).min(MAX_PICKS);
+            let picks = greedy_suggestions(metrics, &set, n)
+                .into_iter()
+                .map(|(nr, gain)| (nr, gain.to_bits()))
+                .collect();
+            (Response::Suggest { picks }, After::Continue)
+        }
+        Request::SessionOpen { supported } => {
+            if let Some(bad) = first_unknown(snap, &supported) {
+                return (unknown_api(bad), After::Continue);
+            }
+            let set: HashSet<u32> = supported.into_iter().collect();
+            let engine = CompletenessEngine::for_syscalls(metrics, &set);
+            let completeness = engine.completeness();
+            *session = Some(engine);
+            (
+                Response::Session {
+                    delta_bits: 0f64.to_bits(),
+                    completeness_bits: completeness.to_bits(),
+                },
+                After::Continue,
+            )
+        }
+        Request::SessionAdd { nr }
+        | Request::SessionRemove { nr }
+        | Request::SessionProbe { nr } => {
+            if let Some(bad) = first_unknown(snap, &[nr]) {
+                return (unknown_api(bad), After::Continue);
+            }
+            let Some(engine) = session.as_mut() else {
+                return (
+                    Response::err(
+                        ErrorCode::BadRequest,
+                        "no session open (send SessionOpen first)",
+                    ),
+                    After::Continue,
+                );
+            };
+            let api = Api::Syscall(nr);
+            let delta = match req {
+                Request::SessionAdd { .. } => engine.add_api(api),
+                Request::SessionRemove { .. } => engine.remove_api(api),
+                _ => engine.probe_gain(api),
+            };
+            (
+                Response::Session {
+                    delta_bits: delta.to_bits(),
+                    completeness_bits: engine.completeness().to_bits(),
+                },
+                After::Continue,
+            )
+        }
+        Request::Reload { expect_fingerprint } => {
+            (reload(expect_fingerprint, shared), After::Continue)
+        }
+        Request::Shutdown => {
+            shared.begin_drain();
+            (Response::Bye, After::Close)
+        }
+    }
+}
+
+fn unknown_api(nr: u32) -> Response {
+    Response::err(ErrorCode::UnknownApi, format!("syscall {nr} not in catalog"))
+}
+
+/// Clears the one-reload-at-a-time flag on every exit path.
+struct ReloadGuard<'a>(&'a AtomicBool);
+
+impl Drop for ReloadGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+fn reload(expect_fingerprint: u64, shared: &Shared) -> Response {
+    let Some(rebuild) = shared.rebuild.as_ref() else {
+        return Response::err(
+            ErrorCode::BadRequest,
+            "reload not configured for this server",
+        );
+    };
+    if shared
+        .reloading
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return Response::err(ErrorCode::Busy, "reload already in progress");
+    }
+    let _guard = ReloadGuard(&shared.reloading);
+    let live = shared.live();
+    if live.fingerprint != expect_fingerprint {
+        return Response::err(
+            ErrorCode::BadRequest,
+            format!(
+                "fingerprint mismatch: live {:#018x}, expected {:#018x}",
+                live.fingerprint, expect_fingerprint
+            ),
+        );
+    }
+    let study = match rebuild() {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::err(
+                ErrorCode::Internal,
+                format!("rebuild failed: {e}"),
+            );
+        }
+    };
+    let next = Arc::new(Snapshot::seal(study, live.generation + 1));
+    let reply = Response::Reload {
+        fingerprint: next.fingerprint,
+        generation: next.generation,
+    };
+    match shared.snapshot.write() {
+        Ok(mut g) => *g = next,
+        Err(e) => *e.into_inner() = next,
+    }
+    shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+    reply
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Exponential backoff with deterministic jitter for connect and `Busy`
+/// retries. Fully seeded: two clients with different seeds desynchronize
+/// their retries (the point of jitter) while every run is reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts before giving up.
+    pub attempts: u32,
+    /// First delay; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Jitter seed (vary per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(1500),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+fn xorshift64star(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): `base << attempt`
+    /// capped at `cap`, plus deterministic jitter in `[0, delay/2)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let half = (exp.as_millis() as u64) / 2;
+        if half == 0 {
+            return exp;
+        }
+        let jitter = xorshift64star(
+            self.seed ^ (u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F)),
+        ) % half;
+        exp + Duration::from_millis(jitter)
+    }
+}
+
+/// Client-side failures, classified.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, send, or receive).
+    Io(std::io::Error),
+    /// The reply frame was damaged or deadline-expired.
+    Frame(FrameError),
+    /// The reply frame was intact but not a valid response encoding.
+    Protocol,
+    /// Retries exhausted; the last failure's description.
+    Exhausted(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "reply frame: {e}"),
+            ClientError::Protocol => write!(f, "undecodable reply"),
+            ClientError::Exhausted(last) => {
+                write!(f, "retries exhausted; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking daemon client with backoff-and-jitter reconnects.
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    policy: RetryPolicy,
+    deadline: Duration,
+}
+
+impl Client {
+    /// Connects with backoff (a just-restarted or busy daemon is retried
+    /// per `policy`). `deadline` bounds every socket operation.
+    pub fn connect(
+        addr: SocketAddr,
+        policy: RetryPolicy,
+        deadline: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last = String::from("no attempt made");
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+            match TcpStream::connect_timeout(&addr, deadline) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    return Ok(Self { addr, stream, policy, deadline });
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(ClientError::Exhausted(last))
+    }
+
+    /// One request/reply exchange on the current connection, no retry.
+    /// Server-side `Err` replies come back as `Ok(Response::Err { .. })`
+    /// — the exchange itself succeeded.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&self.stream, &req.encode(), self.deadline)
+            .map_err(ClientError::Io)?;
+        let payload = read_frame(
+            &self.stream,
+            ReadBudget { idle: self.deadline, request: self.deadline },
+            &|| false,
+        )
+        .map_err(ClientError::Frame)?;
+        Response::decode(&payload).ok_or(ClientError::Protocol)
+    }
+
+    /// [`Client::call`] with reconnect-and-retry on transport failure and
+    /// on `Busy`/`Draining` replies (the admission-control and
+    /// crash-restart path). **Not** safe for session requests — a
+    /// reconnect silently drops the per-connection session; callers
+    /// re-open sessions themselves.
+    pub fn call_retrying(
+        &mut self,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        let mut last = String::from("no attempt made");
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.delay(attempt - 1));
+                if let Ok(stream) =
+                    TcpStream::connect_timeout(&self.addr, self.deadline)
+                {
+                    let _ = stream.set_nodelay(true);
+                    self.stream = stream;
+                }
+            }
+            match self.call(req) {
+                Ok(Response::Err { code, msg })
+                    if matches!(
+                        code,
+                        ErrorCode::Busy | ErrorCode::Draining
+                    ) =>
+                {
+                    last = format!("{}: {msg}", code.label());
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(ClientError::Exhausted(last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::encode_frame;
+    use apistudy_corpus::Scale;
+    use std::io::Write as _;
+
+    fn small_study() -> Study {
+        Study::run(Scale { packages: 120, installations: 20_000 }, 3)
+    }
+
+    fn test_opts() -> ServeOptions {
+        ServeOptions {
+            port: 0,
+            max_conns: 8,
+            request_deadline: Duration::from_secs(2),
+            idle_deadline: Duration::from_secs(5),
+        }
+    }
+
+    fn client(server: &Server) -> Client {
+        Client::connect(
+            server.addr(),
+            RetryPolicy::default(),
+            Duration::from_secs(5),
+        )
+        .expect("connect")
+    }
+
+    #[test]
+    fn answers_are_bit_identical_to_direct_library_calls() {
+        let study = small_study();
+        let reference = small_study();
+        let m = reference.metrics();
+        let server =
+            Server::start(study, None, test_opts()).expect("start");
+        let mut c = client(&server);
+
+        let Response::Pong { fingerprint, generation, packages } =
+            c.call(&Request::Ping).expect("ping")
+        else {
+            panic!("expected Pong");
+        };
+        assert_eq!(fingerprint, snapshot_fingerprint(&reference));
+        assert_eq!(generation, 0);
+        assert_eq!(packages as usize, reference.data().packages.len());
+
+        for nr in [0u32, 1, 2, 60] {
+            let Response::Importance { importance_bits, unweighted_bits } =
+                c.call(&Request::Importance { nr }).expect("importance")
+            else {
+                panic!("expected Importance");
+            };
+            let api = Api::Syscall(nr);
+            assert_eq!(importance_bits, m.importance(api).to_bits());
+            assert_eq!(
+                unweighted_bits,
+                m.unweighted_importance(api).to_bits()
+            );
+        }
+
+        let supported: Vec<u32> =
+            m.importance_ranking(apistudy_catalog::ApiKind::Syscall)
+                .iter()
+                .take(40)
+                .filter_map(|(api, _)| match api {
+                    Api::Syscall(nr) => Some(*nr),
+                    _ => None,
+                })
+                .collect();
+        let set: HashSet<u32> = supported.iter().copied().collect();
+        let Response::Completeness { bits } = c
+            .call(&Request::Completeness { supported: supported.clone() })
+            .expect("completeness")
+        else {
+            panic!("expected Completeness");
+        };
+        assert_eq!(bits, m.syscall_completeness(&set).to_bits());
+
+        let Response::Suggest { picks } = c
+            .call(&Request::Suggest {
+                supported: supported.clone(),
+                limit: 5,
+            })
+            .expect("suggest")
+        else {
+            panic!("expected Suggest");
+        };
+        let direct = greedy_suggestions(&m, &set, 5);
+        assert_eq!(picks.len(), direct.len());
+        for ((nr, bits), (dnr, gain)) in picks.iter().zip(direct.iter()) {
+            assert_eq!(nr, dnr);
+            assert_eq!(*bits, gain.to_bits());
+        }
+
+        // Session: open → probe → add → remove must match a scratch
+        // engine op for op, bit for bit.
+        let mut engine = CompletenessEngine::for_syscalls(&m, &set);
+        let Response::Session { delta_bits, completeness_bits } = c
+            .call(&Request::SessionOpen { supported })
+            .expect("session open")
+        else {
+            panic!("expected Session");
+        };
+        assert_eq!(delta_bits, 0f64.to_bits());
+        assert_eq!(completeness_bits, engine.completeness().to_bits());
+        let probe_nr = direct.first().map(|(nr, _)| *nr).unwrap_or(231);
+        for (req, direct_delta) in [
+            (
+                Request::SessionProbe { nr: probe_nr },
+                engine.probe_gain(Api::Syscall(probe_nr)),
+            ),
+            (
+                Request::SessionAdd { nr: probe_nr },
+                engine.add_api(Api::Syscall(probe_nr)),
+            ),
+            (
+                Request::SessionRemove { nr: probe_nr },
+                engine.remove_api(Api::Syscall(probe_nr)),
+            ),
+        ] {
+            let Response::Session { delta_bits, completeness_bits } =
+                c.call(&req).expect("session op")
+            else {
+                panic!("expected Session");
+            };
+            assert_eq!(delta_bits, direct_delta.to_bits(), "{req:?}");
+            assert_eq!(
+                completeness_bits,
+                engine.completeness().to_bits(),
+                "{req:?}"
+            );
+        }
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn misuse_gets_classified_errors_not_panics() {
+        let server =
+            Server::start(small_study(), None, test_opts()).expect("start");
+        let mut c = client(&server);
+
+        // Unknown syscall number.
+        let resp = c.call(&Request::Importance { nr: 99_999 }).expect("call");
+        assert!(matches!(
+            resp,
+            Response::Err { code: ErrorCode::UnknownApi, .. }
+        ));
+        // Session op without a session.
+        let resp = c.call(&Request::SessionAdd { nr: 0 }).expect("call");
+        assert!(matches!(
+            resp,
+            Response::Err { code: ErrorCode::BadRequest, .. }
+        ));
+        // Reload on a server with no rebuild recipe.
+        let resp = c
+            .call(&Request::Reload { expect_fingerprint: 0 })
+            .expect("call");
+        assert!(matches!(
+            resp,
+            Response::Err { code: ErrorCode::BadRequest, .. }
+        ));
+        // Intact frame, garbage payload: classified reply, connection
+        // survives.
+        write_frame(&c.stream, &[0xFFu8, 1, 2, 3], Duration::from_secs(2))
+            .expect("write");
+        let payload = read_frame(
+            &c.stream,
+            ReadBudget {
+                idle: Duration::from_secs(2),
+                request: Duration::from_secs(2),
+            },
+            &|| false,
+        )
+        .expect("reply");
+        assert!(matches!(
+            Response::decode(&payload),
+            Some(Response::Err { code: ErrorCode::BadRequest, .. })
+        ));
+        let resp = c.call(&Request::Ping).expect("still alive");
+        assert!(matches!(resp, Response::Pong { .. }));
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn damaged_frames_get_classified_replies_and_close() {
+        let server =
+            Server::start(small_study(), None, test_opts()).expect("start");
+
+        // Checksum damage.
+        let c = client(&server);
+        let mut frame = encode_frame(&Request::Ping.encode());
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        (&c.stream).write_all(&frame).expect("send");
+        let payload = read_frame(
+            &c.stream,
+            ReadBudget {
+                idle: Duration::from_secs(2),
+                request: Duration::from_secs(2),
+            },
+            &|| false,
+        )
+        .expect("reply");
+        assert!(matches!(
+            Response::decode(&payload),
+            Some(Response::Err { code: ErrorCode::BadFrame, .. })
+        ));
+
+        // Oversized length prefix.
+        let c = client(&server);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        (&c.stream).write_all(&frame).expect("send");
+        let payload = read_frame(
+            &c.stream,
+            ReadBudget {
+                idle: Duration::from_secs(2),
+                request: Duration::from_secs(2),
+            },
+            &|| false,
+        )
+        .expect("reply");
+        assert!(matches!(
+            Response::decode(&payload),
+            Some(Response::Err { code: ErrorCode::TooLarge, .. })
+        ));
+
+        assert!(server.stats().malformed >= 2);
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn slowloris_is_cut_at_the_request_deadline() {
+        let mut opts = test_opts();
+        opts.request_deadline = Duration::from_millis(300);
+        let server =
+            Server::start(small_study(), None, opts).expect("start");
+        let c = client(&server);
+        let frame = encode_frame(&Request::Ping.encode());
+        // Dribble one byte, then stall past the request deadline.
+        (&c.stream).write_all(&frame[..1]).expect("first byte");
+        let payload = read_frame(
+            &c.stream,
+            ReadBudget {
+                idle: Duration::from_secs(5),
+                request: Duration::from_secs(5),
+            },
+            &|| false,
+        )
+        .expect("deadline reply");
+        assert!(matches!(
+            Response::decode(&payload),
+            Some(Response::Err { code: ErrorCode::Deadline, .. })
+        ));
+        assert!(server.stats().deadline_closed >= 1);
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn admission_control_rejects_with_busy_and_client_retries() {
+        let mut opts = test_opts();
+        opts.max_conns = 1;
+        let server =
+            Server::start(small_study(), None, opts).expect("start");
+        // First client occupies the only slot.
+        let mut first = client(&server);
+        assert!(matches!(
+            first.call(&Request::Ping).expect("ping"),
+            Response::Pong { .. }
+        ));
+        // Second connection is told Busy explicitly.
+        let mut second = Client::connect(
+            server.addr(),
+            RetryPolicy {
+                attempts: 2,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(20),
+                seed: 7,
+            },
+            Duration::from_secs(2),
+        )
+        .expect("tcp connect");
+        match second.call(&Request::Ping) {
+            Ok(Response::Err { code: ErrorCode::Busy, .. }) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // After the first client leaves, retrying succeeds.
+        drop(first);
+        let resp = second
+            .call_retrying(&Request::Ping)
+            .expect("retry after slot frees");
+        assert!(matches!(resp, Response::Pong { .. }));
+        assert!(server.stats().rejected_busy >= 1);
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn reload_swaps_atomically_and_pins_open_connections() {
+        let study = small_study();
+        let boot_fp = snapshot_fingerprint(&study);
+        // The rebuild recipe returns a *different* corpus, so the swap is
+        // observable: fingerprints differ across generations.
+        let rebuild: Box<Rebuild> = Box::new(|| {
+            Ok(Study::run(
+                Scale { packages: 130, installations: 25_000 },
+                23,
+            ))
+        });
+        let server = Server::start(study, Some(rebuild), test_opts())
+            .expect("start");
+        let mut pinned = client(&server);
+        let Response::Pong { fingerprint: old_fp, .. } =
+            pinned.call(&Request::Ping).expect("ping")
+        else {
+            panic!("expected Pong");
+        };
+        assert_eq!(old_fp, boot_fp);
+
+        let mut admin = client(&server);
+        // Wrong expected fingerprint: refused, nothing swapped.
+        let resp = admin
+            .call(&Request::Reload { expect_fingerprint: old_fp ^ 1 })
+            .expect("call");
+        assert!(matches!(
+            resp,
+            Response::Err { code: ErrorCode::BadRequest, .. }
+        ));
+        // Correct fingerprint: swapped, generation bumps.
+        let Response::Reload { fingerprint: new_fp, generation } = admin
+            .call(&Request::Reload { expect_fingerprint: old_fp })
+            .expect("reload")
+        else {
+            panic!("expected Reload");
+        };
+        assert_ne!(new_fp, old_fp);
+        assert_eq!(generation, 1);
+
+        // The connection opened before the swap still answers from its
+        // pinned snapshot; a fresh connection sees the new world.
+        let Response::Pong { fingerprint, generation, .. } =
+            pinned.call(&Request::Ping).expect("pinned ping")
+        else {
+            panic!("expected Pong");
+        };
+        assert_eq!(fingerprint, old_fp);
+        assert_eq!(generation, 0);
+        let mut fresh = client(&server);
+        let Response::Pong { fingerprint, generation, .. } =
+            fresh.call(&Request::Ping).expect("fresh ping")
+        else {
+            panic!("expected Pong");
+        };
+        assert_eq!(fingerprint, new_fp);
+        assert_eq!(generation, 1);
+        assert_eq!(server.stats().reloads, 1);
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn shutdown_request_drains_gracefully() {
+        let server =
+            Server::start(small_study(), None, test_opts()).expect("start");
+        let mut c = client(&server);
+        let resp = c.call(&Request::Shutdown).expect("shutdown");
+        assert!(matches!(resp, Response::Bye));
+        // wait() must return (bounded drain), and the port must refuse
+        // new work afterwards.
+        let stats = server.wait();
+        assert!(stats.served >= 1);
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_jitter_deterministically() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(400),
+            seed: 42,
+        };
+        let d: Vec<Duration> = (0..5).map(|a| p.delay(a)).collect();
+        // Monotone envelope: each delay's floor doubles until the cap.
+        assert!(d[1] >= Duration::from_millis(20));
+        assert!(d[2] >= Duration::from_millis(40));
+        assert!(d[4] <= Duration::from_millis(400 + 200));
+        // Deterministic: same policy, same delays.
+        let again: Vec<Duration> = (0..5).map(|a| p.delay(a)).collect();
+        assert_eq!(d, again);
+        // Different seeds desynchronize.
+        let q = RetryPolicy { seed: 43, ..p };
+        assert_ne!(
+            (0..5).map(|a| p.delay(a)).collect::<Vec<_>>(),
+            (0..5).map(|a| q.delay(a)).collect::<Vec<_>>()
+        );
+    }
+}

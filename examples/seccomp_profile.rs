@@ -46,7 +46,8 @@ fn main() {
         run_filter, seccomp_filter, SeccompData, AUDIT_ARCH_X86_64,
         RET_ALLOW,
     };
-    let program = seccomp_filter(data, &package).expect("package exists");
+    let program = seccomp_filter(data, &package)
+        .expect("package verified above, footprint coalesces");
     println!(
         "classic-BPF filter: {} instructions, {} bytes on the wire",
         program.len(),

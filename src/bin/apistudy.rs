@@ -3,7 +3,7 @@
 //! ```text
 //! apistudy [--scale test|medium|paper|N] [--seed N] [--cache off|mem|disk]
 //!          [--threads N] [--shard N] [--store <path> [--resume]]
-//!          <command> [args]
+//!          [--deadline-ms N] <command> [args]
 //!
 //! commands:
 //!   importance <api>...      weighted + unweighted importance of syscalls
@@ -29,6 +29,22 @@
 //!                            crash-safe log, --resume replays a prior
 //!                            log (fingerprint-checked) and computes only
 //!                            the missing tail
+//!   serve [--port N] [--max-conns N] [--request-deadline-ms N]
+//!         [--idle-deadline-ms N]
+//!                            run the hardened query daemon: seal the
+//!                            measured study into an immutable snapshot
+//!                            and answer queries over the checksummed
+//!                            frame protocol (prints `serving on ADDR`
+//!                            on stdout when ready)
+//!   query <addr> <op>        talk to a running daemon:
+//!                              ping
+//!                              importance <api>...
+//!                              completeness <file>
+//!                              suggest <file> [limit]
+//!                              probe <file> <api>...
+//!                              reload
+//!                              shutdown
+//!                            (no local analysis: only the daemon works)
 //! ```
 //!
 //! `--scale` also accepts a bare package count `N` (installations scale
@@ -55,10 +71,13 @@
 //! post-command `--resume` of `suggest`/`faults` keeps its journal
 //! meaning).
 //!
-//! `APISTUDY_ITEM_DEADLINE_MS`, when set to a positive integer, arms a
-//! wall-clock watchdog in the pipeline: any single package whose analysis
-//! exceeds the deadline is quarantined (stage `deadline`) instead of
-//! stalling the run; the `faults` footer counts such skips.
+//! `--deadline-ms N` (or the `APISTUDY_ITEM_DEADLINE_MS` environment
+//! variable; the flag wins) arms a wall-clock watchdog in the pipeline:
+//! any single package whose analysis exceeds the deadline is quarantined
+//! (stage `deadline`) instead of stalling the run; the `faults` footer
+//! counts such skips. `serve` arms a 30 000 ms default when neither the
+//! flag nor the variable is set, so re-analysis triggered by `Reload`
+//! can never wedge the daemon on one pathological package.
 
 use std::collections::HashSet;
 use std::process::exit;
@@ -77,16 +96,24 @@ fn usage() -> ! {
     eprintln!(
         "usage: apistudy [--scale test|medium|paper|N] [--seed N]\n\
          \x20              [--cache off|mem|disk] [--threads N]\n\
-         \x20              [--shard N] [--store <path> [--resume]] <command>\n\
-         \x20  --threads: worker count (flag > APISTUDY_THREADS env > auto)\n\
-         \x20  --shard:   stream in N-package shards (0 = in-memory;\n\
-         \x20             default: auto-stream above 1024 packages)\n\
-         \x20  --store:   persist clean shards; --resume replays them\n\
+         \x20              [--shard N] [--store <path> [--resume]]\n\
+         \x20              [--deadline-ms N] <command>\n\
+         \x20  --threads:     worker count (flag > APISTUDY_THREADS env > auto)\n\
+         \x20  --shard:       stream in N-package shards (0 = in-memory;\n\
+         \x20                 default: auto-stream above 1024 packages)\n\
+         \x20  --store:       persist clean shards; --resume replays them\n\
+         \x20  --deadline-ms: per-package watchdog (flag >\n\
+         \x20                 APISTUDY_ITEM_DEADLINE_MS env; serve defaults\n\
+         \x20                 to 30000)\n\
          commands: importance <api>... | dependents <api>\n\
          \x20         | suggest <file> [--greedy] [--journal <path> [--resume]]\n\
          \x20         | completeness <file> | workloads <api>...\n\
          \x20         | seccomp <pkg> | export <path> | summary\n\
-         \x20         | faults [fault-seed] [--journal <path> [--resume]]"
+         \x20         | faults [fault-seed] [--journal <path> [--resume]]\n\
+         \x20         | serve [--port N] [--max-conns N]\n\
+         \x20                 [--request-deadline-ms N] [--idle-deadline-ms N]\n\
+         \x20         | query <addr> ping|importance|completeness|suggest\n\
+         \x20                        |probe|reload|shutdown ..."
     );
     exit(2)
 }
@@ -149,6 +176,7 @@ fn main() {
     let mut shard: Option<usize> = None;
     let mut store_path: Option<String> = None;
     let mut store_resume = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -196,6 +224,13 @@ fn main() {
                 store_path = Some(args.next().unwrap_or_else(|| usage()))
             }
             "--resume" => store_resume = true,
+            "--deadline-ms" => {
+                deadline_ms =
+                    match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                        Some(ms) if ms > 0 => Some(ms),
+                        _ => usage(),
+                    }
+            }
             "--help" | "-h" => usage(),
             other => {
                 rest.push(other.to_owned());
@@ -208,10 +243,25 @@ fn main() {
     }
     let command = rest.remove(0);
 
+    // `query` talks to a running daemon and never touches the pipeline;
+    // handle it before any measurement work.
+    if command == "query" {
+        run_query(rest);
+    }
+
     // The flag beats the environment, which beats the automatic default
     // (the pipeline's worker pool reads the variable).
     if let Some(t) = threads {
         std::env::set_var("APISTUDY_THREADS", t.to_string());
+    }
+    // Watchdog precedence: flag > env > (serve only) a 30 s default, so
+    // daemon re-analysis can never wedge on one pathological package.
+    if let Some(ms) = deadline_ms {
+        std::env::set_var("APISTUDY_ITEM_DEADLINE_MS", ms.to_string());
+    } else if command == "serve"
+        && std::env::var_os("APISTUDY_ITEM_DEADLINE_MS").is_none()
+    {
+        std::env::set_var("APISTUDY_ITEM_DEADLINE_MS", "30000");
     }
 
     let shard_size = shard.unwrap_or(if store_path.is_some()
@@ -264,6 +314,12 @@ fn main() {
     let peak_kb = study.data().diagnostics.peak_rss_kb;
     if peak_kb > 0 {
         eprintln!("peak RSS: {:.1} MiB", peak_kb as f64 / 1024.0);
+    }
+
+    // `serve` consumes the study whole (it becomes the daemon's sealed
+    // snapshot), so it branches off before a Metrics view is borrowed.
+    if command == "serve" {
+        run_serve(study, rest, scale, seed, shard_size, store_path);
     }
     let metrics = study.metrics();
 
@@ -350,12 +406,12 @@ fn main() {
                 };
                 let mut acc = completeness;
                 for (nr, gain) in picks {
-                    let def =
-                        study.data().catalog.syscalls.by_number(nr).unwrap();
+                    // A resumed journal could in principle carry a number
+                    // outside this catalog; degrade the label, never panic.
+                    let name = syscall_label(study.data(), nr);
                     acc += gain;
                     println!(
-                        "  {:<20} completeness +{:.2}% (cumulative {:.2}%)",
-                        def.name,
+                        "  {name:<20} completeness +{:.2}% (cumulative {:.2}%)",
                         100.0 * gain,
                         100.0 * acc,
                     );
@@ -377,11 +433,10 @@ fn main() {
                     if supported.contains(&nr) {
                         continue;
                     }
-                    let def = study.data().catalog.syscalls.by_number(nr).unwrap();
+                    let name = syscall_label(study.data(), nr);
                     let gain = engine.probe_gain(api);
                     println!(
-                        "  {:<20} importance {:>6.2}%  completeness +{:.2}%",
-                        def.name,
+                        "  {name:<20} importance {:>6.2}%  completeness +{:.2}%",
                         100.0 * imp,
                         100.0 * gain,
                     );
@@ -437,7 +492,13 @@ fn main() {
             for name in &profile {
                 println!("allow {name}");
             }
-            let filter = seccomp_filter(study.data(), pkg).expect("package exists");
+            let filter = match seccomp_filter(study.data(), pkg) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot build BPF filter for {pkg:?}: {e}");
+                    exit(1)
+                }
+            };
             eprintln!(
                 "BPF filter: {} instructions ({} bytes), arch pin {AUDIT_ARCH_X86_64:#x}",
                 filter.len(),
@@ -549,6 +610,7 @@ fn main() {
                 Err(e) => eprintln!("cache persist failed: {e}"),
             }
         }
+        "serve" | "query" => unreachable!("handled before the match"),
         "summary" => {
             let ranking = metrics.importance_ranking(ApiKind::Syscall);
             let indispensable =
@@ -568,4 +630,294 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// Display name for a syscall number. Journal-replayed or daemon-computed
+/// picks could in principle carry a number outside this catalog; that
+/// degrades to a placeholder label, never a panic.
+fn syscall_label(data: &apistudy::core::StudyData, nr: u32) -> String {
+    data.catalog
+        .syscalls
+        .by_number(nr)
+        .map(|d| d.name.to_string())
+        .unwrap_or_else(|| format!("syscall#{nr}"))
+}
+
+/// `apistudy serve`: seal the measured study into the daemon's snapshot
+/// and answer queries until drained (via a `shutdown` query or a signal).
+fn run_serve(
+    study: Study,
+    mut rest: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    shard_size: usize,
+    store_path: Option<String>,
+) -> ! {
+    use apistudy::core::serve::Rebuild;
+    use apistudy::core::{Server, ServeOptions};
+    use std::time::Duration;
+
+    fn parsed<T: std::str::FromStr>(v: Option<String>, fallback: T) -> T {
+        match v {
+            Some(s) => s.parse().unwrap_or_else(|_| usage()),
+            None => fallback,
+        }
+    }
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        port: parsed(take_opt(&mut rest, "--port"), 0u16),
+        max_conns: parsed(
+            take_opt(&mut rest, "--max-conns"),
+            defaults.max_conns,
+        ),
+        request_deadline: Duration::from_millis(parsed(
+            take_opt(&mut rest, "--request-deadline-ms"),
+            defaults.request_deadline.as_millis() as u64,
+        )),
+        idle_deadline: Duration::from_millis(parsed(
+            take_opt(&mut rest, "--idle-deadline-ms"),
+            defaults.idle_deadline.as_millis() as u64,
+        )),
+    };
+    if !rest.is_empty() || opts.max_conns == 0 {
+        usage();
+    }
+    let packages = study.data().packages.len();
+
+    // The reload recipe repeats the boot recipe; with a store, completed
+    // shards replay at file-read cost, so a `Reload` after an unchanged
+    // corpus is cheap and provably bit-identical.
+    let rebuild: Box<Rebuild> = Box::new(move || match &store_path {
+        Some(path) => Study::run_streamed_stored(
+            scale,
+            seed,
+            shard_size,
+            std::path::Path::new(path),
+            true,
+        )
+        .map(|(study, _)| study)
+        .map_err(|e| e.to_string()),
+        None if shard_size > 0 => {
+            Ok(Study::run_streamed(scale, seed, shard_size))
+        }
+        None => Ok(Study::run(scale, seed)),
+    });
+
+    let server = match Server::start(study, Some(rebuild), opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            exit(1)
+        }
+    };
+    // Machine-parseable readiness line (tests and scripts wait for it).
+    println!(
+        "serving on {} (fingerprint {:#018x}, {packages} packages)",
+        server.addr(),
+        server.fingerprint(),
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = server.wait();
+    eprintln!(
+        "drained: {} connections, {} requests served, {} busy-rejected, \
+         {} malformed, {} deadline-closed, {} reloads",
+        stats.connections,
+        stats.served,
+        stats.rejected_busy,
+        stats.malformed,
+        stats.deadline_closed,
+        stats.reloads,
+    );
+    exit(0)
+}
+
+/// `apistudy query`: the daemon client. Resolves syscall names against
+/// the local catalog, never runs the pipeline.
+fn run_query(mut rest: Vec<String>) -> ! {
+    use apistudy::catalog::Catalog;
+    use apistudy::core::{
+        Client, ClientError, Request, Response, RetryPolicy,
+    };
+    use std::time::Duration;
+
+    if rest.len() < 2 {
+        usage();
+    }
+    let addr: std::net::SocketAddr =
+        rest.remove(0).parse().unwrap_or_else(|_| usage());
+    let op = rest.remove(0);
+    let catalog = Catalog::linux_3_19();
+
+    let resolve = |token: &str| -> u32 {
+        token
+            .parse::<u32>()
+            .ok()
+            .or_else(|| catalog.syscalls.number_of(token))
+            .unwrap_or_else(|| {
+                eprintln!("unknown syscall {token:?}");
+                exit(1)
+            })
+    };
+    let list_from_file = |path: &str| -> Vec<u32> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        text.split_whitespace().map(resolve).collect()
+    };
+    let fail = |e: ClientError| -> ! {
+        eprintln!("query failed: {e}");
+        exit(1)
+    };
+    // Server-side classified errors exit nonzero with the code's label.
+    let ok = |resp: Result<Response, ClientError>| -> Response {
+        match resp {
+            Ok(Response::Err { code, msg }) => {
+                eprintln!("daemon refused [{}]: {msg}", code.label());
+                exit(1)
+            }
+            Ok(resp) => resp,
+            Err(e) => fail(e),
+        }
+    };
+    let mut client =
+        Client::connect(addr, RetryPolicy::default(), Duration::from_secs(10))
+            .unwrap_or_else(|e| fail(e));
+
+    match op.as_str() {
+        "ping" => {
+            let Response::Pong { fingerprint, generation, packages } =
+                ok(client.call_retrying(&Request::Ping))
+            else {
+                eprintln!("unexpected reply to ping");
+                exit(1)
+            };
+            println!(
+                "pong: fingerprint {fingerprint:#018x}, generation \
+                 {generation}, {packages} packages"
+            );
+        }
+        "importance" => {
+            if rest.is_empty() {
+                usage();
+            }
+            println!(
+                "{:<20} {:>10} {:>12}",
+                "syscall", "importance", "unweighted"
+            );
+            for token in &rest {
+                let nr = resolve(token);
+                let Response::Importance { importance_bits, unweighted_bits } =
+                    ok(client.call_retrying(&Request::Importance { nr }))
+                else {
+                    eprintln!("unexpected reply to importance");
+                    exit(1)
+                };
+                println!(
+                    "{token:<20} {:>9.2}% {:>11.2}%",
+                    100.0 * f64::from_bits(importance_bits),
+                    100.0 * f64::from_bits(unweighted_bits),
+                );
+            }
+        }
+        "completeness" => {
+            let Some(path) = rest.first() else { usage() };
+            let supported = list_from_file(path);
+            let Response::Completeness { bits } =
+                ok(client.call_retrying(&Request::Completeness { supported }))
+            else {
+                eprintln!("unexpected reply to completeness");
+                exit(1)
+            };
+            println!("{:.4}", f64::from_bits(bits));
+        }
+        "suggest" => {
+            let Some(path) = rest.first() else { usage() };
+            let supported = list_from_file(path);
+            let limit = rest
+                .get(1)
+                .map(|s| s.parse::<u32>().unwrap_or_else(|_| usage()))
+                .unwrap_or(10);
+            let Response::Suggest { picks } = ok(client.call_retrying(
+                &Request::Suggest { supported, limit },
+            )) else {
+                eprintln!("unexpected reply to suggest");
+                exit(1)
+            };
+            println!("greedy plan (each gain assumes the lines above):");
+            for (nr, gain_bits) in picks {
+                let name = catalog
+                    .syscalls
+                    .by_number(nr)
+                    .map(|d| d.name.to_string())
+                    .unwrap_or_else(|| format!("syscall#{nr}"));
+                println!(
+                    "  {name:<20} completeness +{:.2}%",
+                    100.0 * f64::from_bits(gain_bits),
+                );
+            }
+        }
+        "probe" => {
+            // Session requests are connection-pinned: no retrying wrapper
+            // (a reconnect would silently drop the session).
+            if rest.len() < 2 {
+                usage();
+            }
+            let supported = list_from_file(&rest[0]);
+            let Response::Session { completeness_bits, .. } = ok(client
+                .call(&Request::SessionOpen { supported }))
+            else {
+                eprintln!("unexpected reply to session open");
+                exit(1)
+            };
+            println!(
+                "session open: completeness {:.2}%",
+                100.0 * f64::from_bits(completeness_bits),
+            );
+            for token in &rest[1..] {
+                let nr = resolve(token);
+                let Response::Session { delta_bits, .. } =
+                    ok(client.call(&Request::SessionProbe { nr }))
+                else {
+                    eprintln!("unexpected reply to probe");
+                    exit(1)
+                };
+                println!(
+                    "  {token:<20} completeness +{:.2}%",
+                    100.0 * f64::from_bits(delta_bits),
+                );
+            }
+        }
+        "reload" => {
+            // Compare-and-swap against the live fingerprint.
+            let Response::Pong { fingerprint, .. } =
+                ok(client.call_retrying(&Request::Ping))
+            else {
+                eprintln!("unexpected reply to ping");
+                exit(1)
+            };
+            let Response::Reload { fingerprint: new_fp, generation } =
+                ok(client.call(&Request::Reload {
+                    expect_fingerprint: fingerprint,
+                }))
+            else {
+                eprintln!("unexpected reply to reload");
+                exit(1)
+            };
+            println!(
+                "reloaded: fingerprint {new_fp:#018x}, generation \
+                 {generation}"
+            );
+        }
+        "shutdown" => {
+            let Response::Bye = ok(client.call(&Request::Shutdown)) else {
+                eprintln!("unexpected reply to shutdown");
+                exit(1)
+            };
+            println!("daemon draining");
+        }
+        _ => usage(),
+    }
+    exit(0)
 }

@@ -1,0 +1,471 @@
+//! Chaos harness for the query daemon, end to end through the real
+//! binary: fuzzed bytes, truncated frames, slowloris writers, random
+//! disconnects, and a mid-query `kill -9` — after every wave the daemon
+//! must still answer, its stderr must show **zero panics**, every client
+//! operation must complete within a bound (**zero hangs** — every socket
+//! read in this file carries a deadline), and every reply must be
+//! **bit-identical** to the direct library call.
+
+use std::collections::HashSet;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use apistudy::catalog::Api;
+use apistudy::core::proto::encode_frame;
+use apistudy::core::{
+    greedy_suggestions, Client, ErrorCode, Request, Response, RetryPolicy,
+    Study,
+};
+use apistudy::corpus::Scale;
+
+/// The daemon's corpus recipe — must match the `--scale 150 --seed 2016`
+/// command line (`--scale N` implies `installations = 95·N`).
+fn reference_study() -> Study {
+    Study::run(Scale { packages: 150, installations: 14_250 }, 2016)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("apistudy-serve-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    fingerprint: u64,
+    stderr_path: PathBuf,
+}
+
+impl Daemon {
+    /// Spawns `apistudy … serve …`, waits for the readiness line, and
+    /// parses the bound address and snapshot fingerprint from it.
+    fn start(dir: &Path, tag: &str, pre: &[&str], serve: &[&str]) -> Self {
+        let stderr_path = dir.join(format!("daemon-{tag}.stderr"));
+        let stderr_file =
+            std::fs::File::create(&stderr_path).expect("stderr file");
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_apistudy"));
+        cmd.args(["--scale", "150", "--seed", "2016"]);
+        cmd.args(pre);
+        cmd.arg("serve");
+        cmd.args(serve);
+        cmd.stdout(Stdio::piped());
+        cmd.stderr(Stdio::from(stderr_file));
+        cmd.env_remove("APISTUDY_JOURNAL_CRASH_AFTER");
+        cmd.env_remove("APISTUDY_ITEM_DEADLINE_MS");
+        cmd.env_remove("APISTUDY_CACHE");
+        let mut child = cmd.spawn().expect("spawn daemon");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let ready = lines
+            .next()
+            .and_then(|l| l.ok())
+            .unwrap_or_else(|| {
+                let err = std::fs::read_to_string(&stderr_path)
+                    .unwrap_or_default();
+                panic!("daemon exited before readiness line; stderr:\n{err}")
+            });
+        let addr: SocketAddr = ready
+            .strip_prefix("serving on ")
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable readiness line {ready:?}"));
+        let fingerprint = ready
+            .split("fingerprint ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .unwrap_or_else(|| panic!("no fingerprint in {ready:?}"));
+        Self { child, addr, fingerprint, stderr_path }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(
+            self.addr,
+            RetryPolicy::default(),
+            Duration::from_secs(10),
+        )
+        .expect("connect to daemon")
+    }
+
+    /// SIGKILL — the unclean death the store must survive.
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill -9 daemon");
+        let _ = self.child.wait();
+    }
+
+    /// Graceful stop through the protocol, then reap the process.
+    fn shutdown(mut self) -> String {
+        let mut c = self.client();
+        assert!(matches!(
+            c.call(&Request::Shutdown).expect("shutdown request"),
+            Response::Bye
+        ));
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(
+                        status.success(),
+                        "daemon must exit cleanly after drain: {status:?}"
+                    );
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    self.child.kill().ok();
+                    panic!("daemon hung past the drain deadline");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        std::fs::read_to_string(&self.stderr_path).unwrap_or_default()
+    }
+
+    fn stderr_so_far(&self) -> String {
+        std::fs::read_to_string(&self.stderr_path).unwrap_or_default()
+    }
+}
+
+fn assert_no_panics(stderr: &str) {
+    assert!(
+        !stderr.to_lowercase().contains("panic"),
+        "daemon stderr shows a panic:\n{stderr}"
+    );
+}
+
+/// Deterministic byte noise (no process randomness: every chaos run is
+/// reproducible).
+struct Noise(u64);
+
+impl Noise {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0 >> 16
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+/// A raw socket with every read deadline-bound — the harness itself must
+/// never hang on a wedged daemon; it must fail the test instead.
+fn raw_conn(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    s.set_write_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    s
+}
+
+/// The daemon must answer a ping with the expected identity — the
+/// liveness probe after each chaos wave.
+fn assert_alive(daemon: &Daemon) {
+    let mut c = daemon.client();
+    match c.call(&Request::Ping).expect("ping after chaos wave") {
+        Response::Pong { fingerprint, .. } => {
+            assert_eq!(fingerprint, daemon.fingerprint)
+        }
+        other => panic!("expected Pong, got {other:?}"),
+    }
+}
+
+#[test]
+fn chaos_waves_never_panic_and_answers_stay_bit_identical() {
+    let dir = scratch("waves");
+    // A short request deadline makes the slowloris wave fast; chaos
+    // connections are cut at ~1.5 s instead of the 5 s default.
+    let daemon = Daemon::start(
+        &dir,
+        "waves",
+        &[],
+        &["--request-deadline-ms", "1500"],
+    );
+
+    // Reference answers computed directly in this process.
+    let reference = reference_study();
+    let m = reference.metrics();
+    let supported: HashSet<u32> = [0u32, 1, 2, 3, 9, 60, 231].into();
+    let supported_vec: Vec<u32> = {
+        let mut v: Vec<u32> = supported.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+
+    let bit_identical = |daemon: &Daemon| {
+        let mut c = daemon.client();
+        for nr in [0u32, 1, 9, 60] {
+            let Response::Importance { importance_bits, unweighted_bits } =
+                c.call(&Request::Importance { nr }).expect("importance")
+            else {
+                panic!("expected Importance reply");
+            };
+            let api = Api::Syscall(nr);
+            assert_eq!(
+                importance_bits,
+                m.importance(api).to_bits(),
+                "importance({nr}) drifted from the library"
+            );
+            assert_eq!(unweighted_bits, m.unweighted_importance(api).to_bits());
+        }
+        let Response::Completeness { bits } = c
+            .call(&Request::Completeness { supported: supported_vec.clone() })
+            .expect("completeness")
+        else {
+            panic!("expected Completeness reply");
+        };
+        assert_eq!(bits, m.syscall_completeness(&supported).to_bits());
+        let Response::Suggest { picks } = c
+            .call(&Request::Suggest {
+                supported: supported_vec.clone(),
+                limit: 5,
+            })
+            .expect("suggest")
+        else {
+            panic!("expected Suggest reply");
+        };
+        let direct = greedy_suggestions(&m, &supported, 5);
+        assert_eq!(
+            picks,
+            direct
+                .into_iter()
+                .map(|(nr, g)| (nr, g.to_bits()))
+                .collect::<Vec<_>>(),
+            "greedy picks drifted from the library"
+        );
+    };
+    bit_identical(&daemon);
+
+    // Wave 1: pure fuzz — garbage bytes, read whatever comes back.
+    let mut noise = Noise(0xC4A0_5EED);
+    for round in 0..24 {
+        let mut s = raw_conn(daemon.addr);
+        let garbage = noise.bytes(1 + (round * 37) % 513);
+        let _ = s.write_all(&garbage);
+        let mut sink = [0u8; 256];
+        let _ = std::io::Read::read(&mut s, &mut sink);
+    }
+    assert_alive(&daemon);
+    bit_identical(&daemon);
+
+    // Wave 2: truncated frames — every strict prefix of a valid frame,
+    // connection dropped mid-frame.
+    let frame = encode_frame(&Request::Ping.encode());
+    for cut in 1..frame.len() {
+        let mut s = raw_conn(daemon.addr);
+        let _ = s.write_all(&frame[..cut]);
+        drop(s);
+    }
+    assert_alive(&daemon);
+
+    // Wave 3: slowloris — a frame dribbled one byte at a time, far slower
+    // than the request deadline. The daemon must classify and cut us off,
+    // not wait forever.
+    let mut s = raw_conn(daemon.addr);
+    s.write_all(&frame[..1]).expect("first byte");
+    let started = Instant::now();
+    let reply = apistudy::core::proto::read_frame(
+        &s,
+        apistudy::core::ReadBudget {
+            idle: Duration::from_secs(15),
+            request: Duration::from_secs(15),
+        },
+        &|| false,
+    )
+    .expect("the daemon must reply before the harness deadline");
+    assert!(
+        matches!(
+            Response::decode(&reply),
+            Some(Response::Err { code: ErrorCode::Deadline, .. })
+        ),
+        "slowloris must earn a classified Deadline reply"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "slowloris cutoff took too long: {:?}",
+        started.elapsed()
+    );
+    assert_alive(&daemon);
+
+    // Wave 4: random disconnects — valid requests, connection dropped
+    // without reading the reply; interleaved with half-written frames.
+    for round in 0..24 {
+        let mut s = raw_conn(daemon.addr);
+        let full = encode_frame(
+            &Request::Importance { nr: (round % 300) as u32 }.encode(),
+        );
+        let cut = if round % 3 == 0 {
+            1 + (noise.next() as usize) % (full.len() - 1)
+        } else {
+            full.len()
+        };
+        let _ = s.write_all(&full[..cut]);
+        drop(s);
+    }
+    assert_alive(&daemon);
+    bit_identical(&daemon);
+
+    // Wave 5: a frame that *claims* the maximum possible length.
+    let mut s = raw_conn(daemon.addr);
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&u32::MAX.to_le_bytes());
+    huge.extend_from_slice(&0u64.to_le_bytes());
+    s.write_all(&huge).expect("oversize header");
+    let reply = apistudy::core::proto::read_frame(
+        &s,
+        apistudy::core::ReadBudget {
+            idle: Duration::from_secs(10),
+            request: Duration::from_secs(10),
+        },
+        &|| false,
+    )
+    .expect("oversize frames get a reply, not a hang");
+    assert!(matches!(
+        Response::decode(&reply),
+        Some(Response::Err { code: ErrorCode::TooLarge, .. })
+    ));
+    assert_alive(&daemon);
+    bit_identical(&daemon);
+
+    assert_no_panics(&daemon.stderr_so_far());
+    let stderr = daemon.shutdown();
+    assert_no_panics(&stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill9_mid_query_then_restart_from_store_reconnects_bit_identical() {
+    let dir = scratch("kill9");
+    let store = dir.join("footprints.apsf");
+    let store_arg = store.to_str().expect("utf8 path");
+
+    // Boot 1 creates the store; boot 2 must replay it after the kill.
+    let mut first =
+        Daemon::start(&dir, "boot1", &["--store", store_arg], &[]);
+
+    let reference = reference_study();
+    let m = reference.metrics();
+    let expect_bits = m.importance(Api::Syscall(1)).to_bits();
+
+    // A client hammering queries across the kill: every *successful*
+    // reply — before the crash, and after reconnecting via backoff —
+    // must carry the exact reference bits.
+    let addr_slot = Arc::new(Mutex::new(first.addr));
+    let stop = Arc::new(AtomicBool::new(false));
+    let results: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let failures = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let addr_slot = Arc::clone(&addr_slot);
+        let stop = Arc::clone(&stop);
+        let results = Arc::clone(&results);
+        let failures = Arc::clone(&failures);
+        std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                attempts: 4,
+                base: Duration::from_millis(25),
+                cap: Duration::from_millis(400),
+                seed: 0xC11E,
+            };
+            while !stop.load(Ordering::SeqCst) {
+                let addr = *addr_slot.lock().expect("addr slot");
+                let Ok(mut client) =
+                    Client::connect(addr, policy, Duration::from_secs(5))
+                else {
+                    // Daemon down: backoff already applied inside
+                    // connect; note the outage and retry.
+                    failures.store(true, Ordering::SeqCst);
+                    continue;
+                };
+                while !stop.load(Ordering::SeqCst) {
+                    match client.call(&Request::Importance { nr: 1 }) {
+                        Ok(Response::Importance { importance_bits, .. }) => {
+                            results
+                                .lock()
+                                .expect("results")
+                                .push(importance_bits);
+                        }
+                        _ => {
+                            // Mid-query death: classified on this side as
+                            // a transport error, never a hang.
+                            failures.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        })
+    };
+
+    // Let queries flow, then kill -9 mid-stream.
+    let flowing = Instant::now() + Duration::from_secs(2);
+    while results.lock().expect("results").len() < 5 {
+        assert!(Instant::now() < flowing, "no queries flowed before kill");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    first.kill9();
+    let killed_at = results.lock().expect("results").len();
+
+    // Restart against the same store; completed shards replay instead of
+    // recomputing.
+    let second = Daemon::start(
+        &dir,
+        "boot2",
+        &["--resume", "--store", store_arg],
+        &[],
+    );
+    assert_eq!(
+        second.fingerprint, first.fingerprint,
+        "restart must serve the same sealed world"
+    );
+    assert!(
+        second.stderr_so_far().contains("replayed"),
+        "boot 2 must replay the store, not recompute:\n{}",
+        second.stderr_so_far()
+    );
+    *addr_slot.lock().expect("addr slot") = second.addr;
+
+    // The worker must reconnect (via its backoff policy) and produce
+    // fresh successful replies.
+    let recovered = Instant::now() + Duration::from_secs(30);
+    while results.lock().expect("results").len() < killed_at + 5 {
+        assert!(
+            Instant::now() < recovered,
+            "client never recovered after restart"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::SeqCst);
+    worker.join().expect("worker thread");
+
+    assert!(
+        failures.load(Ordering::SeqCst),
+        "the kill must have been observed as at least one failed call"
+    );
+    let all = results.lock().expect("results");
+    assert!(all.len() >= killed_at + 5);
+    for (i, bits) in all.iter().enumerate() {
+        assert_eq!(
+            *bits, expect_bits,
+            "reply {i} drifted from the reference bits"
+        );
+    }
+    drop(all);
+
+    // The first daemon died by SIGKILL — no panic may appear in either
+    // log for any other reason.
+    assert_no_panics(
+        &std::fs::read_to_string(dir.join("daemon-boot1.stderr"))
+            .unwrap_or_default(),
+    );
+    let stderr = second.shutdown();
+    assert_no_panics(&stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
