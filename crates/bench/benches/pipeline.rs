@@ -300,9 +300,68 @@ fn bench_representation(c: &mut Criterion) {
     }
 }
 
+/// Fleet seccomp synthesis throughput and the per-filter costs of the
+/// two codegen layouts: batch synthesis over the reference corpus
+/// (dedup + build + 512-point depth profiles; bit-verification is the
+/// CI gate's job, not a throughput measurement), then codegen and
+/// worst-case single-eval on the corpus' widest footprint.
+fn bench_seccomp(c: &mut Criterion) {
+    use apistudy_core::seccomp_bpf::{
+        run_filter, BpfProgram, SeccompData, AUDIT_ARCH_X86_64,
+    };
+    use apistudy_core::{synthesize_fleet, FleetOptions};
+
+    let repo = SynthRepo::new(
+        Scale { packages: 150, installations: 14_250 },
+        CalibrationSpec::default(),
+        2016,
+    );
+    let data = StudyData::from_synth(&repo);
+    let opts = FleetOptions { probe_max_nr: 511, verify: false };
+    c.bench_function("seccomp_fleet_150_packages", |b| {
+        b.iter(|| synthesize_fleet(std::hint::black_box(&data), opts))
+    });
+
+    let widest: Vec<u32> = data
+        .packages
+        .iter()
+        .map(|p| p.footprint.syscalls().collect::<Vec<u32>>())
+        .max_by_key(Vec::len)
+        .expect("non-empty corpus");
+
+    let mut group = c.benchmark_group("seccomp_codegen");
+    group.bench_function("tree", |b| {
+        b.iter(|| BpfProgram::try_allow_tree(std::hint::black_box(&widest)))
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| BpfProgram::try_allow_list(std::hint::black_box(&widest)))
+    });
+    group.finish();
+
+    // Worst case for both layouts: the highest allowed number walks the
+    // whole chain but only log₂(ranges) tree nodes.
+    let tree = BpfProgram::try_allow_tree(&widest).expect("tree fits");
+    let linear = BpfProgram::try_allow_list(&widest).ok();
+    let probe = SeccompData {
+        nr: *widest.last().expect("non-empty footprint"),
+        arch: AUDIT_ARCH_X86_64,
+    };
+    let mut group = c.benchmark_group("seccomp_eval_worstcase");
+    group.bench_function("tree", |b| {
+        b.iter(|| run_filter(std::hint::black_box(&tree), probe))
+    });
+    if let Some(linear) = &linear {
+        group.bench_function("linear", |b| {
+            b.iter(|| run_filter(std::hint::black_box(linear), probe))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_substrates, bench_study, bench_representation
+    targets = bench_substrates, bench_study, bench_representation,
+        bench_seccomp
 }
 criterion_main!(benches);

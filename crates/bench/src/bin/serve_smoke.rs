@@ -40,11 +40,12 @@ use apistudy_corpus::Scale;
 /// while still catching a serialization point in the worker pool.
 const MIN_QPS: f64 = 1000.0;
 
-/// p99 round-trip ceiling, milliseconds. The tail is each connection's
-/// first request, which waits for the worker's metrics index build —
-/// 64 of them land at once, so on a small CI box the p99 runs to a
-/// hundred-odd milliseconds of honest CPU. 500 ms only trips on a real
-/// stall (lock convoy, lost wakeup, deadline misfire), not contention.
+/// p99 round-trip ceiling, milliseconds. The metrics index is built
+/// once at snapshot seal and shared by every worker, so connections no
+/// longer pay a per-worker index build on their first request; the tail
+/// is plain scheduling contention when 64 clients land at once. 500 ms
+/// only trips on a real stall (lock convoy, lost wakeup, deadline
+/// misfire), not contention.
 const MAX_P99_MS: f64 = 500.0;
 
 /// Same corpus as the serve_chaos suite and the `--scale 150 --seed

@@ -68,6 +68,9 @@ pub enum RunKind {
     /// A sharded streaming pipeline run backed by a
     /// [`FootprintStore`](crate::store::FootprintStore).
     ShardedPipeline,
+    /// A fleet-scale seccomp synthesis run
+    /// ([`crate::seccomp_fleet::synthesize_fleet_journaled`]).
+    SeccompFleet,
 }
 
 impl RunKind {
@@ -76,6 +79,7 @@ impl RunKind {
             RunKind::CorruptionSweep => 1,
             RunKind::GreedyPlan => 2,
             RunKind::ShardedPipeline => 3,
+            RunKind::SeccompFleet => 4,
         }
     }
 
@@ -84,6 +88,7 @@ impl RunKind {
             1 => RunKind::CorruptionSweep,
             2 => RunKind::GreedyPlan,
             3 => RunKind::ShardedPipeline,
+            4 => RunKind::SeccompFleet,
             _ => return None,
         })
     }
@@ -172,6 +177,32 @@ pub enum JournalRecord {
         /// Completeness after committing the pick, as bits.
         after_bits: u64,
     },
+    /// One measured unique allow-set of a fleet seccomp synthesis run:
+    /// the expensive part (exhaustive eval-depth profiling plus
+    /// tree/linear equivalence verification) journaled per content hash,
+    /// so a resumed fleet run replays measurements instead of redoing
+    /// thousands of 4097-point interpreter probes. Program *construction*
+    /// is cheap and always redone, which lets resume cross-check the
+    /// journaled lengths against the rebuilt programs.
+    FleetFilter {
+        /// Content hash of the sorted allow-set (see
+        /// [`crate::seccomp_fleet`]).
+        allow_hash: u64,
+        /// Instruction count of the binary-search tree program.
+        tree_len: u32,
+        /// Instruction count of the linear-chain program, or 0 when the
+        /// linear layout failed its 8-bit jump offsets.
+        linear_len: u32,
+        /// Deepest tree evaluation over the probe range, in executed
+        /// instructions.
+        tree_max_depth: u32,
+        /// Sum of executed tree instructions over all probes.
+        tree_depth_total: u64,
+        /// Deepest linear evaluation (0 when the linear layout failed).
+        linear_max_depth: u32,
+        /// Sum of executed linear instructions over all probes.
+        linear_depth_total: u64,
+    },
 }
 
 impl JournalRecord {
@@ -210,6 +241,24 @@ impl JournalRecord {
                 buf.extend_from_slice(&nr.to_le_bytes());
                 buf.extend_from_slice(&gain_bits.to_le_bytes());
                 buf.extend_from_slice(&after_bits.to_le_bytes());
+            }
+            JournalRecord::FleetFilter {
+                allow_hash,
+                tree_len,
+                linear_len,
+                tree_max_depth,
+                tree_depth_total,
+                linear_max_depth,
+                linear_depth_total,
+            } => {
+                buf.push(4);
+                buf.extend_from_slice(&allow_hash.to_le_bytes());
+                for word in [*tree_len, *linear_len, *tree_max_depth] {
+                    buf.extend_from_slice(&word.to_le_bytes());
+                }
+                buf.extend_from_slice(&tree_depth_total.to_le_bytes());
+                buf.extend_from_slice(&linear_max_depth.to_le_bytes());
+                buf.extend_from_slice(&linear_depth_total.to_le_bytes());
             }
         }
         buf
@@ -255,6 +304,15 @@ impl JournalRecord {
                 nr: c.u32()?,
                 gain_bits: c.u64()?,
                 after_bits: c.u64()?,
+            },
+            4 => JournalRecord::FleetFilter {
+                allow_hash: c.u64()?,
+                tree_len: c.u32()?,
+                linear_len: c.u32()?,
+                tree_max_depth: c.u32()?,
+                tree_depth_total: c.u64()?,
+                linear_max_depth: c.u32()?,
+                linear_depth_total: c.u64()?,
             },
             _ => return None,
         };
@@ -575,6 +633,15 @@ mod tests {
                 gain_bits: 0.25f64.to_bits(),
                 after_bits: 0.75f64.to_bits(),
             },
+            JournalRecord::FleetFilter {
+                allow_hash: 0xDEAD_BEEF_0123_4567,
+                tree_len: 211,
+                linear_len: 0,
+                tree_max_depth: 19,
+                tree_depth_total: 61_455,
+                linear_max_depth: 0,
+                linear_depth_total: 0,
+            },
         ]
     }
 
@@ -585,11 +652,11 @@ mod tests {
         for rec in sample_records() {
             j.append(&rec).expect("append");
         }
-        assert_eq!(j.stats(), JournalStats { replayed: 0, appended: 3 });
+        assert_eq!(j.stats(), JournalStats { replayed: 0, appended: 4 });
         drop(j);
         let (j2, records) = Journal::resume(&path, &fp()).expect("resume");
         assert_eq!(records, sample_records());
-        assert_eq!(j2.stats(), JournalStats { replayed: 3, appended: 0 });
+        assert_eq!(j2.stats(), JournalStats { replayed: 4, appended: 0 });
         std::fs::remove_file(&path).ok();
     }
 
@@ -638,8 +705,8 @@ mod tests {
         // subsequent append continues from the valid prefix.
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
         let (mut j2, records) = Journal::resume(&path, &fp()).expect("resume");
-        assert_eq!(records, sample_records()[..2]);
-        j2.append(&sample_records()[2]).expect("append after truncate");
+        assert_eq!(records, sample_records()[..3]);
+        j2.append(&sample_records()[3]).expect("append after truncate");
         drop(j2);
         let (_, records) = Journal::resume(&path, &fp()).expect("resume");
         assert_eq!(records, sample_records());

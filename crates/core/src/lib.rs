@@ -19,8 +19,12 @@
 //! - [`libc_restructure`] — the §3.5 libc stripping/reordering analysis;
 //! - [`footprints`] — §6 footprint uniqueness and seccomp profile
 //!   generation;
-//! - [`seccomp_bpf`] — classic-BPF seccomp filter assembly (with an
-//!   in-process interpreter for verification);
+//! - [`seccomp_bpf`] — classic-BPF seccomp filter assembly: an O(log n)
+//!   binary-search dispatch tree plus the legacy linear chain, with an
+//!   in-process interpreter for verification and depth profiling;
+//! - [`seccomp_fleet`] — batch filter synthesis for every package in the
+//!   corpus: content-hash dedup, shared-prefix factoring, eval-depth
+//!   accounting, and journaled crash-safe resume;
 //! - [`dataset`] — CSV export/import of the measured dataset;
 //! - [`diagnostics`] — degradation accounting: skipped binaries,
 //!   contained panics, quarantined packages, injected-fault ground truth;
@@ -58,6 +62,7 @@ pub mod pipeline;
 pub mod planner;
 pub mod proto;
 pub mod seccomp_bpf;
+pub mod seccomp_fleet;
 pub mod serve;
 pub mod store;
 pub mod stream;
@@ -81,7 +86,7 @@ pub use journal::{
     JournalRecord, JournalStats, RunFingerprint, RunKind,
 };
 pub use libc_restructure::{restructure, RestructureReport};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsIndex};
 pub use pipeline::{Attribution, PackageRecord, StudyData};
 pub use planner::{
     greedy_suggestions, greedy_suggestions_journaled, stages,
@@ -91,8 +96,14 @@ pub use proto::{
     ErrorCode, FrameError, ReadBudget, Request, Response, MAX_FRAME,
 };
 pub use seccomp_bpf::{
-    run_filter, seccomp_filter, BpfProgram, FilterTooLarge, SeccompData,
-    SeccompError,
+    depth_profile, run_filter, run_filter_traced, seccomp_filter,
+    BpfProgram, DepthProfile, FilterTooLarge, SeccompData, SeccompError,
+    BPF_MAXINSNS,
+};
+pub use seccomp_fleet::{
+    allow_set_hash, fleet_table, synthesize_fleet,
+    synthesize_fleet_journaled, FleetError, FleetOptions, FleetReport,
+    UniqueFilterStats,
 };
 pub use serve::{
     snapshot_fingerprint, Client, ClientError, RetryPolicy, Server,

@@ -12,32 +12,33 @@
 //!   whose dependency is unsupported is unsupported too) (A.2).
 
 use std::collections::HashSet;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use apistudy_catalog::{Api, ApiInterner, ApiKind, ApiSet};
 
 use crate::depgraph::Condensation;
 use crate::pipeline::{PackageRecord, StudyData};
 
-/// Metric engine over a [`StudyData`] set.
-///
-/// Construction indexes dependent packages per interned API id and
-/// condenses the dependency graph (Tarjan SCC, [`Condensation`]) once;
-/// every closure the metrics need — dependency-closed footprints, failure
-/// propagation, max-rank — is then a single bottom-up pass over the
-/// condensation DAG instead of an iterated fixed point. Footprints stay
-/// word-packed [`ApiSet`]s, so each propagation step is a word-wise OR.
-pub struct Metrics<'a> {
-    data: &'a StudyData,
+/// The owned, borrow-free derived state every metric reads: per-API
+/// dependent indices, the SCC condensation, per-component footprint
+/// unions and closures, and the installation mass. Building it is the
+/// expensive part of [`Metrics::new`] (~1 ms at 150 packages, growing
+/// with the corpus), and it is deterministic in `StudyData` — so it can
+/// be built **once** and shared across threads behind an [`Arc`] (the
+/// serve daemon builds it at snapshot-seal time instead of per
+/// connection). [`Metrics`] derefs to it.
+pub struct MetricsIndex {
     /// Dependent package indices, indexed by interned API id.
-    dependents: Vec<Vec<usize>>,
+    pub(crate) dependents: Vec<Vec<usize>>,
     /// How many packages *transitively* need each API (by interned id): a
     /// package needs its dependencies' APIs too (you cannot run anything
     /// without libc6's and the dynamic linker's calls). Used to order ties
     /// among the many APIs whose importance is exactly 1 (the paper's
     /// Figure 3 greedy order).
-    closure_users: Vec<u32>,
+    pub(crate) closure_users: Vec<u32>,
     /// SCC condensation of the resolved `depends` graph.
-    condensation: Condensation,
+    pub(crate) condensation: Condensation,
     /// Union of member footprints per component.
     pub(crate) comp_own: Vec<ApiSet>,
     /// Dependency-closed footprint per component (own union ∪ closures of
@@ -47,11 +48,40 @@ pub struct Metrics<'a> {
     /// interned API id (deduplicated, ascending).
     pub(crate) comp_dependents: Vec<Vec<u32>>,
     pub(crate) total_mass: f64,
+    /// The package count the index was built from, to catch pairing an
+    /// index with the wrong data set.
+    packages: usize,
 }
 
-impl<'a> Metrics<'a> {
+/// Metric engine over a [`StudyData`] set.
+///
+/// Construction indexes dependent packages per interned API id and
+/// condenses the dependency graph (Tarjan SCC, [`Condensation`]) once;
+/// every closure the metrics need — dependency-closed footprints, failure
+/// propagation, max-rank — is then a single bottom-up pass over the
+/// condensation DAG instead of an iterated fixed point. Footprints stay
+/// word-packed [`ApiSet`]s, so each propagation step is a word-wise OR.
+///
+/// All derived state lives in a shared [`MetricsIndex`]; a `Metrics` is a
+/// thin handle pairing that index with the `StudyData` borrow, so callers
+/// holding a prebuilt index ([`Metrics::with_index`]) pay nothing at
+/// construction.
+pub struct Metrics<'a> {
+    data: &'a StudyData,
+    index: Arc<MetricsIndex>,
+}
+
+impl Deref for Metrics<'_> {
+    type Target = MetricsIndex;
+
+    fn deref(&self) -> &MetricsIndex {
+        &self.index
+    }
+}
+
+impl MetricsIndex {
     /// Builds the per-API dependent index and the graph condensation.
-    pub fn new(data: &'a StudyData) -> Self {
+    pub fn build(data: &StudyData) -> Self {
         let interner = ApiInterner::global();
         let universe = interner.universe();
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); universe];
@@ -109,7 +139,6 @@ impl<'a> Metrics<'a> {
         }
         let total_mass = data.total_mass();
         Self {
-            data,
             dependents,
             closure_users,
             condensation,
@@ -117,12 +146,38 @@ impl<'a> Metrics<'a> {
             comp_closure,
             comp_dependents,
             total_mass,
+            packages: data.packages.len(),
         }
+    }
+}
+
+impl<'a> Metrics<'a> {
+    /// Builds the full [`MetricsIndex`] for `data` and wraps it.
+    pub fn new(data: &'a StudyData) -> Self {
+        Self { data, index: Arc::new(MetricsIndex::build(data)) }
+    }
+
+    /// Wraps a prebuilt shared index. The index must have been built from
+    /// this exact `data` (the serve snapshot guarantees it by sealing
+    /// both together); pairing it with a different data set is a logic
+    /// error and panics on the cheap package-count check.
+    pub fn with_index(data: &'a StudyData, index: Arc<MetricsIndex>) -> Self {
+        assert_eq!(
+            index.packages,
+            data.packages.len(),
+            "metrics index was built from a different data set"
+        );
+        Self { data, index }
+    }
+
+    /// The shared derived-state index (for sealing alongside the data).
+    pub fn index(&self) -> &Arc<MetricsIndex> {
+        &self.index
     }
 
     /// The SCC condensation of the package dependency graph.
     pub fn condensation(&self) -> &Condensation {
-        &self.condensation
+        &self.index.condensation
     }
 
     /// A package's dependency-closed footprint: its own APIs plus every

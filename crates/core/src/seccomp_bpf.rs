@@ -7,20 +7,36 @@
 //! format `seccomp(2)` loads) from a footprint, and ships a small BPF
 //! interpreter so filters are *executable and testable* in-process.
 //!
-//! The generated program follows the canonical seccomp filter layout:
+//! Two code generators share the range coalescer:
+//!
+//! - [`BpfProgram::try_allow_tree`] — the production layout: a **balanced
+//!   binary-search dispatch tree** over the coalesced ranges. Every
+//!   internal node compares the syscall number against a pivot and
+//!   descends; every leaf is a self-contained range test ending in its own
+//!   `ret`. Evaluation executes O(log n) instructions, and because a
+//!   conditional jump never needs to span more than one subtree — far
+//!   hops use `BPF_JA`, whose offset is a full 32-bit word — the layout
+//!   is structurally immune to classic BPF's 255-instruction conditional
+//!   jump limit. Only a program genuinely longer than the kernel's
+//!   `BPF_MAXINSNS` (4096) fails, classified.
+//! - [`BpfProgram::try_allow_list`] — the legacy **linear chain**
+//!   (`jeq`/`jge`+`jgt` checks falling through to a shared KILL), kept as
+//!   the independently-written baseline that equivalence tests and the
+//!   fleet report compare the tree against. Pathologically fragmented
+//!   allow-lists overflow its 8-bit jump offsets, which is a classified
+//!   error.
+//!
+//! The tree layout for ranges `r_0 < r_1 < … < r_{n-1}`:
 //!
 //! ```text
 //!   ld  [offsetof(seccomp_data, arch)]
-//!   jne AUDIT_ARCH_X86_64 -> KILL
-//!   ld  [offsetof(seccomp_data, nr)]
-//!   jeq nr_0 -> ALLOW
-//!   ...
-//!   jeq nr_n -> ALLOW
+//!   jeq AUDIT_ARCH_X86_64 ? +1 : fall   ; fall = ret KILL
 //!   ret KILL
+//!   ld  [offsetof(seccomp_data, nr)]
+//!   jge pivot ? right-subtree : fall    ; fall = left subtree
+//!   ...                                  ; each leaf: jge lo / jgt hi /
+//!   ...                                  ;   ret ALLOW / ret KILL
 //! ```
-//!
-//! Dense runs of allowed numbers are emitted as range checks
-//! (`jge lo` + `jgt hi`), which keeps filters for broad footprints short.
 
 use crate::pipeline::StudyData;
 
@@ -30,6 +46,12 @@ pub const AUDIT_ARCH_X86_64: u32 = 0xC000_003E;
 pub const RET_ALLOW: u32 = 0x7FFF_0000;
 /// `SECCOMP_RET_KILL` (kill the thread).
 pub const RET_KILL: u32 = 0x0000_0000;
+/// The kernel's hard cap on a classic-BPF program's instruction count
+/// (`BPF_MAXINSNS` in `linux/bpf_common.h`). Both code generators enforce
+/// it as a classified error, and the interpreter's step guard matches it:
+/// classic BPF has no backward jumps, so no conforming program can
+/// execute more instructions than it contains.
+pub const BPF_MAXINSNS: usize = 4096;
 
 /// Offset of `seccomp_data.nr`.
 const OFF_NR: u32 = 0;
@@ -38,6 +60,7 @@ const OFF_ARCH: u32 = 4;
 
 // Classic BPF opcodes (the subset seccomp filters use).
 const LD_W_ABS: u16 = 0x20; // BPF_LD | BPF_W | BPF_ABS
+const JMP_JA: u16 = 0x05; // BPF_JMP | BPF_JA (unconditional, 32-bit k)
 const JMP_JEQ_K: u16 = 0x15; // BPF_JMP | BPF_JEQ | BPF_K
 const JMP_JGE_K: u16 = 0x35; // BPF_JMP | BPF_JGE | BPF_K
 const JMP_JGT_K: u16 = 0x25; // BPF_JMP | BPF_JGT | BPF_K
@@ -73,6 +96,79 @@ impl BpfInsn {
     }
 }
 
+/// Coalesces sorted, deduplicated syscall numbers into inclusive ranges.
+pub(crate) fn coalesce(numbers: &[u32]) -> Vec<(u32, u32)> {
+    debug_assert!(
+        numbers.windows(2).all(|w| w[0] < w[1]),
+        "numbers must be sorted and unique"
+    );
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    for &n in numbers {
+        match ranges.last_mut() {
+            Some((_, hi)) if *hi + 1 == n => *hi = n,
+            _ => ranges.push((n, n)),
+        }
+    }
+    ranges
+}
+
+/// Instruction count of the dispatch tree over `ranges` (excluding the
+/// 4-instruction prologue).
+fn tree_size(ranges: &[(u32, u32)]) -> usize {
+    match ranges {
+        [] => 1,
+        [(lo, hi)] => {
+            if lo == hi {
+                3
+            } else {
+                4
+            }
+        }
+        _ => {
+            let mid = ranges.len() / 2;
+            let left = tree_size(&ranges[..mid]);
+            // The node is a single `jge` when the hop over the left
+            // subtree fits a conditional offset; otherwise `jge` + `ja`.
+            let node = if left <= usize::from(u8::MAX) { 1 } else { 2 };
+            node + left + tree_size(&ranges[mid..])
+        }
+    }
+}
+
+/// Emits the balanced binary-search dispatch over `ranges`. Every path
+/// through the emitted block ends in a `ret`, so sibling subtrees can be
+/// laid out back to back without patching.
+fn emit_tree(insns: &mut Vec<BpfInsn>, ranges: &[(u32, u32)]) {
+    match ranges {
+        [] => insns.push(BpfInsn::new(RET_K, 0, 0, RET_KILL)),
+        [(lo, hi)] => {
+            if lo == hi {
+                insns.push(BpfInsn::new(JMP_JEQ_K, 0, 1, *lo));
+            } else {
+                insns.push(BpfInsn::new(JMP_JGE_K, 0, 2, *lo));
+                insns.push(BpfInsn::new(JMP_JGT_K, 1, 0, *hi));
+            }
+            insns.push(BpfInsn::new(RET_K, 0, 0, RET_ALLOW));
+            insns.push(BpfInsn::new(RET_K, 0, 0, RET_KILL));
+        }
+        _ => {
+            // nr >= ranges[mid].lo can only match the right half: ranges
+            // are sorted and disjoint, so the pivot splits them exactly.
+            let mid = ranges.len() / 2;
+            let pivot = ranges[mid].0;
+            let left = tree_size(&ranges[..mid]);
+            if left <= usize::from(u8::MAX) {
+                insns.push(BpfInsn::new(JMP_JGE_K, left as u8, 0, pivot));
+            } else {
+                insns.push(BpfInsn::new(JMP_JGE_K, 0, 1, pivot));
+                insns.push(BpfInsn::new(JMP_JA, 0, 0, left as u32));
+            }
+            emit_tree(insns, &ranges[..mid]);
+            emit_tree(insns, &ranges[mid..]);
+        }
+    }
+}
+
 /// A complete seccomp-BPF filter program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BpfProgram {
@@ -105,24 +201,24 @@ impl BpfProgram {
             .expect("filter fits classic BPF offsets")
     }
 
-    /// Builds an allow-list filter from sorted, deduplicated syscall
-    /// numbers. Consecutive runs become range checks. Fails (instead of
-    /// panicking) when a pathologically fragmented allow-list needs a
-    /// jump longer than classic BPF's 8-bit offsets can express — the
-    /// case a corrupt or hostile on-disk footprint could manufacture.
+    /// [`BpfProgram::try_allow_tree`] for trusted input: panics on the one
+    /// remaining failure, a program genuinely over [`BPF_MAXINSNS`].
+    pub fn allow_tree(numbers: &[u32]) -> Self {
+        Self::try_allow_tree(numbers)
+            .expect("filter fits the kernel program-length cap")
+    }
+
+    /// Builds the **linear-chain** allow-list filter from sorted,
+    /// deduplicated syscall numbers. Consecutive runs become range
+    /// checks. This is the legacy baseline layout: evaluation is O(n) in
+    /// the number of coalesced ranges, and a pathologically fragmented
+    /// allow-list needs a jump longer than classic BPF's 8-bit
+    /// conditional offsets can express — the case a corrupt or hostile
+    /// on-disk footprint could manufacture — which fails classified
+    /// ([`FilterTooLarge::JumpSpan`]) instead of panicking. Production
+    /// callers should prefer [`BpfProgram::try_allow_tree`].
     pub fn try_allow_list(numbers: &[u32]) -> Result<Self, FilterTooLarge> {
-        debug_assert!(
-            numbers.windows(2).all(|w| w[0] < w[1]),
-            "numbers must be sorted and unique"
-        );
-        // Coalesce into inclusive ranges.
-        let mut ranges: Vec<(u32, u32)> = Vec::new();
-        for &n in numbers {
-            match ranges.last_mut() {
-                Some((_, hi)) if *hi + 1 == n => *hi = n,
-                _ => ranges.push((n, n)),
-            }
-        }
+        let ranges = coalesce(numbers);
 
         let mut insns = Vec::new();
         // Architecture pinning.
@@ -178,7 +274,7 @@ impl BpfProgram {
         // Patch jump offsets (relative to the *next* instruction).
         let rel = |from: usize, to: usize| -> Result<u8, FilterTooLarge> {
             let span = to - from - 1;
-            u8::try_from(span).map_err(|_| FilterTooLarge { span })
+            u8::try_from(span).map_err(|_| FilterTooLarge::JumpSpan { span })
         };
         for (idx, is_range_second) in check_sites {
             if is_range_second {
@@ -193,6 +289,38 @@ impl BpfProgram {
             }
         }
         insns[arch_check].jf = rel(arch_check, kill_at)?;
+        if insns.len() > BPF_MAXINSNS {
+            return Err(FilterTooLarge::ProgramLength { len: insns.len() });
+        }
+        Ok(Self { insns })
+    }
+
+    /// Builds the **balanced binary-search** allow-list filter from
+    /// sorted, deduplicated syscall numbers.
+    ///
+    /// The coalesced ranges become a dispatch tree: each internal node is
+    /// one `jge pivot` that descends into the half that could contain the
+    /// number, and each leaf tests one range and returns. Evaluation
+    /// executes at most `2·⌈log₂ ranges⌉ + 8` instructions regardless of
+    /// how fragmented the allow-list is, and no conditional jump ever
+    /// spans more than one subtree (far hops use `BPF_JA`, whose offset
+    /// is 32-bit), so the 8-bit-offset overflow that limits the linear
+    /// layout cannot occur. The only classified failure left is a program
+    /// genuinely exceeding the kernel's [`BPF_MAXINSNS`] cap
+    /// ([`FilterTooLarge::ProgramLength`]), which takes ~800+ disjoint
+    /// ranges.
+    pub fn try_allow_tree(numbers: &[u32]) -> Result<Self, FilterTooLarge> {
+        let ranges = coalesce(numbers);
+        let mut insns = Vec::with_capacity(4 + tree_size(&ranges));
+        // Architecture pinning: a local `ret KILL` keeps every jump short.
+        insns.push(BpfInsn::new(LD_W_ABS, 0, 0, OFF_ARCH));
+        insns.push(BpfInsn::new(JMP_JEQ_K, 1, 0, AUDIT_ARCH_X86_64));
+        insns.push(BpfInsn::new(RET_K, 0, 0, RET_KILL));
+        insns.push(BpfInsn::new(LD_W_ABS, 0, 0, OFF_NR));
+        emit_tree(&mut insns, &ranges);
+        if insns.len() > BPF_MAXINSNS {
+            return Err(FilterTooLarge::ProgramLength { len: insns.len() });
+        }
         Ok(Self { insns })
     }
 
@@ -207,6 +335,7 @@ impl BpfProgram {
                     insn.k,
                     if insn.k == OFF_ARCH { "  ; arch" } else { "  ; nr" }
                 ),
+                JMP_JA => format!("ja +{}", insn.k),
                 JMP_JEQ_K => format!(
                     "jeq #{:#x}, +{}, +{}",
                     insn.k, insn.jt, insn.jf
@@ -243,12 +372,24 @@ pub struct SeccompData {
 /// when the program is malformed (falls off the end, bad offset — which
 /// the kernel verifier would reject).
 pub fn run_filter(program: &BpfProgram, data: SeccompData) -> Option<u32> {
+    run_filter_traced(program, data).map(|(verdict, _)| verdict)
+}
+
+/// [`run_filter`], also counting executed instructions — the *eval depth*
+/// the fleet report and the O(log n) CI gate measure. The step guard is
+/// [`BPF_MAXINSNS`]: classic BPF has no backward jumps, so a conforming
+/// program can never execute more instructions than the kernel allows it
+/// to contain.
+pub fn run_filter_traced(
+    program: &BpfProgram,
+    data: SeccompData,
+) -> Option<(u32, u32)> {
     let mut acc: u32 = 0;
     let mut pc = 0usize;
-    let mut steps = 0usize;
+    let mut steps = 0u32;
     while pc < program.insns.len() {
         steps += 1;
-        if steps > 4096 {
+        if steps as usize > BPF_MAXINSNS {
             return None; // Classic BPF cannot loop, but guard anyway.
         }
         let insn = program.insns[pc];
@@ -260,6 +401,9 @@ pub fn run_filter(program: &BpfProgram, data: SeccompData) -> Option<u32> {
                     _ => return None,
                 };
                 pc += 1;
+            }
+            JMP_JA => {
+                pc += 1 + insn.k as usize;
             }
             JMP_JEQ_K => {
                 let taken = acc == insn.k;
@@ -273,32 +417,86 @@ pub fn run_filter(program: &BpfProgram, data: SeccompData) -> Option<u32> {
                 let taken = acc > insn.k;
                 pc += 1 + usize::from(if taken { insn.jt } else { insn.jf });
             }
-            RET_K => return Some(insn.k),
+            RET_K => return Some((insn.k, steps)),
             _ => return None,
         }
     }
     None
 }
 
-/// The allow-list needs a jump classic BPF's 8-bit offsets cannot
-/// express: a filter over ~255 instructions between a check and its
-/// ALLOW target. Ordinary footprints coalesce into far fewer checks;
-/// this arises from pathologically fragmented (corrupt or hostile)
-/// footprints, which must fail classified rather than panic.
+/// Executed-instruction statistics for one filter, probed over every
+/// syscall number in `0..=max_nr` (matching architecture).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FilterTooLarge {
-    /// The overflowing jump span, in instructions.
-    pub span: usize,
+pub struct DepthProfile {
+    /// Deepest evaluation observed, in executed instructions.
+    pub max: u32,
+    /// Sum of executed instructions over all probes (for averages).
+    pub total: u64,
+    /// Number of probes (`max_nr + 1`).
+    pub evals: u32,
+}
+
+impl DepthProfile {
+    /// Mean executed instructions per evaluation.
+    pub fn avg(&self) -> f64 {
+        if self.evals == 0 {
+            return 0.0;
+        }
+        self.total as f64 / f64::from(self.evals)
+    }
+}
+
+/// Probes a filter's eval depth for every `nr` in `0..=max_nr`. Returns
+/// `None` if any evaluation is malformed (which the generators never
+/// produce).
+pub fn depth_profile(program: &BpfProgram, max_nr: u32) -> Option<DepthProfile> {
+    let mut max = 0u32;
+    let mut total = 0u64;
+    for nr in 0..=max_nr {
+        let (_, steps) = run_filter_traced(
+            program,
+            SeccompData { nr, arch: AUDIT_ARCH_X86_64 },
+        )?;
+        max = max.max(steps);
+        total += u64::from(steps);
+    }
+    Some(DepthProfile { max, total, evals: max_nr + 1 })
+}
+
+/// The allow-list cannot be laid out as a legal classic-BPF program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterTooLarge {
+    /// The linear layout needs a conditional jump classic BPF's 8-bit
+    /// offsets cannot express (a check more than 255 instructions from
+    /// its ALLOW target). Ordinary footprints coalesce into far fewer
+    /// checks; this arises from pathologically fragmented (corrupt or
+    /// hostile) footprints. The tree layout is structurally immune.
+    JumpSpan {
+        /// The overflowing jump span, in instructions.
+        span: usize,
+    },
+    /// The program exceeds the kernel's [`BPF_MAXINSNS`] cap — the
+    /// filter genuinely cannot be loaded, whatever the layout.
+    ProgramLength {
+        /// The generated program's instruction count.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for FilterTooLarge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "allow-list needs a {}-instruction jump; classic BPF offsets \
-             are 8-bit",
-            self.span
-        )
+        match self {
+            FilterTooLarge::JumpSpan { span } => write!(
+                f,
+                "allow-list needs a {span}-instruction jump; classic BPF \
+                 offsets are 8-bit"
+            ),
+            FilterTooLarge::ProgramLength { len } => write!(
+                f,
+                "filter needs {len} instructions; the kernel caps classic \
+                 BPF programs at {BPF_MAXINSNS}"
+            ),
+        }
     }
 }
 
@@ -324,17 +522,17 @@ impl std::fmt::Display for SeccompError {
 
 impl std::error::Error for SeccompError {}
 
-/// Builds the seccomp-BPF filter for a package's measured footprint.
-/// Total over its inputs: an unknown package or an unlayoutable
-/// footprint (possible with a corrupt on-disk store) is a classified
-/// error, never a panic.
+/// Builds the seccomp-BPF filter for a package's measured footprint,
+/// using the binary-search tree layout. Total over its inputs: an unknown
+/// package or a footprint over the kernel program-length cap (possible
+/// with a corrupt on-disk store) is a classified error, never a panic.
 pub fn seccomp_filter(
     data: &StudyData,
     package: &str,
 ) -> Result<BpfProgram, SeccompError> {
     let record = data.package(package).ok_or(SeccompError::UnknownPackage)?;
     let numbers: Vec<u32> = record.footprint.syscalls().collect();
-    BpfProgram::try_allow_list(&numbers).map_err(SeccompError::TooLarge)
+    BpfProgram::try_allow_tree(&numbers).map_err(SeccompError::TooLarge)
 }
 
 #[cfg(test)]
@@ -346,65 +544,156 @@ mod tests {
             == Some(RET_ALLOW)
     }
 
+    /// Both layouts, so every behavioral test pins both generators.
+    fn both(numbers: &[u32]) -> [BpfProgram; 2] {
+        [BpfProgram::allow_list(numbers), BpfProgram::allow_tree(numbers)]
+    }
+
     #[test]
     fn empty_allow_list_kills_everything() {
-        let p = BpfProgram::allow_list(&[]);
-        for nr in [0, 1, 59, 322] {
-            assert!(!allowed(&p, nr));
+        for p in both(&[]) {
+            for nr in [0, 1, 59, 322] {
+                assert!(!allowed(&p, nr));
+            }
         }
     }
 
     #[test]
     fn singletons_allow_exactly_their_numbers() {
-        let p = BpfProgram::allow_list(&[0, 3, 60]);
-        assert!(allowed(&p, 0));
-        assert!(allowed(&p, 3));
-        assert!(allowed(&p, 60));
-        for nr in [1, 2, 4, 59, 61, 322] {
-            assert!(!allowed(&p, nr), "{nr} must be killed");
+        for p in both(&[0, 3, 60]) {
+            assert!(allowed(&p, 0));
+            assert!(allowed(&p, 3));
+            assert!(allowed(&p, 60));
+            for nr in [1, 2, 4, 59, 61, 322] {
+                assert!(!allowed(&p, nr), "{nr} must be killed");
+            }
         }
     }
 
     #[test]
     fn ranges_are_coalesced_and_exact() {
         // 0..=4 and 10..=12 plus singleton 20.
-        let p = BpfProgram::allow_list(&[0, 1, 2, 3, 4, 10, 11, 12, 20]);
-        for nr in 0..=4 {
-            assert!(allowed(&p, nr));
+        for p in both(&[0, 1, 2, 3, 4, 10, 11, 12, 20]) {
+            for nr in 0..=4 {
+                assert!(allowed(&p, nr));
+            }
+            for nr in 10..=12 {
+                assert!(allowed(&p, nr));
+            }
+            assert!(allowed(&p, 20));
+            for nr in [5, 9, 13, 19, 21] {
+                assert!(!allowed(&p, nr), "{nr} must be killed");
+            }
+            // Three checks (two ranges + one singleton) rather than nine:
+            // nine singleton leaves would cost 27+ instructions as a tree
+            // and 9 checks in the chain; both layouts must come in under.
+            assert!(
+                p.len() < 19,
+                "coalescing must shrink the filter: {}",
+                p.len()
+            );
         }
-        for nr in 10..=12 {
-            assert!(allowed(&p, nr));
-        }
-        assert!(allowed(&p, 20));
-        for nr in [5, 9, 13, 19, 21] {
-            assert!(!allowed(&p, nr), "{nr} must be killed");
-        }
-        // Three checks (two ranges + one singleton) rather than nine.
-        assert!(p.len() < 9 + 4, "coalescing must shrink the filter: {}", p.len());
     }
 
     #[test]
     fn wrong_architecture_is_killed() {
-        let p = BpfProgram::allow_list(&[0, 1, 2]);
-        let r = run_filter(&p, SeccompData { nr: 0, arch: 0x4000_0003 });
-        assert_eq!(r, Some(RET_KILL));
+        for p in both(&[0, 1, 2]) {
+            let r = run_filter(&p, SeccompData { nr: 0, arch: 0x4000_0003 });
+            assert_eq!(r, Some(RET_KILL));
+        }
     }
 
     #[test]
     fn exhaustive_check_against_reference() {
-        // Compare the filter against the allow-set for every number the
+        // Compare both layouts against the allow-set for every number the
         // study can see.
         let allow: Vec<u32> = vec![0, 1, 2, 3, 9, 10, 11, 12, 13, 14, 21,
                                    59, 60, 231, 257, 322];
-        let p = BpfProgram::allow_list(&allow);
         let set: std::collections::HashSet<u32> =
             allow.iter().copied().collect();
-        for nr in 0..400 {
+        for p in both(&allow) {
+            for nr in 0..400 {
+                assert_eq!(
+                    allowed(&p, nr),
+                    set.contains(&nr),
+                    "mismatch at {nr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_survives_fragmentation_that_overflows_the_linear_chain() {
+        // 501 disjoint singletons: the linear chain needs jumps far over
+        // 255 instructions and must fail classified; the tree is immune
+        // and stays exact.
+        let allow: Vec<u32> = (0..=1000).filter(|n| n % 2 == 0).collect();
+        match BpfProgram::try_allow_list(&allow) {
+            Err(FilterTooLarge::JumpSpan { span }) => assert!(span > 255),
+            other => panic!("expected JumpSpan, got {other:?}"),
+        }
+        let p = BpfProgram::try_allow_tree(&allow).expect("tree is immune");
+        for nr in 0..=1100u32 {
             assert_eq!(
                 allowed(&p, nr),
-                set.contains(&nr),
+                nr <= 1000 && nr % 2 == 0,
                 "mismatch at {nr}"
             );
+        }
+        // The big tree exercises the far-hop path: at 501 ranges the left
+        // subtree at the root is over 255 instructions, so `ja` must
+        // appear.
+        assert!(p.disassemble().contains("ja +"), "far hops must use BPF_JA");
+    }
+
+    #[test]
+    fn genuinely_oversized_programs_fail_classified_in_both_layouts() {
+        // ~1400 disjoint singletons need > 4096 instructions as a tree.
+        let allow: Vec<u32> = (0..2800).filter(|n| n % 2 == 0).collect();
+        match BpfProgram::try_allow_tree(&allow) {
+            Err(FilterTooLarge::ProgramLength { len }) => {
+                assert!(len > BPF_MAXINSNS)
+            }
+            other => panic!("expected ProgramLength, got {other:?}"),
+        }
+        // The linear chain fails too (its jump spans overflow first).
+        assert!(BpfProgram::try_allow_list(&allow).is_err());
+    }
+
+    #[test]
+    fn tree_eval_depth_is_logarithmic() {
+        // Fragmented allow-lists of growing size: executed depth must stay
+        // within 2·⌈log₂ ranges⌉ + 8 while the linear chain's grows
+        // linearly.
+        for singles in [1usize, 7, 64, 200, 501] {
+            let allow: Vec<u32> =
+                (0..singles as u32 * 2).filter(|n| n % 2 == 0).collect();
+            let tree = BpfProgram::try_allow_tree(&allow).expect("tree");
+            let ranges = singles as u32;
+            let bound = 2 * (32 - (ranges - 1).leading_zeros()) + 8;
+            let profile =
+                depth_profile(&tree, allow.last().copied().unwrap_or(0) + 64)
+                    .expect("well-formed");
+            assert!(
+                profile.max <= bound,
+                "{singles} ranges: depth {} over bound {bound}",
+                profile.max
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_agrees_with_plain_run() {
+        let allow: Vec<u32> = vec![0, 1, 2, 9, 14, 59, 60, 231];
+        for p in both(&allow) {
+            for nr in 0..300 {
+                let data = SeccompData { nr, arch: AUDIT_ARCH_X86_64 };
+                let plain = run_filter(&p, data);
+                let traced = run_filter_traced(&p, data);
+                assert_eq!(plain, traced.map(|(v, _)| v));
+                let steps = traced.expect("well-formed").1;
+                assert!(steps >= 1 && steps as usize <= p.len());
+            }
         }
     }
 
@@ -422,11 +711,12 @@ mod tests {
 
     #[test]
     fn disassembly_mentions_every_ret() {
-        let p = BpfProgram::allow_list(&[5]);
-        let text = p.disassemble();
-        assert!(text.contains("ret ALLOW"));
-        assert!(text.contains("ret KILL"));
-        assert!(text.contains("; arch"));
+        for p in both(&[5]) {
+            let text = p.disassemble();
+            assert!(text.contains("ret ALLOW"));
+            assert!(text.contains("ret KILL"));
+            assert!(text.contains("; arch"));
+        }
     }
 
     #[test]
@@ -442,14 +732,20 @@ mod tests {
         let allow: std::collections::HashSet<u32> =
             record.footprint.syscalls().collect();
         let p = seccomp_filter(&data, "coreutils").unwrap();
+        let numbers: Vec<u32> = record.footprint.syscalls().collect();
+        let linear = BpfProgram::try_allow_list(&numbers).unwrap();
         for nr in 0..=330u32 {
             assert_eq!(
                 allowed(&p, nr),
                 allow.contains(&nr),
                 "filter and footprint disagree at {nr}"
             );
+            assert_eq!(allowed(&linear, nr), allowed(&p, nr), "layouts at {nr}");
         }
-        // Broad footprints must still produce compact filters.
-        assert!(p.len() < allow.len() + 8, "ranges must coalesce");
+        // Broad footprints must still produce compact filters: far fewer
+        // leaves than allowed numbers.
+        let ranges = coalesce(&numbers).len();
+        assert!(ranges < allow.len() / 2, "ranges must coalesce: {ranges}");
+        assert!(p.len() <= 5 * ranges + 4, "tree size bound: {}", p.len());
     }
 }

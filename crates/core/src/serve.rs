@@ -82,6 +82,11 @@ impl Default for ServeOptions {
 pub struct Snapshot {
     /// The sealed study (corpus plan + measured dataset).
     pub study: Study,
+    /// The metrics index, built **once** at seal time and shared by every
+    /// worker thread — a connection's first request no longer waits out a
+    /// private index build (the old p99 wart). Results are bit-identical:
+    /// the index holds exactly the state a per-connection build derives.
+    pub index: std::sync::Arc<crate::metrics::MetricsIndex>,
     /// Identity: corpus ⊕ analysis-options ⊕ catalog fingerprints.
     pub fingerprint: u64,
     /// Monotonic generation, bumped on every successful swap.
@@ -97,10 +102,21 @@ pub fn snapshot_fingerprint(study: &Study) -> u64 {
 }
 
 impl Snapshot {
-    /// Seals a study into a snapshot at the given generation.
+    /// Seals a study into a snapshot at the given generation, building
+    /// the shared metrics index up front.
     pub fn seal(study: Study, generation: u64) -> Self {
         let fingerprint = snapshot_fingerprint(&study);
-        Self { study, fingerprint, generation }
+        let index = std::sync::Arc::new(
+            crate::metrics::MetricsIndex::build(study.data()),
+        );
+        Self { study, index, fingerprint, generation }
+    }
+
+    /// A metrics handle over the snapshot's prebuilt shared index:
+    /// construction is a clone of an [`Arc`](std::sync::Arc), not an
+    /// index build.
+    pub fn metrics(&self) -> Metrics<'_> {
+        Metrics::with_index(self.study.data(), self.index.clone())
     }
 }
 
@@ -324,7 +340,7 @@ fn handle_connection(stream: &TcpStream, shared: &Shared) {
     // Pin the snapshot for this connection's whole life: queries and the
     // session answer from one immutable world even across a swap.
     let snap = shared.live();
-    let metrics = snap.study.metrics();
+    let metrics = snap.metrics();
     let mut session: Option<CompletenessEngine<'_, '_>> = None;
     let budget = ReadBudget {
         idle: shared.opts.idle_deadline,

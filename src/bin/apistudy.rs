@@ -19,6 +19,16 @@
 //!   completeness <file>      weighted completeness of a syscall list
 //!   workloads <api>...       packages exercising all the given syscalls
 //!   seccomp <package>        seccomp allow-list + BPF filter for a package
+//!                            (binary-search tree layout, with the legacy
+//!                            linear chain's size/depth for comparison)
+//!   seccomp --all [--journal <path> [--resume]] [--top N]
+//!                            synthesize + bit-verify filters for every
+//!                            package: content-hash dedup, shared-prefix
+//!                            accounting, tree-vs-linear eval depth, and
+//!                            popularity-weighted attack-surface reduction;
+//!                            --journal write-ahead logs each unique
+//!                            filter's measurements so an interrupted batch
+//!                            resumes bit-identically
 //!   export <path>            write the measured dataset as CSV
 //!   summary                  headline numbers (Figures 2/3/7)
 //!   faults [fault-seed] [--journal <path> [--resume]]
@@ -87,7 +97,7 @@ use apistudy::core::{
     dataset::Dataset,
     footprints,
     planner::CompletenessCurve,
-    seccomp_bpf::{seccomp_filter, AUDIT_ARCH_X86_64},
+    seccomp_bpf::{depth_profile, seccomp_filter, BpfProgram, AUDIT_ARCH_X86_64},
     CacheMode, Study,
 };
 use apistudy::corpus::Scale;
@@ -109,6 +119,7 @@ fn usage() -> ! {
          \x20         | suggest <file> [--greedy] [--journal <path> [--resume]]\n\
          \x20         | completeness <file> | workloads <api>...\n\
          \x20         | seccomp <pkg> | export <path> | summary\n\
+         \x20         | seccomp --all [--journal <path> [--resume]] [--top N]\n\
          \x20         | faults [fault-seed] [--journal <path> [--resume]]\n\
          \x20         | serve [--port N] [--max-conns N]\n\
          \x20                 [--request-deadline-ms N] [--idle-deadline-ms N]\n\
@@ -482,28 +493,127 @@ fn main() {
             }
         }
         "seccomp" => {
-            let Some(pkg) = rest.first() else { usage() };
-            let Some(profile) = footprints::seccomp_profile(study.data(), pkg)
-            else {
-                eprintln!("unknown package {pkg:?}");
-                exit(1)
+            use apistudy::core::seccomp_fleet::{
+                fleet_table, synthesize_fleet, synthesize_fleet_journaled,
+                FleetOptions,
             };
-            println!("# {} allowed syscalls", profile.len());
-            for name in &profile {
-                println!("allow {name}");
-            }
-            let filter = match seccomp_filter(study.data(), pkg) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("cannot build BPF filter for {pkg:?}: {e}");
-                    exit(1)
+            if take_flag(&mut rest, "--all") {
+                let journal = take_opt(&mut rest, "--journal");
+                let resume = take_flag(&mut rest, "--resume");
+                if resume && journal.is_none() {
+                    usage()
                 }
-            };
-            eprintln!(
-                "BPF filter: {} instructions ({} bytes), arch pin {AUDIT_ARCH_X86_64:#x}",
-                filter.len(),
-                filter.to_bytes().len(),
-            );
+                let top = take_opt(&mut rest, "--top")
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(15);
+                let opts = FleetOptions::default();
+                eprintln!(
+                    "synthesizing seccomp filters for {} packages...",
+                    study.data().packages.len(),
+                );
+                let started = std::time::Instant::now();
+                let report = match &journal {
+                    Some(jpath) => synthesize_fleet_journaled(
+                        study.data(),
+                        study.repo(),
+                        opts,
+                        std::path::Path::new(jpath),
+                        resume,
+                    ),
+                    None => synthesize_fleet(study.data(), opts),
+                }
+                .unwrap_or_else(|e| {
+                    eprintln!("fleet synthesis failed: {e}");
+                    exit(1)
+                });
+                let elapsed = started.elapsed();
+                print!("{}", fleet_table(&report, top).render());
+                println!(
+                    "fleet: {} packages -> {} unique filters \
+                     ({:.1}x dedup), {} tree insns deduped (naive {}), \
+                     {} more shareable as prefixes",
+                    report.packages,
+                    report.unique.len(),
+                    report.dedup_ratio(),
+                    report.total_tree_insns_deduped(),
+                    report.total_tree_insns_naive(),
+                    report.prefix_shared_insns(),
+                );
+                println!(
+                    "eval depth: tree max {} vs linear max {} \
+                     ({} allow-sets overflow the linear chain)",
+                    report.max_tree_depth(),
+                    report.max_linear_depth(),
+                    report.linear_failures(),
+                );
+                println!(
+                    "attack surface: {:.1} of {} syscalls reachable by the \
+                     weighted-average installation ({:.1}% reduction)",
+                    report.weighted_allow_syscalls(),
+                    report.catalog_syscalls,
+                    100.0 * report.weighted_attack_surface_reduction(),
+                );
+                eprintln!(
+                    "synthesized{} in {:.2}s ({:.0} filters/s)",
+                    if report.verified { " + bit-verified" } else { "" },
+                    elapsed.as_secs_f64(),
+                    f64::from(report.packages) / elapsed.as_secs_f64().max(1e-9),
+                );
+                if let Some(stats) = report.journal {
+                    eprintln!(
+                        "journal: {} replayed, {} appended",
+                        stats.replayed, stats.appended,
+                    );
+                }
+            } else {
+                let Some(pkg) = rest.first() else { usage() };
+                let Some(profile) =
+                    footprints::seccomp_profile(study.data(), pkg)
+                else {
+                    eprintln!("unknown package {pkg:?}");
+                    exit(1)
+                };
+                println!("# {} allowed syscalls", profile.len());
+                for name in &profile {
+                    println!("allow {name}");
+                }
+                let filter = match seccomp_filter(study.data(), pkg) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("cannot build BPF filter for {pkg:?}: {e}");
+                        exit(1)
+                    }
+                };
+                let dp = depth_profile(&filter, 4096)
+                    .expect("generated filter is well-formed");
+                eprintln!(
+                    "BPF filter: {} instructions ({} bytes), arch pin \
+                     {AUDIT_ARCH_X86_64:#x}, eval depth max {} avg {:.1}",
+                    filter.len(),
+                    filter.to_bytes().len(),
+                    dp.max,
+                    dp.avg(),
+                );
+                let numbers: Vec<u32> = study
+                    .data()
+                    .package(pkg)
+                    .map(|p| p.footprint.syscalls().collect())
+                    .unwrap_or_default();
+                match BpfProgram::try_allow_list(&numbers) {
+                    Ok(lin) => {
+                        let lp = depth_profile(&lin, 4096)
+                            .expect("generated filter is well-formed");
+                        eprintln!(
+                            "legacy linear chain: {} instructions, eval \
+                             depth max {} avg {:.1}",
+                            lin.len(),
+                            lp.max,
+                            lp.avg(),
+                        );
+                    }
+                    Err(e) => eprintln!("legacy linear chain: {e}"),
+                }
+            }
         }
         "export" => {
             let Some(path) = rest.first() else { usage() };

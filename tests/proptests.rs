@@ -712,6 +712,79 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// seccomp-BPF: the binary-search tree layout agrees with the linear
+// chain and with reference set membership for EVERY syscall number in
+// 0..=4096, over random fragmented allow-lists — including ones whose
+// fragmentation overflows the linear chain's 8-bit jump offsets (the
+// former FilterTooLarge trigger), where the tree must still be exact.
+// The executed depth must also stay logarithmic.
+// ---------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn bpf_tree_matches_linear_and_reference_up_to_4096(
+        allow in proptest::collection::btree_set(0u32..4097, 0..700)
+    ) {
+        use apistudy::core::seccomp_bpf::{
+            run_filter_traced, BpfProgram, FilterTooLarge, SeccompData,
+            AUDIT_ARCH_X86_64, RET_ALLOW, RET_KILL,
+        };
+        let sorted: Vec<u32> = allow.iter().copied().collect();
+        let tree = BpfProgram::try_allow_tree(&sorted).unwrap();
+        let linear = match BpfProgram::try_allow_list(&sorted) {
+            Ok(p) => Some(p),
+            // Fragmentation past the 8-bit offsets is exactly the case
+            // the tree exists for; the error stays classified.
+            Err(FilterTooLarge::JumpSpan { span }) => {
+                prop_assert!(span > 255, "unclassified span {}", span);
+                None
+            }
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("unexpected linear failure: {e}"),
+            )),
+        };
+        let ranges = {
+            let mut r = 0u32;
+            let mut prev = None::<u32>;
+            for &n in &sorted {
+                if prev != Some(n.wrapping_sub(1)) {
+                    r += 1;
+                }
+                prev = Some(n);
+            }
+            r.max(1)
+        };
+        let bound = 2 * (32 - (ranges - 1).max(1).leading_zeros()) + 8;
+        let mut max_depth = 0u32;
+        for nr in 0..=4096u32 {
+            let data = SeccompData { nr, arch: AUDIT_ARCH_X86_64 };
+            let expected =
+                if allow.contains(&nr) { RET_ALLOW } else { RET_KILL };
+            let (tv, steps) = run_filter_traced(&tree, data)
+                .expect("well-formed tree");
+            prop_assert_eq!(tv, expected, "tree at nr {}", nr);
+            max_depth = max_depth.max(steps);
+            if let Some(lin) = &linear {
+                let (lv, _) = run_filter_traced(lin, data)
+                    .expect("well-formed chain");
+                prop_assert_eq!(lv, expected, "linear at nr {}", nr);
+            }
+        }
+        prop_assert!(
+            max_depth <= bound,
+            "depth {} over bound {} at {} ranges", max_depth, bound, ranges
+        );
+        // Wrong architecture is always killed, both layouts.
+        let foreign = SeccompData { nr: 0, arch: 1 };
+        prop_assert_eq!(run_filter_traced(&tree, foreign).unwrap().0, RET_KILL);
+        if let Some(lin) = &linear {
+            prop_assert_eq!(
+                run_filter_traced(lin, foreign).unwrap().0, RET_KILL);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Streaming: shard-fold determinism. Whatever the shard geometry and
 // whatever order the partials are handed to the fold, the result — and
 // every metric computed from it — is bit-identical to the in-memory
