@@ -1,24 +1,35 @@
-//! CI smoke gate for the hardened query daemon.
+//! CI smoke gate for the epoll-reactor query daemon.
 //!
 //! **In-process mode** (default): starts [`Server`] over the 150-package
-//! reference corpus, fires 64 concurrent clients of 32 requests each
-//! (a ping/importance/completeness/suggest mix), and fails unless
+//! reference corpus and drives three waves, failing unless every reply
+//! is **bit-identical** to the direct library call:
 //!
-//! - every reply is **bit-identical** to the direct library call,
-//! - aggregate throughput clears [`MIN_QPS`],
-//! - the p99 round-trip stays under [`MAX_P99_MS`],
-//! - the server drains cleanly with its counters matching the load.
+//! 1. the latency wave — 64 concurrent clients of 32 requests each
+//!    (a ping/importance/completeness/suggest mix), gated on
+//!    [`MIN_QPS`] and [`MAX_P99_MS`];
+//! 2. the batch wave — pipelined [`Request::Batch`] frames, measuring
+//!    the amortized sub-request throughput;
+//! 3. the 256-client scaling point — a connection count the old
+//!    thread-per-connection pool could not admit, which must complete
+//!    with **zero** busy rejections and zero dropped connections.
+//!
+//! **Check mode** (`--check`, used by CI): never rewrites
+//! BENCH_pipeline.json; instead fails if the measured numbers regress
+//! past the absolute gates *or* fall more than 2x behind the committed
+//! baseline keys, so a perf regression can't merge invisibly by
+//! overwriting its own reference numbers.
 //!
 //! **Subprocess mode** (`--bin <path to apistudy>`): additionally boots
 //! the real binary with an on-disk footprint store, `kill -9`s it
 //! mid-service, restarts it against the same store, and requires the
 //! restarted daemon to present the same fingerprint and bit-identical
 //! answers to a client reconnecting with backoff — the crash/restart
-//! gate. (A separate flag because `CARGO_BIN_EXE_*` is not available to
-//! bench binaries; CI passes `./target/release/apistudy`.)
+//! gate, now exercising the reactor accept path. (A separate flag
+//! because `CARGO_BIN_EXE_*` is not available to bench binaries; CI
+//! passes `./target/release/apistudy`.)
 //!
 //! Usage: `serve_smoke [--clients N] [--requests N] [--no-json]
-//! [--bin PATH]`.
+//! [--check] [--bin PATH]`.
 
 use std::collections::HashSet;
 use std::io::{BufRead as _, BufReader};
@@ -34,19 +45,29 @@ use apistudy_core::{
 };
 use apistudy_corpus::Scale;
 
-/// Aggregate throughput floor across all clients. Loopback round trips
-/// at 150 packages measure in the tens of thousands of requests per
-/// second; 1000 leaves an order of magnitude for noisy CI machines
-/// while still catching a serialization point in the worker pool.
-const MIN_QPS: f64 = 1000.0;
+/// Aggregate throughput floor on the latency wave. The reactor's inline
+/// fast path answers pings and cache hits without a worker round trip,
+/// so loopback throughput at 150 packages clears this with headroom;
+/// the gate is the ISSUE 9 target (1.5x the thread-per-connection
+/// baseline's 11.5k).
+const MIN_QPS: f64 = 17_000.0;
 
-/// p99 round-trip ceiling, milliseconds. The metrics index is built
-/// once at snapshot seal and shared by every worker, so connections no
-/// longer pay a per-worker index build on their first request; the tail
-/// is plain scheduling contention when 64 clients land at once. 500 ms
-/// only trips on a real stall (lock convoy, lost wakeup, deadline
-/// misfire), not contention.
-const MAX_P99_MS: f64 = 500.0;
+/// p99 round-trip ceiling on the latency wave, milliseconds. The
+/// thread-per-connection daemon measured 33.7 ms here (head-of-line
+/// blocking behind slow queries); the reactor target is a third of
+/// that.
+const MAX_P99_MS: f64 = 11.0;
+
+/// A `--check` run also compares against the committed
+/// BENCH_pipeline.json keys: measured p99 may be at most this factor
+/// above the recorded value, and qps at most this factor below.
+const CHECK_SLACK: f64 = 2.0;
+
+/// Client count for the scaling wave.
+const SCALE_CLIENTS: usize = 256;
+
+/// Requests per client on the scaling wave.
+const SCALE_REQUESTS: usize = 8;
 
 /// Same corpus as the serve_chaos suite and the `--scale 150 --seed
 /// 2016` command line (`--scale N` implies `installations = 95·N`).
@@ -93,13 +114,57 @@ fn expected(study: &Study) -> Expected {
     }
 }
 
+/// The i-th request of the standard probe mix.
+fn probe(i: usize) -> Request {
+    match i % 8 {
+        0 => Request::Ping,
+        7 => Request::Suggest { supported: base_set(), limit: 3 },
+        3 | 5 => Request::Completeness { supported: base_set() },
+        k => Request::Importance { nr: PROBE_NRS[k % PROBE_NRS.len()] },
+    }
+}
+
+/// Panics unless `resp` is the bit-identical answer to `probe(i)`.
+fn verify(i: usize, resp: Response, exp: &Expected) {
+    match (i % 8, resp) {
+        (0, Response::Pong { fingerprint, .. }) => {
+            assert_eq!(fingerprint, exp.fingerprint, "fingerprint drift")
+        }
+        (7, Response::Suggest { picks }) => {
+            assert_eq!(picks, exp.picks, "suggest picks diverged")
+        }
+        (3 | 5, Response::Completeness { bits }) => assert_eq!(
+            bits, exp.completeness_bits,
+            "completeness bits diverged"
+        ),
+        (k, Response::Importance { importance_bits, unweighted_bits }) => {
+            let want = exp.importance[k % PROBE_NRS.len()];
+            assert_eq!(
+                (importance_bits, unweighted_bits),
+                want,
+                "importance bits diverged for nr {}",
+                PROBE_NRS[k % PROBE_NRS.len()]
+            );
+        }
+        (_, other) => panic!("unexpected reply {other:?}"),
+    }
+}
+
+/// Unmeasured requests each client runs before its timed loop, so the
+/// wave measures steady-state serving rather than the thread-spawn and
+/// connect stampede (one full probe-mix cycle warms the query cache).
+const WARMUP: usize = 8;
+
 /// One client's request loop: returns per-request latencies (ns).
+/// Connects, runs [`WARMUP`] unmeasured requests, parks on `gate`
+/// until every client is warm, then times `requests` round trips.
 /// Panics on any non-bit-identical reply; the panic propagates through
 /// the join and fails the gate.
 fn client_load(
     addr: SocketAddr,
     seed: u64,
     requests: usize,
+    gate: &std::sync::Barrier,
     exp: &Expected,
 ) -> Vec<u128> {
     let mut c = Client::connect(
@@ -108,41 +173,44 @@ fn client_load(
         Duration::from_secs(10),
     )
     .expect("connect to in-process server");
+    for i in 0..WARMUP {
+        verify(i, c.call(&probe(i)).expect("warm-up request"), exp);
+    }
+    gate.wait();
     let mut lat = Vec::with_capacity(requests);
     for i in 0..requests {
-        let req = match i % 8 {
-            0 => Request::Ping,
-            7 => Request::Suggest { supported: base_set(), limit: 3 },
-            3 | 5 => Request::Completeness { supported: base_set() },
-            k => Request::Importance { nr: PROBE_NRS[k % PROBE_NRS.len()] },
-        };
+        let req = probe(i);
         let start = Instant::now();
         let resp = c.call(&req).expect("request failed");
         lat.push(start.elapsed().as_nanos());
-        match (i % 8, resp) {
-            (0, Response::Pong { fingerprint, .. }) => {
-                assert_eq!(fingerprint, exp.fingerprint, "fingerprint drift")
-            }
-            (7, Response::Suggest { picks }) => {
-                assert_eq!(picks, exp.picks, "suggest picks diverged")
-            }
-            (3 | 5, Response::Completeness { bits }) => assert_eq!(
-                bits, exp.completeness_bits,
-                "completeness bits diverged"
-            ),
-            (k, Response::Importance { importance_bits, unweighted_bits }) => {
-                let want = exp.importance[k % PROBE_NRS.len()];
-                assert_eq!(
-                    (importance_bits, unweighted_bits),
-                    want,
-                    "importance bits diverged for nr {}",
-                    PROBE_NRS[k % PROBE_NRS.len()]
-                );
-            }
-            (_, other) => panic!("unexpected reply {other:?}"),
-        }
+        verify(i, resp, exp);
     }
     lat
+}
+
+/// One batch client's loop: `rounds` batches of `width` probe-mix
+/// sub-requests over a single connection, every reply verified.
+fn batch_load(
+    addr: SocketAddr,
+    seed: u64,
+    rounds: usize,
+    width: usize,
+    exp: &Expected,
+) {
+    let mut c = Client::connect(
+        addr,
+        RetryPolicy { seed, ..RetryPolicy::default() },
+        Duration::from_secs(10),
+    )
+    .expect("connect batch client");
+    let reqs: Vec<Request> = (0..width).map(probe).collect();
+    for _ in 0..rounds {
+        let replies = c.call_batch(&reqs).expect("batch round");
+        assert_eq!(replies.len(), width, "batch reply count");
+        for (i, resp) in replies.into_iter().enumerate() {
+            verify(i, resp, exp);
+        }
+    }
 }
 
 fn percentile(sorted: &[u128], p: f64) -> u128 {
@@ -150,11 +218,12 @@ fn percentile(sorted: &[u128], p: f64) -> u128 {
     sorted[idx]
 }
 
+const BENCH_JSON: &str = "BENCH_pipeline.json";
+
 /// Updates (or leaves untouched) the `serve` section's measured keys in
 /// BENCH_pipeline.json without disturbing the hand-maintained rest.
 fn record(results: &[(&str, u128)]) -> std::io::Result<()> {
-    let path = "BENCH_pipeline.json";
-    let text = std::fs::read_to_string(path)?;
+    let text = std::fs::read_to_string(BENCH_JSON)?;
     let mut out = String::new();
     for line in text.lines() {
         let trimmed = line.trim();
@@ -170,7 +239,46 @@ fn record(results: &[(&str, u128)]) -> std::io::Result<()> {
         out.push_str(line);
         out.push('\n');
     }
-    std::fs::write(path, out)
+    std::fs::write(BENCH_JSON, out)
+}
+
+/// Reads one integer key back out of BENCH_pipeline.json (the same
+/// line-oriented convention `record` writes).
+fn recorded(key: &str) -> Option<u128> {
+    let text = std::fs::read_to_string(BENCH_JSON).ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix(&format!("\"{key}\":"))
+        {
+            return rest.trim().trim_end_matches(',').parse().ok();
+        }
+    }
+    None
+}
+
+/// `--check`: compare the measured latency-wave numbers against the
+/// committed baseline; a regression past [`CHECK_SLACK`] fails the run
+/// even if the absolute gates still pass.
+fn check_against_recorded(p99_us: u128, qps: f64) -> bool {
+    let mut ok = true;
+    if let Some(base) = recorded("serve_p99_us") {
+        let cap = base as f64 * CHECK_SLACK;
+        println!(
+            "check: p99 {p99_us} us vs recorded {base} us (cap {cap:.0})"
+        );
+        if p99_us as f64 > cap {
+            eprintln!("FAIL: p99 regressed past {CHECK_SLACK}x baseline");
+            ok = false;
+        }
+    }
+    if let Some(base) = recorded("serve_qps") {
+        let floor = base as f64 / CHECK_SLACK;
+        println!("check: {qps:.0} qps vs recorded {base} (floor {floor:.0})");
+        if qps < floor {
+            eprintln!("FAIL: qps regressed past {CHECK_SLACK}x baseline");
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// Spawns the real binary serving the reference corpus, parses the
@@ -189,8 +297,8 @@ fn spawn_daemon(bin: &Path, extra: &[&str]) -> (Child, SocketAddr, u64) {
     let stdout = child.stdout.take().expect("piped stdout");
     let ready = BufReader::new(stdout)
         .lines()
-        .next()
-        .and_then(|l| l.ok())
+        .map_while(|l| l.ok())
+        .find(|l| l.starts_with("serving on "))
         .expect("daemon exited before readiness line");
     let addr: SocketAddr = ready
         .strip_prefix("serving on ")
@@ -267,6 +375,13 @@ fn kill9_gate(bin: &Path, exp: &Expected) {
         }
         other => panic!("unexpected reply {other:?}"),
     }
+    // The restarted daemon must also take batch frames end to end.
+    let reqs: Vec<Request> = (0..8).map(probe).collect();
+    for (i, resp) in
+        c.call_batch(&reqs).expect("boot 2 batch").into_iter().enumerate()
+    {
+        verify(i, resp, exp);
+    }
     assert!(matches!(
         c.call(&Request::Shutdown).expect("shutdown boot 2"),
         Response::Bye
@@ -296,13 +411,14 @@ fn main() {
     let mut clients = 64usize;
     let mut requests = 32usize;
     let mut write_json = true;
+    let mut check = false;
     let mut bin: Option<String> = None;
     let mut args = std::env::args().skip(1);
     let parse = |v: Option<String>| -> usize {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!(
                 "usage: serve_smoke [--clients N] [--requests N] \
-                 [--no-json] [--bin PATH]"
+                 [--no-json] [--check] [--bin PATH]"
             );
             std::process::exit(2)
         })
@@ -312,6 +428,10 @@ fn main() {
             "--clients" => clients = parse(args.next()),
             "--requests" => requests = parse(args.next()),
             "--no-json" => write_json = false,
+            "--check" => {
+                check = true;
+                write_json = false;
+            }
             "--bin" => bin = args.next(),
             _ => {
                 parse(None);
@@ -324,39 +444,45 @@ fn main() {
     let server = Server::start(
         study,
         None,
-        ServeOptions { max_conns: clients + 8, ..ServeOptions::default() },
+        ServeOptions {
+            max_conns: clients.max(SCALE_CLIENTS) + 8,
+            ..ServeOptions::default()
+        },
     )
     .expect("start in-process server");
     let addr = server.addr();
 
-    let wall = Instant::now();
-    let mut latencies: Vec<u128> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..clients)
-            .map(|i| {
-                let exp = &exp;
-                s.spawn(move || {
-                    client_load(addr, 0xC0FFEE ^ i as u64, requests, exp)
+    // Wave 1: the latency wave — one request in flight per connection,
+    // per-request round trips measured from a barrier all warm clients
+    // park on (the main thread holds the extra slot and starts the
+    // wall clock when the barrier releases).
+    let gate = std::sync::Barrier::new(clients + 1);
+    let (mut latencies, elapsed): (Vec<u128>, Duration) =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let (exp, gate) = (&exp, &gate);
+                    s.spawn(move || {
+                        client_load(
+                            addr,
+                            0xC0FFEE ^ i as u64,
+                            requests,
+                            gate,
+                            exp,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
-    });
-    let elapsed = wall.elapsed();
+                .collect();
+            gate.wait();
+            let wall = Instant::now();
+            let lat = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect();
+            (lat, wall.elapsed())
+        });
     latencies.sort_unstable();
-
-    server.shutdown();
-    let stats = server.wait();
     let total = (clients * requests) as u64;
-    assert!(
-        stats.served >= total,
-        "server answered {} of {total} requests",
-        stats.served
-    );
-    assert_eq!(stats.rejected_busy, 0, "admission cap tripped under cap");
-
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
     let qps = total as f64 / elapsed.as_secs_f64();
@@ -367,11 +493,89 @@ fn main() {
         p99 as f64 / 1e3,
     );
 
+    // Wave 2: the batch wave — 8 clients x 8 rounds x 32-wide Batch
+    // frames, measuring amortized sub-request throughput.
+    const BATCH_CLIENTS: usize = 8;
+    const BATCH_ROUNDS: usize = 8;
+    const BATCH_WIDTH: usize = 32;
+    let wall = Instant::now();
+    std::thread::scope(|s| {
+        for i in 0..BATCH_CLIENTS {
+            let exp = &exp;
+            s.spawn(move || {
+                batch_load(
+                    addr,
+                    0xBA7C4 ^ i as u64,
+                    BATCH_ROUNDS,
+                    BATCH_WIDTH,
+                    exp,
+                )
+            });
+        }
+    });
+    let batch_subs = (BATCH_CLIENTS * BATCH_ROUNDS * BATCH_WIDTH) as u64;
+    let batch_qps = batch_subs as f64 / wall.elapsed().as_secs_f64();
+    println!(
+        "{BATCH_CLIENTS} batch clients x {BATCH_ROUNDS} x {BATCH_WIDTH}-wide \
+         frames: {batch_qps:.0} sub-requests/s"
+    );
+
+    // Wave 3: the scaling point — 256 concurrent connections, a count
+    // the thread-per-connection pool refused at the door. Every connect
+    // must land (rejected_busy stays 0) and every reply must verify.
+    let gate = std::sync::Barrier::new(SCALE_CLIENTS + 1);
+    // `scope` joins every client before returning, so `start.elapsed()`
+    // afterwards spans barrier release to last reply.
+    let start = std::thread::scope(|s| {
+        for i in 0..SCALE_CLIENTS {
+            let (exp, gate) = (&exp, &gate);
+            s.spawn(move || {
+                client_load(addr, 0x256C ^ i as u64, SCALE_REQUESTS, gate, exp)
+            });
+        }
+        gate.wait();
+        Instant::now()
+    });
+    let scale_total = (SCALE_CLIENTS * SCALE_REQUESTS) as u64;
+    let scale_qps = scale_total as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "{SCALE_CLIENTS} clients x {SCALE_REQUESTS} requests: \
+         {scale_qps:.0} qps, zero drops"
+    );
+
+    server.shutdown();
+    let stats = server.wait();
+    let batch_frames = (BATCH_CLIENTS * BATCH_ROUNDS) as u64;
+    let warmups = ((clients + SCALE_CLIENTS) * WARMUP) as u64;
+    let expect_served = total + batch_frames + scale_total + warmups;
+    assert!(
+        stats.served >= expect_served,
+        "server answered {} of {expect_served} requests",
+        stats.served
+    );
+    assert_eq!(
+        stats.rejected_busy, 0,
+        "admission cap tripped under cap — dropped connections"
+    );
+    assert_eq!(stats.batch_frames, batch_frames, "batch frame count");
+    assert_eq!(stats.batch_requests, batch_subs, "batch sub-request count");
+    assert!(
+        stats.cache_hits > 0,
+        "repeated pure queries never hit the snapshot cache"
+    );
+    println!(
+        "counters: {} served, cache {} hits / {} misses, batch {} frames",
+        stats.served, stats.cache_hits, stats.cache_misses,
+        stats.batch_frames
+    );
+
     if write_json {
         if let Err(e) = record(&[
             ("serve_p50_us", p50 / 1000),
             ("serve_p99_us", p99 / 1000),
             ("serve_qps", qps as u128),
+            ("serve_batch_qps", batch_qps as u128),
+            ("serve_c256_qps", scale_qps as u128),
         ]) {
             eprintln!("could not update BENCH_pipeline.json: {e}");
         }
@@ -381,16 +585,23 @@ fn main() {
         kill9_gate(Path::new(&bin), &exp);
     }
 
+    let mut ok = true;
     let p99_ms = p99 as f64 / 1e6;
     if qps < MIN_QPS || p99_ms > MAX_P99_MS {
         eprintln!(
-            "FAIL: {qps:.0} qps (gate {MIN_QPS}), p99 {p99_ms:.1} ms \
+            "FAIL: {qps:.0} qps (gate {MIN_QPS}), p99 {p99_ms:.2} ms \
              (gate {MAX_P99_MS} ms)"
         );
+        ok = false;
+    }
+    if check && !check_against_recorded(p99 / 1000, qps) {
+        ok = false;
+    }
+    if !ok {
         std::process::exit(1);
     }
     println!(
-        "PASS: every reply bit-identical; >= {MIN_QPS} qps and p99 <= \
-         {MAX_P99_MS} ms"
+        "PASS: every reply bit-identical; >= {MIN_QPS} qps, p99 <= \
+         {MAX_P99_MS} ms, {SCALE_CLIENTS} clients with zero drops"
     );
 }

@@ -41,9 +41,14 @@
 //!   resume at file-read cost;
 //! - [`diff`] — study-to-study comparison (releases / what-if scenarios);
 //! - [`workloads`] — evaluation-workload matching for modified APIs;
+//! - [`sys`] — classified `extern "C"` wrappers over the event-driven
+//!   syscall surface (epoll / accept4 / eventfd) the serve reactor uses;
 //! - [`study::Study`] — the one-call facade.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the only carve-outs are `sys` (the FFI
+// boundary) and the pinned-snapshot session holder in `serve`, each with
+// stated invariants at every site.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -67,6 +72,7 @@ pub mod serve;
 pub mod store;
 pub mod stream;
 pub mod study;
+pub mod sys;
 pub mod workloads;
 
 pub use cache::{AnalysisCache, CacheKey, CacheMode, CacheStats};
@@ -93,7 +99,8 @@ pub use planner::{
     CompletenessCurve, Stage,
 };
 pub use proto::{
-    ErrorCode, FrameError, ReadBudget, Request, Response, MAX_FRAME,
+    encode_frame, read_frame_by, scan_frame, ErrorCode, FrameError,
+    ReadBudget, Request, Response, FRAME_HEADER, MAX_BATCH, MAX_FRAME,
 };
 pub use seccomp_bpf::{
     depth_profile, run_filter, run_filter_traced, seccomp_filter,
@@ -106,8 +113,8 @@ pub use seccomp_fleet::{
     UniqueFilterStats,
 };
 pub use serve::{
-    snapshot_fingerprint, Client, ClientError, RetryPolicy, Server,
-    ServeOptions, ServeStats, Snapshot,
+    self_audit, snapshot_fingerprint, AuditEntry, Client, ClientError,
+    RetryPolicy, Server, ServeOptions, ServeStats, Snapshot,
 };
 pub use store::{FootprintStore, StoreStats};
 pub use stream::{

@@ -35,6 +35,9 @@ pub const MAX_FRAME: usize = 1 << 16;
 pub const MAX_SET: usize = 4096;
 /// Hard cap on the pick budget of one `Suggest` request.
 pub const MAX_PICKS: usize = 256;
+/// Hard cap on sub-requests in one [`Request::Batch`] frame (and on the
+/// replies in its [`Response::Batch`] mirror).
+pub const MAX_BATCH: usize = 64;
 /// Hard cap on an error reply's detail string, in bytes.
 pub const MAX_ERR_MSG: usize = 200;
 /// Frame header length: length prefix (4) plus content checksum (8).
@@ -204,6 +207,15 @@ pub enum Request {
     },
     /// Graceful drain: finish in-flight requests, stop accepting, exit.
     Shutdown,
+    /// A pipelined bundle of 1..=[`MAX_BATCH`] sub-requests, answered in
+    /// order by one [`Response::Batch`]. Sub-requests may be anything
+    /// except another `Batch` (nesting depth is exactly one), and the
+    /// whole bundle still fits one [`MAX_FRAME`]-bounded frame — batching
+    /// amortizes syscall and framing cost, it does not raise any cap.
+    Batch(
+        /// The sub-requests, answered in this order.
+        Vec<Request>,
+    ),
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -276,56 +288,70 @@ impl<'a> Take<'a> {
 }
 
 impl Request {
-    /// Canonical encoding (the exact byte string [`Request::decode`]
-    /// accepts).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Request::Ping => buf.push(1),
             Request::Importance { nr } => {
                 buf.push(2);
-                put_u32(&mut buf, *nr);
+                put_u32(buf, *nr);
             }
             Request::Completeness { supported } => {
                 buf.push(3);
-                put_nr_list(&mut buf, supported);
+                put_nr_list(buf, supported);
             }
             Request::Suggest { supported, limit } => {
                 buf.push(4);
-                put_nr_list(&mut buf, supported);
-                put_u32(&mut buf, *limit);
+                put_nr_list(buf, supported);
+                put_u32(buf, *limit);
             }
             Request::SessionOpen { supported } => {
                 buf.push(5);
-                put_nr_list(&mut buf, supported);
+                put_nr_list(buf, supported);
             }
             Request::SessionAdd { nr } => {
                 buf.push(6);
-                put_u32(&mut buf, *nr);
+                put_u32(buf, *nr);
             }
             Request::SessionRemove { nr } => {
                 buf.push(7);
-                put_u32(&mut buf, *nr);
+                put_u32(buf, *nr);
             }
             Request::SessionProbe { nr } => {
                 buf.push(8);
-                put_u32(&mut buf, *nr);
+                put_u32(buf, *nr);
             }
             Request::Reload { expect_fingerprint } => {
                 buf.push(9);
-                put_u64(&mut buf, *expect_fingerprint);
+                put_u64(buf, *expect_fingerprint);
             }
             Request::Shutdown => buf.push(10),
+            Request::Batch(subs) => {
+                buf.push(11);
+                put_u32(buf, subs.len() as u32);
+                // Sub-requests are self-delimiting, so they concatenate
+                // without per-item length prefixes; a nested Batch would
+                // encode (and then fail to decode), which Batch's own
+                // decoder forbids — callers must not nest.
+                for sub in subs {
+                    sub.encode_into(buf);
+                }
+            }
         }
+    }
+
+    /// Canonical encoding (the exact byte string [`Request::decode`]
+    /// accepts).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
         buf
     }
 
-    /// Total decoder over untrusted bytes: returns `None` unless `payload`
-    /// is the canonical encoding of exactly one request, with every list
-    /// under its hard cap.
-    pub fn decode(payload: &[u8]) -> Option<Self> {
-        let mut c = Take::new(payload);
-        let req = match c.u8()? {
+    /// Decodes exactly one request from the cursor's current position
+    /// (sub-requests are self-delimiting). `allow_batch` is false inside
+    /// a batch: nesting depth is exactly one.
+    fn decode_inner(c: &mut Take<'_>, allow_batch: bool) -> Option<Self> {
+        Some(match c.u8()? {
             1 => Request::Ping,
             2 => Request::Importance { nr: c.u32()? },
             3 => Request::Completeness { supported: c.nr_list(MAX_SET)? },
@@ -339,8 +365,30 @@ impl Request {
             8 => Request::SessionProbe { nr: c.u32()? },
             9 => Request::Reload { expect_fingerprint: c.u64()? },
             10 => Request::Shutdown,
+            11 => {
+                if !allow_batch {
+                    return None;
+                }
+                let count = c.u32()? as usize;
+                if count == 0 || count > MAX_BATCH {
+                    return None;
+                }
+                let mut subs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    subs.push(Request::decode_inner(c, false)?);
+                }
+                Request::Batch(subs)
+            }
             _ => return None,
-        };
+        })
+    }
+
+    /// Total decoder over untrusted bytes: returns `None` unless `payload`
+    /// is the canonical encoding of exactly one request, with every list
+    /// under its hard cap.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut c = Take::new(payload);
+        let req = Request::decode_inner(&mut c, true)?;
         c.finish(req)
     }
 }
@@ -400,47 +448,50 @@ pub enum Response {
         /// Human-readable detail (capped at [`MAX_ERR_MSG`] bytes).
         msg: String,
     },
+    /// The ordered replies to a [`Request::Batch`], one per sub-request
+    /// (a failed sub-request gets an [`Response::Err`] in its slot; the
+    /// rest of the batch still completes).
+    Batch(
+        /// Per-sub-request replies, in request order.
+        Vec<Response>,
+    ),
 }
 
 impl Response {
-    /// Canonical encoding (the exact byte string [`Response::decode`]
-    /// accepts). Error details longer than [`MAX_ERR_MSG`] bytes are
-    /// truncated at a character boundary.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Response::Pong { fingerprint, generation, packages } => {
                 buf.push(1);
-                put_u64(&mut buf, *fingerprint);
-                put_u64(&mut buf, *generation);
-                put_u32(&mut buf, *packages);
+                put_u64(buf, *fingerprint);
+                put_u64(buf, *generation);
+                put_u32(buf, *packages);
             }
             Response::Importance { importance_bits, unweighted_bits } => {
                 buf.push(2);
-                put_u64(&mut buf, *importance_bits);
-                put_u64(&mut buf, *unweighted_bits);
+                put_u64(buf, *importance_bits);
+                put_u64(buf, *unweighted_bits);
             }
             Response::Completeness { bits } => {
                 buf.push(3);
-                put_u64(&mut buf, *bits);
+                put_u64(buf, *bits);
             }
             Response::Suggest { picks } => {
                 buf.push(4);
-                put_u32(&mut buf, picks.len() as u32);
+                put_u32(buf, picks.len() as u32);
                 for &(nr, gain_bits) in picks {
-                    put_u32(&mut buf, nr);
-                    put_u64(&mut buf, gain_bits);
+                    put_u32(buf, nr);
+                    put_u64(buf, gain_bits);
                 }
             }
             Response::Session { delta_bits, completeness_bits } => {
                 buf.push(5);
-                put_u64(&mut buf, *delta_bits);
-                put_u64(&mut buf, *completeness_bits);
+                put_u64(buf, *delta_bits);
+                put_u64(buf, *completeness_bits);
             }
             Response::Reload { fingerprint, generation } => {
                 buf.push(6);
-                put_u64(&mut buf, *fingerprint);
-                put_u64(&mut buf, *generation);
+                put_u64(buf, *fingerprint);
+                put_u64(buf, *generation);
             }
             Response::Bye => buf.push(7),
             Response::Err { code, msg } => {
@@ -451,19 +502,33 @@ impl Response {
                     cut -= 1;
                 }
                 let bytes = &msg.as_bytes()[..cut];
-                put_u32(&mut buf, bytes.len() as u32);
+                put_u32(buf, bytes.len() as u32);
                 buf.extend_from_slice(bytes);
             }
+            Response::Batch(subs) => {
+                buf.push(9);
+                put_u32(buf, subs.len() as u32);
+                for sub in subs {
+                    sub.encode_into(buf);
+                }
+            }
         }
+    }
+
+    /// Canonical encoding (the exact byte string [`Response::decode`]
+    /// accepts). Error details longer than [`MAX_ERR_MSG`] bytes are
+    /// truncated at a character boundary.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
         buf
     }
 
-    /// Total decoder over untrusted bytes (the client's guard against a
-    /// corrupt or impostor server): `None` unless `payload` is the
-    /// canonical encoding of exactly one reply.
-    pub fn decode(payload: &[u8]) -> Option<Self> {
-        let mut c = Take::new(payload);
-        let resp = match c.u8()? {
+    /// Decodes exactly one reply from the cursor's current position.
+    /// `allow_batch` is false inside a batch (nesting depth one, mirroring
+    /// the request side).
+    fn decode_inner(c: &mut Take<'_>, allow_batch: bool) -> Option<Self> {
+        Some(match c.u8()? {
             1 => Response::Pong {
                 fingerprint: c.u64()?,
                 generation: c.u64()?,
@@ -504,8 +569,30 @@ impl Response {
                 let msg = std::str::from_utf8(raw).ok()?.to_owned();
                 Response::Err { code, msg }
             }
+            9 => {
+                if !allow_batch {
+                    return None;
+                }
+                let count = c.u32()? as usize;
+                if count == 0 || count > MAX_BATCH {
+                    return None;
+                }
+                let mut subs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    subs.push(Response::decode_inner(c, false)?);
+                }
+                Response::Batch(subs)
+            }
             _ => return None,
-        };
+        })
+    }
+
+    /// Total decoder over untrusted bytes (the client's guard against a
+    /// corrupt or impostor server): `None` unless `payload` is the
+    /// canonical encoding of exactly one reply.
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut c = Take::new(payload);
+        let resp = Response::decode_inner(&mut c, true)?;
         c.finish(resp)
     }
 
@@ -539,6 +626,39 @@ pub fn decode_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
         return None;
     }
     Some((payload, FRAME_HEADER + len))
+}
+
+/// Incremental frame scan over a reactor's accumulation buffer.
+///
+/// Returns `Ok(None)` while the buffer holds only a partial frame (read
+/// more), `Ok(Some(total))` when `buf[..total]` is one whole valid frame
+/// whose payload is `buf[FRAME_HEADER..total]`, and classifies damage the
+/// moment it is provable: an over-cap length prefix fails
+/// [`FrameError::TooLarge`] before the body arrives (no attacker-sized
+/// buffering), a checksum mismatch fails [`FrameError::Checksum`] once
+/// the body is complete. Unlike [`decode_frame`] this never waits for
+/// bytes that the header already proves will be rejected.
+pub fn scan_frame(buf: &[u8]) -> Result<Option<usize>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[..4]);
+    let len = u32::from_le_bytes(raw) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let total = FRAME_HEADER + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[4..12]);
+    let check = u64::from_le_bytes(raw);
+    if content_hash(&buf[FRAME_HEADER..total]) != check {
+        return Err(FrameError::Checksum);
+    }
+    Ok(Some(total))
 }
 
 /// Read budgets for [`read_frame`].
@@ -614,6 +734,31 @@ fn read_exact_deadline(
     Ok(())
 }
 
+/// Validates a just-read header and reads the payload it announces under
+/// the (already armed) deadline.
+fn finish_frame(
+    stream: &TcpStream,
+    header: &[u8; FRAME_HEADER],
+    deadline: &mut Instant,
+    stop: &dyn Fn() -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&header[..4]);
+    let len = u32::from_le_bytes(raw) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&header[4..12]);
+    let check = u64::from_le_bytes(raw);
+    let mut payload = vec![0u8; len];
+    read_exact_deadline(stream, &mut payload, deadline, None, stop, false)?;
+    if content_hash(&payload) != check {
+        return Err(FrameError::Checksum);
+    }
+    Ok(payload)
+}
+
 /// Reads one whole frame from the socket under the given budgets,
 /// returning its validated payload. `stop` (the server's drain flag) is
 /// honored only between frames — an in-flight frame is always finished or
@@ -636,28 +781,24 @@ pub fn read_frame(
         stop,
         true,
     )?;
-    let mut raw = [0u8; 4];
-    raw.copy_from_slice(&header[..4]);
-    let len = u32::from_le_bytes(raw) as usize;
-    if len > MAX_FRAME {
-        return Err(FrameError::TooLarge(len));
-    }
-    let mut raw = [0u8; 8];
-    raw.copy_from_slice(&header[4..12]);
-    let check = u64::from_le_bytes(raw);
-    let mut payload = vec![0u8; len];
-    read_exact_deadline(
-        stream,
-        &mut payload,
-        &mut deadline,
-        None,
-        stop,
-        false,
-    )?;
-    if content_hash(&payload) != check {
-        return Err(FrameError::Checksum);
-    }
-    Ok(payload)
+    finish_frame(stream, &header, &mut deadline, stop)
+}
+
+/// Reads one whole frame under a single **absolute** deadline. Unlike
+/// [`read_frame`]'s idle → request budget hand-off, nothing re-arms when
+/// the first byte lands: the whole frame must arrive by `deadline_at`.
+/// This is the client's per-request budget — a server that accepts the
+/// request but stalls mid-reply is cut at exactly one deadline, not a
+/// stack of idle and request budgets.
+pub fn read_frame_by(
+    stream: &TcpStream,
+    deadline_at: Instant,
+    stop: &dyn Fn() -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER];
+    let mut deadline = deadline_at;
+    read_exact_deadline(stream, &mut header, &mut deadline, None, stop, true)?;
+    finish_frame(stream, &header, &mut deadline, stop)
 }
 
 /// Writes one frame under a write deadline. A peer that stops draining
@@ -691,6 +832,13 @@ mod tests {
             Request::SessionProbe { nr: 202 },
             Request::Reload { expect_fingerprint: 0xDEAD_BEEF_1234_5678 },
             Request::Shutdown,
+            Request::Batch(vec![Request::Ping]),
+            Request::Batch(vec![
+                Request::Importance { nr: 0 },
+                Request::Completeness { supported: vec![0, 1, 60] },
+                Request::Suggest { supported: vec![], limit: 3 },
+                Request::Ping,
+            ]),
         ]
     }
 
@@ -715,6 +863,12 @@ mod tests {
             Response::err(ErrorCode::BadRequest, ""),
             Response::err(ErrorCode::BadFrame, "checksum mismatch"),
             Response::err(ErrorCode::TooLarge, "frame over cap"),
+            Response::Batch(vec![Response::Bye]),
+            Response::Batch(vec![
+                Response::Completeness { bits: 7 },
+                Response::err(ErrorCode::UnknownApi, "nr 9999"),
+                Response::Pong { fingerprint: 3, generation: 1, packages: 2 },
+            ]),
         ]
     }
 
@@ -745,6 +899,62 @@ mod tests {
             extended.push(0);
             assert_eq!(Response::decode(&extended), None, "trailing byte");
         }
+    }
+
+    #[test]
+    fn batch_nesting_and_cardinality_are_rejected() {
+        // Empty batch: meaningless, rejected.
+        assert_eq!(Request::decode(&Request::Batch(vec![]).encode()), None);
+        assert_eq!(Response::decode(&Response::Batch(vec![]).encode()), None);
+        // Over-cap batch: MAX_BATCH + 1 pings.
+        let big = Request::Batch(vec![Request::Ping; MAX_BATCH + 1]);
+        assert_eq!(Request::decode(&big.encode()), None);
+        // Nested batch: depth two encodes but must not decode.
+        let nested = Request::Batch(vec![
+            Request::Ping,
+            Request::Batch(vec![Request::Ping]),
+        ]);
+        assert_eq!(Request::decode(&nested.encode()), None);
+        let nested = Response::Batch(vec![Response::Batch(vec![Response::Bye])]);
+        assert_eq!(Response::decode(&nested.encode()), None);
+        // A full-size batch of scalar requests is fine.
+        let full = Request::Batch(vec![Request::Importance { nr: 1 }; MAX_BATCH]);
+        assert_eq!(Request::decode(&full.encode()), Some(full));
+    }
+
+    #[test]
+    fn scan_frame_is_incremental_and_classifies_damage_early() {
+        let payload = Request::Batch(vec![Request::Ping, Request::Shutdown])
+            .encode();
+        let frame = encode_frame(&payload);
+        // Every strict prefix: incomplete, never an error.
+        for cut in 0..frame.len() {
+            match scan_frame(&frame[..cut]) {
+                Ok(None) => {}
+                other => panic!("prefix {cut} gave {other:?}"),
+            }
+        }
+        // The whole frame (with unrelated trailing bytes of a next frame):
+        // exactly this frame's extent.
+        let mut two = frame.clone();
+        two.extend_from_slice(&encode_frame(&Request::Ping.encode()));
+        assert_eq!(scan_frame(&two).unwrap(), Some(frame.len()));
+        assert_eq!(
+            &two[FRAME_HEADER..frame.len()],
+            &payload[..],
+            "payload extent"
+        );
+        // An over-cap length prefix fails as soon as 4 bytes exist, long
+        // before any body arrives.
+        let mut huge = ((MAX_FRAME as u32) + 1).to_le_bytes().to_vec();
+        assert!(matches!(scan_frame(&huge), Err(FrameError::TooLarge(_))));
+        huge.extend_from_slice(&[0; 16]);
+        assert!(matches!(scan_frame(&huge), Err(FrameError::TooLarge(_))));
+        // A corrupted body fails Checksum once complete.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x20;
+        assert!(matches!(scan_frame(&bad), Err(FrameError::Checksum)));
     }
 
     #[test]

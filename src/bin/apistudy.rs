@@ -121,8 +121,9 @@ fn usage() -> ! {
          \x20         | seccomp <pkg> | export <path> | summary\n\
          \x20         | seccomp --all [--journal <path> [--resume]] [--top N]\n\
          \x20         | faults [fault-seed] [--journal <path> [--resume]]\n\
-         \x20         | serve [--port N] [--max-conns N]\n\
+         \x20         | serve [--port N] [--max-conns N] [--workers N]\n\
          \x20                 [--request-deadline-ms N] [--idle-deadline-ms N]\n\
+         \x20                 [--no-cache] [--self-audit]\n\
          \x20         | query <addr> ping|importance|completeness|suggest\n\
          \x20                        |probe|reload|shutdown ..."
     );
@@ -774,6 +775,7 @@ fn run_serve(
         }
     }
     let defaults = ServeOptions::default();
+    let self_audit = take_flag(&mut rest, "--self-audit");
     let opts = ServeOptions {
         port: parsed(take_opt(&mut rest, "--port"), 0u16),
         max_conns: parsed(
@@ -788,11 +790,14 @@ fn run_serve(
             take_opt(&mut rest, "--idle-deadline-ms"),
             defaults.idle_deadline.as_millis() as u64,
         )),
+        workers: parsed(take_opt(&mut rest, "--workers"), 0usize),
+        cache: !take_flag(&mut rest, "--no-cache"),
     };
     if !rest.is_empty() || opts.max_conns == 0 {
         usage();
     }
     let packages = study.data().packages.len();
+
 
     // The reload recipe repeats the boot recipe; with a store, completed
     // shards replay at file-read cost, so a `Reload` after an unchanged
@@ -820,6 +825,29 @@ fn run_serve(
             exit(1)
         }
     };
+    if self_audit {
+        // The paper's methodology applied to ourselves: which catalog
+        // syscalls the daemon's own serving path exercises, and how
+        // important the served corpus says each one is.
+        println!("self-audit: serving-path syscalls vs the served catalog");
+        println!("  {:<14} {:>5}  {:>10}  path", "syscall", "nr", "importance");
+        for entry in server.self_audit() {
+            let nr = entry
+                .nr
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into());
+            let importance = entry
+                .importance_bits
+                .map(|bits| format!("{:.6}", f64::from_bits(bits)))
+                .unwrap_or_else(|| "-".into());
+            let path = match (entry.reactor, entry.legacy) {
+                (true, true) => "reactor+legacy",
+                (true, false) => "reactor",
+                _ => "legacy-only",
+            };
+            println!("  {:<14} {nr:>5}  {importance:>10}  {path}", entry.name);
+        }
+    }
     // Machine-parseable readiness line (tests and scripts wait for it).
     println!(
         "serving on {} (fingerprint {:#018x}, {packages} packages)",
@@ -831,13 +859,18 @@ fn run_serve(
     let stats = server.wait();
     eprintln!(
         "drained: {} connections, {} requests served, {} busy-rejected, \
-         {} malformed, {} deadline-closed, {} reloads",
+         {} malformed, {} deadline-closed, {} reloads; \
+         cache {} hits / {} misses; batch {} frames / {} sub-requests",
         stats.connections,
         stats.served,
         stats.rejected_busy,
         stats.malformed,
         stats.deadline_closed,
         stats.reloads,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.batch_frames,
+        stats.batch_requests,
     );
     exit(0)
 }

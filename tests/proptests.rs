@@ -945,6 +945,168 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Wire protocol: Batch frames round-trip bit-exactly; nesting past depth
+// one, count caps, torn prefixes, and trailing bytes are all rejected
+// whole (the decoder accepts exactly the canonical encodings).
+// ---------------------------------------------------------------------
+
+/// Derives one non-batch sub-request from two random words, covering
+/// every batchable tag including variable-length list payloads.
+fn sub_request_from_words(tag: u8, w: u64) -> apistudy::core::Request {
+    use apistudy::core::Request;
+    let nrs = |n: u64| -> Vec<u32> {
+        (0..n).map(|k| ((w >> (k % 32)) & 0x3ff) as u32).collect()
+    };
+    match tag % 8 {
+        0 => Request::Ping,
+        1 => Request::Importance { nr: w as u32 },
+        2 => Request::Completeness { supported: nrs(w % 9) },
+        3 => Request::Suggest {
+            supported: nrs(w % 5),
+            limit: (w >> 32) as u32,
+        },
+        4 => Request::SessionOpen { supported: nrs(w % 7) },
+        5 => Request::SessionAdd { nr: w as u32 },
+        6 => Request::SessionProbe { nr: w as u32 },
+        _ => Request::Reload { expect_fingerprint: w },
+    }
+}
+
+/// Derives one non-batch sub-response from two random words.
+fn sub_response_from_words(tag: u8, w: u64) -> apistudy::core::Response {
+    use apistudy::core::{ErrorCode, Response};
+    match tag % 8 {
+        0 => Response::Pong {
+            fingerprint: w,
+            generation: w >> 8,
+            packages: w as u32,
+        },
+        1 => Response::Importance {
+            importance_bits: w,
+            unweighted_bits: !w,
+        },
+        2 => Response::Completeness { bits: w },
+        3 => Response::Suggest {
+            picks: (0..w % 5).map(|k| ((w >> k) as u32, w ^ k)).collect(),
+        },
+        4 => Response::Session {
+            delta_bits: w,
+            completeness_bits: w.rotate_left(17),
+        },
+        5 => Response::Reload { fingerprint: w, generation: w >> 4 },
+        6 => Response::Bye,
+        _ => Response::Err {
+            code: ErrorCode::Internal,
+            msg: format!("w{:x}", w % 0x1000),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_requests_roundtrip_bit_exactly(
+        words in proptest::collection::vec(
+            (any::<u8>(), any::<u64>()), 1..65,
+        ),
+    ) {
+        use apistudy::core::Request;
+        let subs: Vec<Request> = words
+            .iter()
+            .map(|&(t, w)| sub_request_from_words(t, w))
+            .collect();
+        let batch = Request::Batch(subs);
+        let bytes = batch.encode();
+        let decoded =
+            Request::decode(&bytes).expect("canonical batch decodes");
+        prop_assert_eq!(&decoded, &batch);
+        prop_assert_eq!(decoded.encode(), bytes.clone(), "re-encode identity");
+        // Sub-requests are self-delimiting, so a torn batch can never
+        // half-decode: every strict prefix is refused whole.
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Request::decode(&bytes[..cut]).is_none(),
+                "prefix of {} bytes decoded", cut
+            );
+        }
+        // Trailing bytes are refused whole (non-canonical frame).
+        let mut padded = bytes;
+        padded.push(words[0].0);
+        prop_assert!(Request::decode(&padded).is_none(), "trailing byte");
+    }
+
+    #[test]
+    fn nested_empty_and_overlong_batches_are_rejected(
+        tag in any::<u8>(),
+        w in any::<u64>(),
+        over in 65u32..200,
+    ) {
+        use apistudy::core::Request;
+        let sub = sub_request_from_words(tag, w);
+        // Nesting depth two: an outer batch whose single element is
+        // itself a batch. The bytes are well-formed at every other
+        // level; only the depth rule can reject them.
+        let mut nested = vec![11u8];
+        nested.extend_from_slice(&1u32.to_le_bytes());
+        nested.extend_from_slice(
+            &Request::Batch(vec![sub.clone()]).encode(),
+        );
+        prop_assert!(
+            Request::decode(&nested).is_none(),
+            "nested batch decoded"
+        );
+        // Count over MAX_BATCH, with that many real sub-encodings
+        // present, so only the cap can reject it.
+        let mut too_many = vec![11u8];
+        too_many.extend_from_slice(&over.to_le_bytes());
+        for _ in 0..over {
+            too_many.extend_from_slice(&sub.encode());
+        }
+        prop_assert!(
+            Request::decode(&too_many).is_none(),
+            "batch of {} decoded past the cap", over
+        );
+        // The empty batch is refused (count 1..=MAX_BATCH).
+        let mut empty = vec![11u8];
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        prop_assert!(Request::decode(&empty).is_none(), "empty batch");
+    }
+
+    #[test]
+    fn batch_responses_roundtrip_bit_exactly(
+        words in proptest::collection::vec(
+            (any::<u8>(), any::<u64>()), 1..65,
+        ),
+    ) {
+        use apistudy::core::Response;
+        let subs: Vec<Response> = words
+            .iter()
+            .map(|&(t, w)| sub_response_from_words(t, w))
+            .collect();
+        let batch = Response::Batch(subs);
+        let bytes = batch.encode();
+        let decoded =
+            Response::decode(&bytes).expect("canonical batch decodes");
+        prop_assert_eq!(&decoded, &batch);
+        prop_assert_eq!(decoded.encode(), bytes.clone(), "re-encode identity");
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Response::decode(&bytes[..cut]).is_none(),
+                "prefix of {} bytes decoded", cut
+            );
+        }
+        let mut nested = vec![9u8];
+        nested.extend_from_slice(&1u32.to_le_bytes());
+        nested.extend_from_slice(&bytes);
+        prop_assert!(
+            Response::decode(&nested).is_none(),
+            "nested response batch decoded"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Journal: recovery from arbitrary damage yields a valid prefix of what
 // was written — never a wrong record, never a guess.
 // ---------------------------------------------------------------------

@@ -340,6 +340,207 @@ fn chaos_waves_never_panic_and_answers_stay_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Mixed-framing load across an atomic snapshot reload: single-frame
+/// clients, pipelined clients (many frames written back to back), and
+/// Batch-frame clients all hammer the daemon while an admin client
+/// triggers a `Reload`. The swap must be invisible — every reply before,
+/// during, and after the reload stays bit-identical to the library
+/// (the rebuild is deterministic, so the new snapshot answers with the
+/// same bits), no client sees an error, and the generation bumps.
+#[test]
+fn reload_under_mixed_pipelined_and_single_frame_load_stays_bit_identical() {
+    use std::sync::atomic::AtomicU64;
+
+    let dir = scratch("reload-mix");
+    let daemon = Daemon::start(&dir, "mix", &[], &[]);
+
+    let reference = reference_study();
+    let m = reference.metrics();
+    let probe_nrs = [0u32, 1, 9, 60];
+    let imp_bits: Vec<(u64, u64)> = probe_nrs
+        .iter()
+        .map(|&nr| {
+            let api = Api::Syscall(nr);
+            (
+                m.importance(api).to_bits(),
+                m.unweighted_importance(api).to_bits(),
+            )
+        })
+        .collect();
+    let supported_vec = vec![0u32, 1, 2, 3, 9, 60, 231];
+    let supported: HashSet<u32> = supported_vec.iter().copied().collect();
+    let completeness_bits = m.syscall_completeness(&supported).to_bits();
+
+    // One probe-mix request and its bit-exact check, shared by all three
+    // client shapes (index-stable so pipelined/batch replies line up).
+    let request_at = |i: usize| -> Request {
+        match i % 6 {
+            0 => Request::Ping,
+            5 => Request::Completeness { supported: supported_vec.clone() },
+            k => Request::Importance { nr: probe_nrs[k % probe_nrs.len()] },
+        }
+    };
+    let check_at = |i: usize, resp: &Response| match (i % 6, resp) {
+        (0, Response::Pong { fingerprint, .. }) => {
+            assert_eq!(*fingerprint, daemon.fingerprint, "fingerprint drift")
+        }
+        (5, Response::Completeness { bits }) => {
+            assert_eq!(*bits, completeness_bits, "completeness drifted")
+        }
+        (k, Response::Importance { importance_bits, unweighted_bits }) => {
+            assert_eq!(
+                (*importance_bits, *unweighted_bits),
+                imp_bits[k % probe_nrs.len()],
+                "importance drifted mid-reload"
+            );
+        }
+        (_, other) => panic!("unexpected reply {other:?}"),
+    };
+
+    let stop = AtomicBool::new(false);
+    let rounds = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    let all_past = |floor: [u64; 3]| {
+        rounds
+            .iter()
+            .zip(floor)
+            .all(|(r, f)| r.load(Ordering::SeqCst) >= f + 3)
+    };
+
+    std::thread::scope(|s| {
+        // Shape 0: single-frame clients, one call per round trip.
+        for t in 0..2 {
+            let (stop, rounds) = (&stop, &rounds);
+            let (request_at, check_at) = (&request_at, &check_at);
+            let addr = daemon.addr;
+            s.spawn(move || {
+                let mut c = Client::connect(
+                    addr,
+                    RetryPolicy::default(),
+                    Duration::from_secs(10),
+                )
+                .expect("single-frame client connects");
+                let mut i = t;
+                while !stop.load(Ordering::SeqCst) {
+                    let resp = c
+                        .call(&request_at(i))
+                        .expect("single-frame call survives reload");
+                    check_at(i, &resp);
+                    i += 1;
+                    rounds[0].fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        // Shape 1: pipelined clients — 12 frames written back to back,
+        // replies read in order.
+        for t in 0..2 {
+            let (stop, rounds) = (&stop, &rounds);
+            let (request_at, check_at) = (&request_at, &check_at);
+            let addr = daemon.addr;
+            s.spawn(move || {
+                let mut c = Client::connect(
+                    addr,
+                    RetryPolicy::default(),
+                    Duration::from_secs(10),
+                )
+                .expect("pipelined client connects");
+                let reqs: Vec<Request> =
+                    (t..t + 12).map(request_at).collect();
+                while !stop.load(Ordering::SeqCst) {
+                    let replies = c
+                        .call_pipelined(&reqs)
+                        .expect("pipelined wave survives reload");
+                    for (k, resp) in replies.iter().enumerate() {
+                        check_at(t + k, resp);
+                    }
+                    rounds[1].fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            });
+        }
+        // Shape 2: batch clients — one 16-wide Batch frame per round.
+        for t in 0..2 {
+            let (stop, rounds) = (&stop, &rounds);
+            let (request_at, check_at) = (&request_at, &check_at);
+            let addr = daemon.addr;
+            s.spawn(move || {
+                let mut c = Client::connect(
+                    addr,
+                    RetryPolicy::default(),
+                    Duration::from_secs(10),
+                )
+                .expect("batch client connects");
+                let reqs: Vec<Request> =
+                    (t..t + 16).map(request_at).collect();
+                while !stop.load(Ordering::SeqCst) {
+                    let replies = c
+                        .call_batch(&reqs)
+                        .expect("batch frame survives reload");
+                    for (k, resp) in replies.iter().enumerate() {
+                        check_at(t + k, resp);
+                    }
+                    rounds[2].fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            });
+        }
+
+        // Let every shape make progress, then reload mid-flight.
+        let flowing = Instant::now() + Duration::from_secs(10);
+        while !all_past([0, 0, 0]) {
+            assert!(Instant::now() < flowing, "load never started flowing");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut admin = Client::connect(
+            daemon.addr,
+            RetryPolicy::default(),
+            Duration::from_secs(60),
+        )
+        .expect("admin client connects");
+        let Response::Pong { generation: gen_before, .. } =
+            admin.call(&Request::Ping).expect("pre-reload ping")
+        else {
+            panic!("expected Pong");
+        };
+        let at_reload = [
+            rounds[0].load(Ordering::SeqCst),
+            rounds[1].load(Ordering::SeqCst),
+            rounds[2].load(Ordering::SeqCst),
+        ];
+        match admin
+            .call(&Request::Reload {
+                expect_fingerprint: daemon.fingerprint,
+            })
+            .expect("reload completes under load")
+        {
+            Response::Reload { fingerprint, generation } => {
+                assert_eq!(
+                    fingerprint, daemon.fingerprint,
+                    "deterministic rebuild must land on the same identity"
+                );
+                assert!(generation > gen_before, "generation must bump");
+            }
+            other => panic!("expected Reload reply, got {other:?}"),
+        }
+        // Every shape must keep answering bit-identically on the new
+        // snapshot before the wave is allowed to stop.
+        let recovered = Instant::now() + Duration::from_secs(20);
+        while !all_past(at_reload) {
+            assert!(
+                Instant::now() < recovered,
+                "clients stalled after the reload swap"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    assert_no_panics(&daemon.stderr_so_far());
+    let stderr = daemon.shutdown();
+    assert_no_panics(&stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn kill9_mid_query_then_restart_from_store_reconnects_bit_identical() {
     let dir = scratch("kill9");
