@@ -356,6 +356,14 @@ pub enum JournalError {
     /// replayed greedy gain that does not reproduce). Indicates a logic
     /// or fingerprint-coverage bug; never silently ignored.
     Diverged(String),
+    /// A previous append on this handle failed (write or fsync), so the
+    /// on-disk state past the last known-good record is unknowable —
+    /// the "fsyncgate" lesson: after a failed fsync, retrying through
+    /// the same handle can silently lose data the page cache already
+    /// dropped. The handle refuses all further appends; recovery is
+    /// reopening via resume, which truncates to the longest valid
+    /// prefix.
+    FailStop,
 }
 
 impl std::fmt::Display for JournalError {
@@ -373,6 +381,11 @@ impl std::fmt::Display for JournalError {
             JournalError::Diverged(why) => {
                 write!(f, "journal diverged from the resuming run: {why}")
             }
+            JournalError::FailStop => write!(
+                f,
+                "journal fail-stopped after an append failure; reopen \
+                 with resume to recover the valid prefix"
+            ),
         }
     }
 }
@@ -395,6 +408,9 @@ pub struct Journal {
     /// Fail-point: abort the process after this many successful appends
     /// (from `APISTUDY_JOURNAL_CRASH_AFTER`; test harness only).
     crash_after: Option<u64>,
+    /// Set when an append fails; every later append returns
+    /// [`JournalError::FailStop`] (fsyncgate semantics).
+    poisoned: bool,
 }
 
 fn crash_after_from_env() -> Option<u64> {
@@ -438,6 +454,7 @@ impl Journal {
             path: path.to_owned(),
             stats: JournalStats::default(),
             crash_after: crash_after_from_env(),
+            poisoned: false,
         })
     }
 
@@ -466,6 +483,7 @@ impl Journal {
                 path: path.to_owned(),
                 stats: JournalStats { replayed, appended: 0 },
                 crash_after: crash_after_from_env(),
+                poisoned: false,
             },
             records,
         ))
@@ -561,14 +579,34 @@ impl Journal {
     /// written in a single `write_all` and fsynced before returning, so a
     /// record either survives a crash whole or is discarded as a torn
     /// tail on resume — never half-trusted.
+    ///
+    /// The write and fsync route through the fault-aware
+    /// [`crate::sys::file_write_all`] / [`crate::sys::file_sync_data`]
+    /// (callsites `journal.write` / `journal.fsync`). Any failure
+    /// poisons the handle: the bytes on disk past the last good record
+    /// are unknowable (a torn write, or an fsync whose dirty pages the
+    /// kernel dropped), so further appends fail stop with
+    /// [`JournalError::FailStop`] and recovery is a fresh
+    /// [`Journal::resume`], which truncates back to the longest valid
+    /// prefix.
     pub fn append(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
+        if self.poisoned {
+            return Err(JournalError::FailStop);
+        }
         let payload = rec.encode();
         let mut buf = Vec::with_capacity(12 + payload.len());
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&content_hash(&payload).to_le_bytes());
         buf.extend_from_slice(&payload);
-        self.file.write_all(&buf)?;
-        self.file.sync_data()?;
+        if let Err(e) =
+            crate::sys::file_write_all(&self.file, &buf, "journal.write")
+                .and_then(|()| {
+                    crate::sys::file_sync_data(&self.file, "journal.fsync")
+                })
+        {
+            self.poisoned = true;
+            return Err(JournalError::Io(e));
+        }
         self.stats.appended += 1;
         if let Some(n) = self.crash_after {
             if self.stats.appended >= n {
@@ -585,6 +623,11 @@ impl Journal {
     /// Replay/append counts so far.
     pub fn stats(&self) -> JournalStats {
         self.stats
+    }
+
+    /// Whether an append failure has fail-stopped this handle.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Where the journal lives.

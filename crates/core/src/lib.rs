@@ -43,6 +43,9 @@
 //! - [`workloads`] — evaluation-workload matching for modified APIs;
 //! - [`sys`] — classified `extern "C"` wrappers over the event-driven
 //!   syscall surface (epoll / accept4 / eventfd) the serve reactor uses;
+//! - [`sysfault`] — deterministic syscall-fault injection: a seeded,
+//!   ledgered errno-chaos plan behind every [`sys`] wrapper and the
+//!   journal/store append paths, a no-op when disarmed;
 //! - [`study::Study`] — the one-call facade.
 
 // Unsafe is denied crate-wide; the only carve-outs are `sys` (the FFI
@@ -73,6 +76,7 @@ pub mod store;
 pub mod stream;
 pub mod study;
 pub mod sys;
+pub mod sysfault;
 pub mod workloads;
 
 pub use cache::{AnalysisCache, CacheKey, CacheMode, CacheStats};
@@ -117,6 +121,9 @@ pub use serve::{
     RetryPolicy, Server, ServeOptions, ServeStats, Snapshot,
 };
 pub use store::{FootprintStore, StoreStats};
+pub use sysfault::{
+    FaultTrigger, FireAt, SysFaultKind, SysFaultPlan, SysFaultRecord,
+};
 pub use stream::{
     fold_partials, shard_partials, shard_ranges, sharded_fingerprint,
     study_sharded, study_sharded_stored, PackageAttribution, ShardPartial,

@@ -83,6 +83,29 @@ impl std::fmt::Display for FrameError {
     }
 }
 
+impl FrameError {
+    /// Whether this failure lives in the **transport**, so a reconnect
+    /// (with backoff) may genuinely succeed: the peer vanished
+    /// (`Closed`/`Truncated`), the socket failed (`Io` — `EINTR`,
+    /// `EAGAIN`, `ECONNRESET` mid-handshake), the server said come back
+    /// later (`Draining`), or it simply never answered in budget
+    /// (`Idle`/`Deadline`). The remaining cases — `Checksum`,
+    /// `TooLarge` — mean the *content* is wrong: the same bytes will be
+    /// wrong on every retry, so retrying a malformed reply only burns
+    /// the backoff budget and masks corruption.
+    pub fn is_transport(&self) -> bool {
+        match self {
+            FrameError::Closed
+            | FrameError::Truncated
+            | FrameError::Io(_)
+            | FrameError::Idle
+            | FrameError::Deadline
+            | FrameError::Draining => true,
+            FrameError::Checksum | FrameError::TooLarge(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for FrameError {}
 
 /// Classified request-level failures, carried in [`Response::Err`]

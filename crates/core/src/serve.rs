@@ -262,6 +262,17 @@ pub struct ServeStats {
     pub batch_frames: u64,
     /// Sub-requests answered inside batch frames.
     pub batch_requests: u64,
+    /// Classified syscall failures the reactor degraded through instead
+    /// of panicking: fatal socket read/write errnos, failed epoll
+    /// registrations or interest updates. Each one left the affected
+    /// connection closed (or its interest stale until a deadline), never
+    /// the reactor down.
+    pub io_errors: u64,
+    /// Times `accept4` hit fd exhaustion (`EMFILE`/`ENFILE`) and the
+    /// reactor paused accepting: the emergency-fd reserve was spent to
+    /// shed one queued connection with a classified `Busy`, and
+    /// accepting resumed once a connection slot was released.
+    pub accept_pauses: u64,
 }
 
 #[derive(Default)]
@@ -276,6 +287,8 @@ struct StatCells {
     cache_misses: AtomicU64,
     batch_frames: AtomicU64,
     batch_requests: AtomicU64,
+    io_errors: AtomicU64,
+    accept_pauses: AtomicU64,
 }
 
 // ---------------------------------------------------------------------------
@@ -426,6 +439,8 @@ impl Shared {
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
             batch_frames: s.batch_frames.load(Ordering::Relaxed),
             batch_requests: s.batch_requests.load(Ordering::Relaxed),
+            io_errors: s.io_errors.load(Ordering::Relaxed),
+            accept_pauses: s.accept_pauses.load(Ordering::Relaxed),
         }
     }
 }
@@ -673,6 +688,35 @@ fn reactor_loop(listener: TcpListener, shared: &Arc<Shared>) {
     shared.jobs_cv.notify_all();
 }
 
+/// The emergency descriptor reserve for `EMFILE` recovery: one spare fd
+/// (on `/dev/null`) held open in calm times. When `accept4` reports fd
+/// exhaustion the reserve is spent — closed to free a descriptor so one
+/// queued connection can still be accepted and told `Busy` — then
+/// refilled once the table has room again. Without it, exhaustion means
+/// the backlog silently rots: clients see an accepted-but-never-served
+/// socket instead of a classified rejection.
+struct FdReserve {
+    spare: Option<std::fs::File>,
+}
+
+impl FdReserve {
+    fn new() -> Self {
+        Self { spare: std::fs::File::open("/dev/null").ok() }
+    }
+
+    /// Frees the spare descriptor (a no-op if already spent).
+    fn spend(&mut self) {
+        self.spare = None;
+    }
+
+    /// Re-opens the spare (a no-op if still held).
+    fn refill(&mut self) {
+        if self.spare.is_none() {
+            self.spare = std::fs::File::open("/dev/null").ok();
+        }
+    }
+}
+
 fn reactor_run(
     listener: &TcpListener,
     shared: &Arc<Shared>,
@@ -686,8 +730,27 @@ fn reactor_run(
     let mut ready: Vec<(u64, u32)> = Vec::with_capacity(EVENTS_CAP);
     let mut accepting = true;
     let mut drain_deadline: Option<Instant> = None;
+    let mut reserve = FdReserve::new();
+    // `Some(n)` while accepting is paused on fd exhaustion: the number
+    // of live connections at pause time. Accepting resumes once a
+    // connection has closed (fewer live than at the pause), which is
+    // what frees a descriptor.
+    let mut paused_at: Option<usize> = None;
 
     loop {
+        // Fd-exhaustion recovery: a closed connection released a
+        // descriptor, so re-register the listener and refill the spare.
+        if let Some(at) = paused_at {
+            if accepting && (at == 0 || conns.len() < at) {
+                reserve.refill();
+                if ep
+                    .add(listener.as_raw_fd(), EPOLLIN, TOK_LISTENER)
+                    .is_ok()
+                {
+                    paused_at = None;
+                }
+            }
+        }
         // Drain bookkeeping first: stop accepting, tell quiet
         // connections to go, and bound the whole wind-down.
         if shared.drain.load(Ordering::SeqCst) {
@@ -741,7 +804,16 @@ fn reactor_run(
                     Some(next_at.map_or(at, |cur: Instant| cur.min(at)));
             }
         }
-        let timeout = next_at.map(|at| at.saturating_duration_since(now));
+        let mut timeout =
+            next_at.map(|at| at.saturating_duration_since(now));
+        // Completions may already be queued (pushed between the last
+        // delivery and now, or their doorbell ring was swallowed by a
+        // spurious eventfd EAGAIN). Don't sleep on work in hand — a
+        // connection waiting on its own job carries no deadline, so a
+        // lost wakeup here would otherwise strand it forever.
+        if !lock_or_inner(&shared.done).is_empty() {
+            timeout = Some(Duration::ZERO);
+        }
         let batch = ep.wait(&mut events, timeout)?;
         ready.clear();
         ready.extend(batch.iter().map(|e| (e.data(), e.ready())));
@@ -754,7 +826,9 @@ fn reactor_run(
                     shared,
                     &mut conns,
                     &mut next_token,
-                    accepting,
+                    accepting && paused_at.is_none(),
+                    &mut reserve,
+                    &mut paused_at,
                 ),
                 TOK_WAKE => {
                     let _ = shared.wakeup.drain();
@@ -783,6 +857,7 @@ fn reactor_run(
 
 /// Accept everything queued on the listener (level-triggered epoll would
 /// re-report, but draining the backlog per wakeup is cheaper).
+#[allow(clippy::too_many_arguments)]
 fn accept_burst(
     listener: &TcpListener,
     ep: &Epoll,
@@ -790,6 +865,8 @@ fn accept_burst(
     conns: &mut HashMap<u64, Conn>,
     next_token: &mut u64,
     accepting: bool,
+    reserve: &mut FdReserve,
+    paused_at: &mut Option<usize>,
 ) {
     if !accepting {
         return;
@@ -798,7 +875,35 @@ fn accept_burst(
         let stream = match accept_nonblocking(listener) {
             Ok(Some(s)) => s,
             Ok(None) => return,
-            Err(_) => return,
+            Err(e) if e.kind() == SysErrorKind::FdExhausted => {
+                // Out of descriptors. Spend the emergency reserve so one
+                // queued connection can still be accepted and told Busy
+                // (otherwise the backlog rots unanswered), then pause
+                // accepting until a live connection closes.
+                shared.stats.accept_pauses.fetch_add(1, Ordering::Relaxed);
+                reserve.spend();
+                if let Ok(Some(s)) = accept_nonblocking(listener) {
+                    shared
+                        .stats
+                        .rejected_busy
+                        .fetch_add(1, Ordering::Relaxed);
+                    let frame = encode_frame(
+                        &Response::err(
+                            ErrorCode::Busy,
+                            "server out of descriptors",
+                        )
+                        .encode(),
+                    );
+                    let _ = write_fd(s.as_raw_fd(), &frame);
+                }
+                let _ = ep.del(listener.as_raw_fd());
+                *paused_at = Some(conns.len());
+                return;
+            }
+            Err(_) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         };
         if conns.len() >= shared.opts.max_conns {
             shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -817,6 +922,16 @@ fn accept_burst(
         *next_token += 1;
         let mut conn = Conn::new(stream, shared.live());
         if ep.add(conn.stream.as_raw_fd(), EPOLLIN, token).is_err() {
+            // Registration failed (ENOMEM): the connection can never be
+            // served. Classify the degrade — a best-effort Busy so the
+            // peer sees a reason, a counter so the footer shows it.
+            shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let frame = encode_frame(
+                &Response::err(ErrorCode::Busy, "registration failed")
+                    .encode(),
+            );
+            let _ = write_fd(conn.stream.as_raw_fd(), &frame);
             continue;
         }
         conn.rearm(&shared.opts);
@@ -845,8 +960,16 @@ fn handle_readable(conn: &mut Conn, shared: &Arc<Shared>) {
                 match e.kind() {
                     SysErrorKind::WouldBlock => break,
                     SysErrorKind::Interrupted => continue,
-                    _ => {
+                    kind => {
                         // Peer gone or fatal: nothing to flush to, close.
+                        // A disconnect is the peer's business; anything
+                        // else is our syscall failing — count it.
+                        if kind != SysErrorKind::Disconnected {
+                            shared
+                                .stats
+                                .io_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                         conn.shut_after_flush = true;
                         conn.pending.clear();
                         conn.wbuf.clear();
@@ -945,7 +1068,7 @@ fn service(
 ) {
     let Some(conn) = conns.get_mut(&token) else { return };
     let job = pump(token, conn, shared);
-    let verdict = flush(conn);
+    let verdict = flush(conn, shared);
     let gone = match verdict {
         Verdict::Drop => true,
         Verdict::Keep => {
@@ -961,10 +1084,18 @@ fn service(
         conns.remove(&token);
     } else {
         let want = conn.desired_interest();
-        if want != conn.interest
-            && ep.modify(conn.stream.as_raw_fd(), want, token).is_ok()
-        {
-            conn.interest = want;
+        if want != conn.interest {
+            match ep.modify(conn.stream.as_raw_fd(), want, token) {
+                Ok(()) => conn.interest = want,
+                Err(_) => {
+                    // Interest unchanged (ENOMEM on epoll_ctl): the old
+                    // level-triggered mask still wakes us for what it
+                    // covers, and whatever it misses is bounded by the
+                    // connection's armed deadline — a counted degrade,
+                    // never a reactor failure.
+                    shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         conn.rearm(&shared.opts);
     }
@@ -1053,8 +1184,10 @@ fn pump(token: u64, conn: &mut Conn, shared: &Arc<Shared>) -> Option<Job> {
 }
 
 /// Write until the socket would block. Compacts the flushed prefix
-/// lazily so steady pipelining never memmoves per frame.
-fn flush(conn: &mut Conn) -> Verdict {
+/// lazily so steady pipelining never memmoves per frame. Short writes
+/// (including injected 1-byte ones) advance `woff` and continue — the
+/// drain state machine picks up from the exact short position.
+fn flush(conn: &mut Conn, shared: &Arc<Shared>) -> Verdict {
     let fd = conn.stream.as_raw_fd();
     while conn.has_unsent() {
         match write_fd(fd, &conn.wbuf[conn.woff..]) {
@@ -1062,7 +1195,15 @@ fn flush(conn: &mut Conn) -> Verdict {
             Err(e) => match e.kind() {
                 SysErrorKind::WouldBlock => break,
                 SysErrorKind::Interrupted => continue,
-                _ => return Verdict::Drop,
+                kind => {
+                    if kind != SysErrorKind::Disconnected {
+                        shared
+                            .stats
+                            .io_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Verdict::Drop;
+                }
             },
         }
     }
@@ -1661,6 +1802,26 @@ impl std::fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether reconnect-and-retry can plausibly cure this failure.
+    /// Transport trouble (socket errors, the peer gone, a reply that
+    /// never arrived, a draining server) is retryable; a **malformed or
+    /// classified-fatal reply** (checksum mismatch, oversized frame,
+    /// undecodable payload, a batch-level rejection) is not — the
+    /// server answered, the answer is wrong, and backoff-and-jitter
+    /// would just replay the same failure while hiding it from the
+    /// caller.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Frame(e) => e.is_transport(),
+            ClientError::Protocol => false,
+            ClientError::Rejected(..) => false,
+            ClientError::Exhausted(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 /// A blocking daemon client with backoff-and-jitter reconnects. Every
@@ -1776,11 +1937,15 @@ impl Client {
         Ok(out)
     }
 
-    /// [`Client::call`] with reconnect-and-retry on transport failure and
-    /// on `Busy`/`Draining` replies (the admission-control and
-    /// crash-restart path). **Not** safe for session requests — a
-    /// reconnect silently drops the per-connection session; callers
-    /// re-open sessions themselves.
+    /// [`Client::call`] with reconnect-and-retry on **retryable**
+    /// transport failure ([`ClientError::is_retryable`]) and on
+    /// `Busy`/`Draining` replies (the admission-control and
+    /// crash-restart path). A fatal classified failure — a malformed
+    /// reply (checksum, oversize, undecodable) or a batch rejection —
+    /// returns immediately: the server answered and retrying the same
+    /// wrong answer would only burn the backoff budget. **Not** safe
+    /// for session requests — a reconnect silently drops the
+    /// per-connection session; callers re-open sessions themselves.
     pub fn call_retrying(
         &mut self,
         req: &Request,
@@ -1806,7 +1971,8 @@ impl Client {
                     last = format!("{}: {msg}", code.label());
                 }
                 Ok(resp) => return Ok(resp),
-                Err(e) => last = e.to_string(),
+                Err(e) if e.is_retryable() => last = e.to_string(),
+                Err(e) => return Err(e),
             }
         }
         Err(ClientError::Exhausted(last))

@@ -90,6 +90,11 @@ pub struct StoreStats {
 pub struct FootprintStore {
     file: File,
     path: PathBuf,
+    /// Set when an append fails; every later append returns
+    /// [`JournalError::FailStop`] — after a failed write or fsync the
+    /// on-disk tail is unknowable, so the handle fail-stops and
+    /// recovery is reopening via [`FootprintStore::resume`].
+    poisoned: bool,
 }
 
 fn header_bytes(fp: &RunFingerprint) -> Vec<u8> {
@@ -365,7 +370,7 @@ impl FootprintStore {
         }
         std::fs::rename(&tmp, path)?;
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(Self { file, path: path.to_owned() })
+        Ok(Self { file, path: path.to_owned(), poisoned: false })
     }
 
     /// Opens an existing store for resumption: verifies the header
@@ -385,7 +390,7 @@ impl FootprintStore {
         }
         drop(file);
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok((Self { file, path: path.to_owned() }, partials))
+        Ok((Self { file, path: path.to_owned(), poisoned: false }, partials))
     }
 
     /// Resumes when `path` holds a compatible store, otherwise creates a
@@ -537,6 +542,9 @@ impl FootprintStore {
         &mut self,
         partial: &ShardPartial,
     ) -> Result<(), JournalError> {
+        if self.poisoned {
+            return Err(JournalError::FailStop);
+        }
         debug_assert!(
             partial.diagnostics.is_clean(),
             "only clean shards are persisted"
@@ -557,9 +565,21 @@ impl FootprintStore {
         payload.clear();
         encode_marker(&mut payload, partial);
         frame(&mut out, &payload);
-        self.file.write_all(&out)?;
-        self.file.sync_data()?;
+        if let Err(e) =
+            crate::sys::file_write_all(&self.file, &out, "store.write")
+                .and_then(|()| {
+                    crate::sys::file_sync_data(&self.file, "store.fsync")
+                })
+        {
+            self.poisoned = true;
+            return Err(JournalError::Io(e));
+        }
         Ok(())
+    }
+
+    /// Whether an append failure has fail-stopped this handle.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Where the store lives.

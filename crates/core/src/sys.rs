@@ -17,11 +17,20 @@
 //! Errno handling is explicit: every failing call captures `errno` at
 //! the call site and carries the call's name, and [`SysError::kind`]
 //! classifies the handful of values control flow depends on
-//! (would-block, interrupted, peer-gone) so callers never match on raw
-//! integers.
+//! (would-block, interrupted, peer-gone, fd-exhausted) so callers never
+//! match on raw integers.
+//!
+//! Every wrapper is also a fault-injection point: it consults the
+//! [`crate::sysfault`] shim with its callsite tag before crossing the C
+//! boundary, so an armed plan can make any call here fail with a
+//! plausible errno (or transfer short) deterministically. Disarmed, the
+//! check is a single relaxed atomic load.
 
 #![allow(unsafe_code)]
 
+use crate::sysfault::{self, SysFaultKind};
+use std::fs::File;
+use std::io::{self, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::os::raw::{c_int, c_uint, c_void};
 use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
@@ -83,6 +92,8 @@ const EINTR: i32 = 4;
 const EAGAIN: i32 = 11;
 const EPIPE: i32 = 32;
 const ECONNRESET: i32 = 104;
+const ENFILE: i32 = 23;
+const EMFILE: i32 = 24;
 
 /// One readiness record, kernel layout. On x86-64 the kernel declares
 /// `struct epoll_event` packed (12 bytes); elsewhere it is naturally
@@ -130,6 +141,9 @@ pub enum SysErrorKind {
     Interrupted,
     /// `EPIPE`/`ECONNRESET`: the peer is gone; close the connection.
     Disconnected,
+    /// `EMFILE`/`ENFILE`: the process (or system) descriptor table is
+    /// full; stop creating descriptors until one is released.
+    FdExhausted,
     /// Anything else (including `EBADF`, which is always a logic bug).
     Other,
 }
@@ -148,9 +162,22 @@ impl SysError {
             EAGAIN => SysErrorKind::WouldBlock,
             EINTR => SysErrorKind::Interrupted,
             EPIPE | ECONNRESET => SysErrorKind::Disconnected,
+            EMFILE | ENFILE => SysErrorKind::FdExhausted,
             _ => SysErrorKind::Other,
         }
     }
+}
+
+/// Materializes an injected fault as the [`SysError`] the real call
+/// would have produced. `ShortIo` has no errno; if a plan forces it at
+/// a non-stream site it degrades to `EINTR` (a retry), never a bogus
+/// errno 0.
+fn fault_error(site: &'static str, kind: SysFaultKind) -> SysError {
+    let errno = match kind.errno() {
+        0 => EINTR,
+        e => e,
+    };
+    SysError { call: site, errno }
 }
 
 impl std::fmt::Display for SysError {
@@ -185,6 +212,9 @@ impl Epoll {
         events: u32,
         token: u64,
     ) -> Result<(), SysError> {
+        if let Some(k) = sysfault::check(call) {
+            return Err(fault_error(call, k));
+        }
         let mut ev = EpollEvent { events, token };
         // SAFETY: `ev` outlives the call; the kernel copies it before
         // returning. A DEL op ignores the event pointer entirely.
@@ -232,6 +262,13 @@ impl Epoll {
             None => -1,
         };
         loop {
+            if let Some(k) = sysfault::check("epoll_wait") {
+                let err = fault_error("epoll_wait", k);
+                if err.kind() == SysErrorKind::Interrupted {
+                    continue; // the same signal-retry path a real EINTR takes
+                }
+                return Err(err);
+            }
             // SAFETY: `events` is a valid, writable slice; maxevents is
             // its exact length, so the kernel cannot write past it.
             let rc = unsafe {
@@ -287,39 +324,63 @@ impl EventFd {
 
     /// Rings the doorbell. Safe from any thread; a full counter
     /// (`WouldBlock`) already guarantees the reader will wake, so that
-    /// case is success, not failure.
+    /// case is success, not failure, and `EINTR` retries — a signal
+    /// landing mid-ring must never lose a wakeup.
     pub fn signal(&self) -> Result<(), SysError> {
         let one: u64 = 1;
-        // SAFETY: 8 valid bytes for the eventfd write protocol.
-        let rc = unsafe {
-            write(self.fd, (&one as *const u64).cast::<c_void>(), 8)
-        };
-        if rc < 0 {
-            let err = SysError::capture("write(eventfd)");
-            if err.kind() == SysErrorKind::WouldBlock {
+        loop {
+            if let Some(k) = sysfault::check("write(eventfd)") {
+                let err = fault_error("write(eventfd)", k);
+                match err.kind() {
+                    SysErrorKind::WouldBlock => return Ok(()),
+                    SysErrorKind::Interrupted => continue,
+                    _ => return Err(err),
+                }
+            }
+            // SAFETY: 8 valid bytes for the eventfd write protocol.
+            let rc = unsafe {
+                write(self.fd, (&one as *const u64).cast::<c_void>(), 8)
+            };
+            if rc >= 0 {
                 return Ok(());
             }
-            return Err(err);
+            let err = SysError::capture("write(eventfd)");
+            match err.kind() {
+                SysErrorKind::WouldBlock => return Ok(()),
+                SysErrorKind::Interrupted => continue,
+                _ => return Err(err),
+            }
         }
-        Ok(())
     }
 
     /// Clears the counter, returning how many signals had accumulated
-    /// (0 if the bell was not rung — a spurious wake).
+    /// (0 if the bell was not rung — a spurious wake). `EINTR` retries;
+    /// a swallowed drain would leave the bell permanently ready.
     pub fn drain(&self) -> Result<u64, SysError> {
         let mut count: u64 = 0;
-        // SAFETY: 8 writable bytes for the eventfd read protocol.
-        let rc = unsafe {
-            read(self.fd, (&mut count as *mut u64).cast::<c_void>(), 8)
-        };
-        if rc < 0 {
-            let err = SysError::capture("read(eventfd)");
-            if err.kind() == SysErrorKind::WouldBlock {
-                return Ok(0);
+        loop {
+            if let Some(k) = sysfault::check("read(eventfd)") {
+                let err = fault_error("read(eventfd)", k);
+                match err.kind() {
+                    SysErrorKind::WouldBlock => return Ok(0),
+                    SysErrorKind::Interrupted => continue,
+                    _ => return Err(err),
+                }
             }
-            return Err(err);
+            // SAFETY: 8 writable bytes for the eventfd read protocol.
+            let rc = unsafe {
+                read(self.fd, (&mut count as *mut u64).cast::<c_void>(), 8)
+            };
+            if rc >= 0 {
+                return Ok(count);
+            }
+            let err = SysError::capture("read(eventfd)");
+            match err.kind() {
+                SysErrorKind::WouldBlock => return Ok(0),
+                SysErrorKind::Interrupted => continue,
+                _ => return Err(err),
+            }
         }
-        Ok(count)
     }
 }
 
@@ -338,6 +399,17 @@ pub fn accept_nonblocking(
     listener: &TcpListener,
 ) -> Result<Option<TcpStream>, SysError> {
     loop {
+        if let Some(k) = sysfault::check("accept4") {
+            let err = fault_error("accept4", k);
+            match err.kind() {
+                SysErrorKind::WouldBlock => return Ok(None),
+                SysErrorKind::Interrupted
+                | SysErrorKind::Disconnected => continue,
+                // FdExhausted (EMFILE/ENFILE) and Other surface to the
+                // reactor, which pauses accepting on exhaustion.
+                _ => return Err(err),
+            }
+        }
         // SAFETY: null addr/addrlen is the documented "don't care" form.
         let fd = unsafe {
             accept4(
@@ -359,35 +431,120 @@ pub fn accept_nonblocking(
             // A connection that was reset between arrival and accept is
             // not the listener's problem; try the next one.
             SysErrorKind::Disconnected => continue,
-            SysErrorKind::Other => return Err(err),
+            SysErrorKind::FdExhausted | SysErrorKind::Other => {
+                return Err(err)
+            }
         }
     }
 }
 
-/// Raw nonblocking read. `Ok(0)` is end-of-stream (peer closed).
+/// Raw nonblocking read. `Ok(0)` is end-of-stream (peer closed). An
+/// injected `ShortIo` clamps the transfer to one byte — a real read,
+/// just maximally short — so accumulation logic is exercised, not faked.
 pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> Result<usize, SysError> {
-    // SAFETY: `buf` is a valid writable slice; count is its exact length.
-    let rc = unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+    let mut len = buf.len();
+    if let Some(k) = sysfault::check("read") {
+        if k == SysFaultKind::ShortIo {
+            len = len.min(1);
+        } else {
+            return Err(fault_error("read", k));
+        }
+    }
+    // SAFETY: `buf` is a valid writable slice; count never exceeds it.
+    let rc = unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), len) };
     if rc < 0 {
         return Err(SysError::capture("read"));
     }
     Ok(rc as usize)
 }
 
-/// Raw nonblocking write. Short writes are normal under backpressure.
+/// Raw nonblocking write. Short writes are normal under backpressure;
+/// an injected `ShortIo` forces the shortest one possible (1 byte).
 pub fn write_fd(fd: RawFd, buf: &[u8]) -> Result<usize, SysError> {
-    // SAFETY: `buf` is a valid readable slice; count is its exact length.
-    let rc = unsafe { write(fd, buf.as_ptr().cast::<c_void>(), buf.len()) };
+    let mut len = buf.len();
+    if let Some(k) = sysfault::check("write") {
+        if k == SysFaultKind::ShortIo {
+            len = len.min(1);
+        } else {
+            return Err(fault_error("write", k));
+        }
+    }
+    // SAFETY: `buf` is a valid readable slice; count never exceeds it.
+    let rc = unsafe { write(fd, buf.as_ptr().cast::<c_void>(), len) };
     if rc < 0 {
         return Err(SysError::capture("write"));
     }
     Ok(rc as usize)
 }
 
+/// Fault-aware `write_all` for the durable append paths (journal and
+/// store), tagged with their callsite (`"journal.write"` /
+/// `"store.write"`). Injected `EINTR` retries in place, `ShortIo`
+/// continues from the short position, and `ENOSPC` first lands a torn
+/// prefix of the remaining bytes — a real full disk tears writes — then
+/// surfaces as a classified `io::Error`; `EIO` (and any other errno a
+/// plan forces) surfaces directly. Disarmed, this is `write_all`.
+pub fn file_write_all(
+    mut file: &File,
+    buf: &[u8],
+    site: &'static str,
+) -> io::Result<()> {
+    let mut off = 0usize;
+    while off < buf.len() {
+        match sysfault::check(site) {
+            None => {
+                file.write_all(&buf[off..])?;
+                off = buf.len();
+            }
+            Some(SysFaultKind::Eintr) | Some(SysFaultKind::Eagain) => {
+                continue; // retried; the ledger still records the fault
+            }
+            Some(SysFaultKind::ShortIo) => {
+                file.write_all(&buf[off..=off])?;
+                off += 1;
+            }
+            Some(SysFaultKind::Enospc) => {
+                let torn = (buf.len() - off) / 2;
+                file.write_all(&buf[off..off + torn])?;
+                return Err(io::Error::from_raw_os_error(
+                    SysFaultKind::Enospc.errno(),
+                ));
+            }
+            Some(k) => {
+                return Err(io::Error::from_raw_os_error(fault_error(
+                    site, k,
+                )
+                .errno));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fault-aware `sync_data` for the durable append paths, tagged
+/// (`"journal.fsync"` / `"store.fsync"`). Injected `EINTR` retries;
+/// `EIO`/`ENOSPC` surface classified — the "fsyncgate" trigger: after a
+/// failed fsync the page-cache state is unknowable, so callers must
+/// fail stop, not retry. Disarmed, this is `sync_data`.
+pub fn file_sync_data(file: &File, site: &'static str) -> io::Result<()> {
+    loop {
+        match sysfault::check(site) {
+            None => return file.sync_data(),
+            Some(SysFaultKind::Eintr)
+            | Some(SysFaultKind::Eagain)
+            | Some(SysFaultKind::ShortIo) => continue,
+            Some(k) => {
+                return Err(io::Error::from_raw_os_error(
+                    fault_error(site, k).errno,
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write as _;
 
     const EBADF: i32 = 9;
 

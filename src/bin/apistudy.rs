@@ -123,7 +123,7 @@ fn usage() -> ! {
          \x20         | faults [fault-seed] [--journal <path> [--resume]]\n\
          \x20         | serve [--port N] [--max-conns N] [--workers N]\n\
          \x20                 [--request-deadline-ms N] [--idle-deadline-ms N]\n\
-         \x20                 [--no-cache] [--self-audit]\n\
+         \x20                 [--no-cache] [--self-audit] [--sys-faults SPEC]\n\
          \x20         | query <addr> ping|importance|completeness|suggest\n\
          \x20                        |probe|reload|shutdown ..."
     );
@@ -793,8 +793,27 @@ fn run_serve(
         workers: parsed(take_opt(&mut rest, "--workers"), 0usize),
         cache: !take_flag(&mut rest, "--no-cache"),
     };
+    // Deterministic syscall-fault injection (chaos harnesses): the flag
+    // wins over the APISTUDY_SYS_FAULTS environment variable, matching
+    // the precedence of every other knob. Disarmed, the shim is a
+    // single atomic load per syscall.
+    let fault_spec = take_opt(&mut rest, "--sys-faults")
+        .or_else(|| std::env::var("APISTUDY_SYS_FAULTS").ok())
+        .filter(|s| !s.trim().is_empty());
     if !rest.is_empty() || opts.max_conns == 0 {
         usage();
+    }
+    if let Some(spec) = &fault_spec {
+        match apistudy::core::SysFaultPlan::parse(spec) {
+            Ok(plan) => {
+                apistudy::core::sysfault::install(plan);
+                eprintln!("sys-faults armed: {spec}");
+            }
+            Err(why) => {
+                eprintln!("bad --sys-faults spec: {why}");
+                exit(2)
+            }
+        }
     }
     let packages = study.data().packages.len();
 
@@ -860,7 +879,8 @@ fn run_serve(
     eprintln!(
         "drained: {} connections, {} requests served, {} busy-rejected, \
          {} malformed, {} deadline-closed, {} reloads; \
-         cache {} hits / {} misses; batch {} frames / {} sub-requests",
+         cache {} hits / {} misses; batch {} frames / {} sub-requests; \
+         {} io-errors, {} accept-pauses",
         stats.connections,
         stats.served,
         stats.rejected_busy,
@@ -871,7 +891,13 @@ fn run_serve(
         stats.cache_misses,
         stats.batch_frames,
         stats.batch_requests,
+        stats.io_errors,
+        stats.accept_pauses,
     );
+    if fault_spec.is_some() {
+        let injected = apistudy::core::sysfault::clear();
+        eprintln!("sys-faults injected: {}", injected.len());
+    }
     exit(0)
 }
 

@@ -1107,6 +1107,108 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Incremental frame scan: however the bytes arrive — one at a time, or
+// chopped at arbitrary split points — the scanner reports "partial"
+// until the exact byte that completes the frame, and the decoded
+// payload is bit-identical to the one-shot decode. This is the
+// invariant the reactor's accumulation buffer rides on when the fault
+// shim clamps socket reads to one byte.
+// ---------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_scan_is_split_invariant(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        cut_words in proptest::collection::vec(any::<u64>(), 1..8),
+        trailer in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        use apistudy::core::{encode_frame, scan_frame, FRAME_HEADER};
+        let frame = encode_frame(&payload);
+
+        // One-shot reference.
+        let total = match scan_frame(&frame) {
+            Ok(Some(t)) => t,
+            other => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("one-shot scan failed: {other:?}"),
+            )),
+        };
+        prop_assert_eq!(total, frame.len());
+        prop_assert_eq!(&frame[FRAME_HEADER..total], &payload[..]);
+
+        // One byte at a time: partial on every strict prefix (except
+        // an over-cap header, which cannot happen for a real encode),
+        // complete and bit-identical on the final byte.
+        let mut buf: Vec<u8> = Vec::with_capacity(frame.len());
+        for (i, &b) in frame.iter().enumerate() {
+            buf.push(b);
+            match scan_frame(&buf) {
+                Ok(None) => prop_assert!(
+                    i + 1 < frame.len(),
+                    "scanner still partial on the complete frame"
+                ),
+                Ok(Some(t)) => {
+                    prop_assert_eq!(
+                        i + 1,
+                        frame.len(),
+                        "scanner completed early at byte {}", i
+                    );
+                    prop_assert_eq!(t, total);
+                    prop_assert_eq!(&buf[FRAME_HEADER..t], &payload[..]);
+                }
+                Err(e) => return Err(
+                    proptest::test_runner::TestCaseError::fail(format!(
+                        "byte-wise scan classified a clean frame at {i}: {e}"
+                    )),
+                ),
+            }
+        }
+
+        // Arbitrary split points: the same frame chopped into random
+        // chunks (with unrelated trailing bytes already buffered after
+        // it, as pipelined clients produce) scans to the same boundary
+        // and the same payload bits.
+        let mut cuts: Vec<usize> = cut_words
+            .iter()
+            .map(|w| (*w as usize) % (frame.len() + 1))
+            .collect();
+        cuts.push(0);
+        cuts.push(frame.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut buf: Vec<u8> = Vec::with_capacity(frame.len());
+        for pair in cuts.windows(2) {
+            let chunk = &frame[pair[0]..pair[1]];
+            buf.extend_from_slice(chunk);
+            let complete = buf.len() == frame.len();
+            match scan_frame(&buf) {
+                Ok(None) => prop_assert!(!complete, "partial at the end"),
+                Ok(Some(t)) => {
+                    prop_assert!(complete, "completed before the boundary");
+                    prop_assert_eq!(t, total);
+                    prop_assert_eq!(&buf[FRAME_HEADER..t], &payload[..]);
+                }
+                Err(e) => return Err(
+                    proptest::test_runner::TestCaseError::fail(format!(
+                        "chunked scan classified a clean frame: {e}"
+                    )),
+                ),
+            }
+        }
+        buf.extend_from_slice(&trailer);
+        match scan_frame(&buf) {
+            Ok(Some(t)) => {
+                prop_assert_eq!(t, total, "trailing bytes moved the boundary");
+                prop_assert_eq!(&buf[FRAME_HEADER..t], &payload[..]);
+            }
+            other => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("buffered trailer broke the scan: {other:?}"),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Journal: recovery from arbitrary damage yields a valid prefix of what
 // was written — never a wrong record, never a guess.
 // ---------------------------------------------------------------------

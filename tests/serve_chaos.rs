@@ -541,6 +541,165 @@ fn reload_under_mixed_pipelined_and_single_frame_load_stays_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Errno chaos through the real binary: the daemon runs with the
+/// syscall-fault shim armed (`--sys-faults "*:auto@every7"`, three
+/// seeds), injecting a site-plausible errno — `EINTR`, `EAGAIN`, short
+/// I/O, `EMFILE`, `ENOMEM` — into every 7th shimmed syscall while
+/// clients hammer real queries. Every reply must be bit-identical to
+/// the direct library call or a classified error, the daemon must
+/// drain cleanly, and its stderr must show zero panics and a non-zero
+/// injection ledger.
+///
+/// The period is deliberately co-prime with the reactor's accept cycle
+/// (5 shimmed syscalls per idle accept): a period of 5 *resonates* —
+/// the injection lands on `epoll_ctl(ADD)` for every single new
+/// connection, each one correctly classified `Busy` but availability
+/// pinned at zero. With 7, the phase walks and every path gets hit.
+#[test]
+fn errno_chaos_replies_stay_bit_identical_or_classified() {
+    let reference = reference_study();
+    let m = reference.metrics();
+    let probe_nrs = [0u32, 1, 9, 60];
+    let imp_bits: Vec<u64> = probe_nrs
+        .iter()
+        .map(|&nr| m.importance(Api::Syscall(nr)).to_bits())
+        .collect();
+
+    for seed in [0xC4A0u64, 0xC4A1, 0xC4A2] {
+        let dir = scratch(&format!("errno-{seed:x}"));
+        let spec = format!("*:auto@every7;seed={seed}");
+        let daemon = Daemon::start(
+            &dir,
+            "errno",
+            &[],
+            &["--request-deadline-ms", "1500", "--sys-faults", &spec],
+        );
+
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(200),
+            seed,
+        };
+        let mut clean = 0u32;
+        let mut classified = 0u32;
+        for round in 0..30u32 {
+            // Fresh connections each round keep the accept path (and
+            // its EMFILE pause/resume machinery) in the blast radius.
+            let Ok(mut c) = Client::connect(
+                daemon.addr,
+                policy,
+                Duration::from_secs(10),
+            ) else {
+                classified += 1;
+                continue;
+            };
+            let nr = probe_nrs[(round as usize) % probe_nrs.len()];
+            match c.call_retrying(&Request::Importance { nr }) {
+                Ok(Response::Importance { importance_bits, .. }) => {
+                    assert_eq!(
+                        importance_bits,
+                        imp_bits[(round as usize) % probe_nrs.len()],
+                        "seed {seed:#x} round {round}: importance({nr}) \
+                         drifted under errno chaos"
+                    );
+                    clean += 1;
+                }
+                Ok(Response::Err { .. }) | Err(_) => classified += 1,
+                Ok(other) => panic!(
+                    "seed {seed:#x}: unexpected reply {other:?}"
+                ),
+            }
+        }
+        // Injected faults are absorbable or classified-and-recoverable;
+        // with retries the overwhelming majority of rounds must land.
+        assert!(
+            clean >= 24,
+            "seed {seed:#x}: only {clean}/30 rounds succeeded \
+             ({classified} classified)"
+        );
+        // Liveness probe, chaos-tolerant: the shim is still armed, so
+        // the probe's own connection registration can eat an injected
+        // fault and come back classified (`busy`) — retry on a fresh
+        // connection until a Pong lands.
+        let mut alive = false;
+        for _ in 0..10 {
+            let mut c = daemon.client();
+            match c.call(&Request::Ping) {
+                Ok(Response::Pong { fingerprint, .. }) => {
+                    assert_eq!(fingerprint, daemon.fingerprint);
+                    alive = true;
+                    break;
+                }
+                Ok(Response::Err { .. }) | Err(_) => continue,
+                Ok(other) => panic!(
+                    "seed {seed:#x}: liveness probe got {other:?}"
+                ),
+            }
+        }
+        assert!(alive, "seed {seed:#x}: no Pong in 10 liveness probes");
+
+        // Graceful stop, retried: the Shutdown call itself can eat an
+        // injected fault and come back classified. Bye means this call
+        // won the drain; Draining means an earlier attempt already did.
+        let mut acked = false;
+        for _ in 0..10 {
+            let Ok(mut c) = Client::connect(
+                daemon.addr,
+                policy,
+                Duration::from_secs(5),
+            ) else {
+                break; // refused: the daemon is already exiting
+            };
+            match c.call(&Request::Shutdown) {
+                Ok(Response::Bye)
+                | Ok(Response::Err { code: ErrorCode::Draining, .. }) => {
+                    acked = true;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        assert!(acked, "seed {seed:#x}: shutdown never acknowledged");
+        let mut daemon = daemon;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match daemon.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(
+                        status.success(),
+                        "daemon must drain cleanly under chaos: {status:?}"
+                    );
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    daemon.child.kill().ok();
+                    panic!("daemon hung past the drain deadline");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        let stderr = daemon.stderr_so_far();
+        assert_no_panics(&stderr);
+        assert!(
+            stderr.contains("sys-faults armed"),
+            "daemon must log the armed plan:\n{stderr}"
+        );
+        let injected: u64 = stderr
+            .lines()
+            .find_map(|l| l.strip_prefix("sys-faults injected: "))
+            .and_then(|n| n.trim().parse().ok())
+            .unwrap_or_else(|| {
+                panic!("no injection ledger in stderr:\n{stderr}")
+            });
+        assert!(
+            injected > 0,
+            "seed {seed:#x}: periodic chaos never fired"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn kill9_mid_query_then_restart_from_store_reconnects_bit_identical() {
     let dir = scratch("kill9");
